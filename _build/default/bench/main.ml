@@ -1,0 +1,188 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Tables 1-2, Figures 6-7), the design-choice
+   ablations from DESIGN.md, and Bechamel microbenchmarks of the core
+   kernels.
+
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe -- table1    -- one artifact
+     SPR_BENCH_EFFORT=quick dune exec bench/main.exe
+
+   See EXPERIMENTS.md for paper-vs-measured notes. *)
+
+module E = Spr_experiments.Profiles
+
+let effort_of_env default =
+  match Sys.getenv_opt "SPR_BENCH_EFFORT" with
+  | None -> default
+  | Some s -> (
+    match E.effort_of_string s with
+    | Some e -> e
+    | None ->
+      Printf.eprintf "unknown SPR_BENCH_EFFORT %S (quick|standard|thorough)\n" s;
+      default)
+
+let section title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+let table1 () =
+  section "Table 1: timing improvement (simultaneous vs sequential)";
+  let rows = Spr_experiments.Timing_table.run ~effort:(effort_of_env E.Standard) () in
+  print_string (Spr_experiments.Timing_table.render rows);
+  Printf.printf "paper reported improvements: s1 28%%, cse 16%%, ex1 23%%, bw 25%%, s1a 21%%\n%!"
+
+let table2 () =
+  section "Table 2: minimum tracks/channel for 100% wirability";
+  let rows = Spr_experiments.Wirability_table.run ~effort:(effort_of_env E.Quick) () in
+  print_string (Spr_experiments.Wirability_table.render rows);
+  Printf.printf
+    "paper reported (seq/sim): s1 23/18, cse 22/17, ex1 26/21, bw 15/10, s1a 22/17\n%!"
+
+let fig6 () =
+  section "Figure 6: annealing dynamics";
+  let t = Spr_experiments.Dynamics_fig.run ~effort:(effort_of_env E.Standard) () in
+  print_string (Spr_experiments.Dynamics_fig.render t);
+  Printf.printf "qualitative shape of Figure 6 holds: %b\n%!"
+    (Spr_experiments.Dynamics_fig.shape_holds t)
+
+let fig7 () =
+  section "Figure 7: 529-cell design";
+  let t = Spr_experiments.Big_design.run ~effort:(effort_of_env E.Thorough) () in
+  print_string (Spr_experiments.Big_design.render t)
+
+let ablation_ordering () =
+  section "Ablation A3: rip-up queue ordering (cse)";
+  let t = Spr_experiments.Ordering_ablation.run ~effort:(effort_of_env E.Quick) () in
+  print_string (Spr_experiments.Ordering_ablation.render t)
+
+let rice_check () =
+  section "Delay-model cross-check (D2M vs Elmore, the paper's RICE methodology)";
+  List.iter
+    (fun spec ->
+      let nl = Spr_netlist.Circuits.make spec in
+      let arch = Spr_arch.Arch.size_for ~tracks:28 nl in
+      let place =
+        Spr_layout.Placement.create_exn arch nl ~rng:(Spr_util.Rng.create 7)
+      in
+      let st = Spr_route.Route_state.create place in
+      Spr_route.Router.route_all st;
+      let a = Spr_timing.Awe.compare_with_elmore Spr_timing.Delay_model.default st in
+      Printf.printf "%-6s %4d sinks  D2M/Elmore mean %.3f  range [%.3f, %.3f]\n"
+        spec.Spr_netlist.Circuits.spec_name a.Spr_timing.Awe.n_sinks
+        a.Spr_timing.Awe.mean_ratio a.Spr_timing.Awe.min_ratio a.Spr_timing.Awe.max_ratio)
+    Spr_netlist.Circuits.table_specs;
+  Printf.printf
+    "single-pole theory: ratio = ln 2 = 0.693; tight dispersion certifies the Elmore ranking\n%!"
+
+let ablation_seg () =
+  section "Ablation A1: channel segmentation schemes (cse, 24 tracks)";
+  let rows = Spr_experiments.Seg_ablation.run ~effort:(effort_of_env E.Quick) () in
+  print_string (Spr_experiments.Seg_ablation.render rows)
+
+let ablation_pinmap () =
+  section "Ablation A2: pinmap reassignment moves (s1)";
+  let t = Spr_experiments.Pinmap_ablation.run ~effort:(effort_of_env E.Standard) () in
+  print_string (Spr_experiments.Pinmap_ablation.render t)
+
+(* --- Bechamel kernel microbenchmarks --- *)
+
+let make_kernel_state () =
+  let nl = Spr_netlist.Circuits.make_by_name "cse" in
+  let arch = Spr_arch.Arch.size_for ~tracks:28 nl in
+  let place = Spr_layout.Placement.create_exn arch nl ~rng:(Spr_util.Rng.create 7) in
+  let rs = Spr_route.Route_state.create place in
+  Spr_route.Router.route_all rs;
+  let sta = Spr_timing.Sta.create Spr_timing.Delay_model.default rs in
+  (nl, place, rs, sta)
+
+let kernel_tests () =
+  let open Bechamel in
+  let nl, place, rs, sta = make_kernel_state () in
+  let dm = Spr_timing.Delay_model.default in
+  let routed_net = ref 0 in
+  for n = 0 to Spr_netlist.Netlist.n_nets nl - 1 do
+    if Spr_route.Route_state.is_fully_routed rs n then routed_net := n
+  done;
+  let rng = Spr_util.Rng.create 99 in
+  let journal = Spr_util.Journal.create () in
+  let move_cycle () =
+    let cell = Spr_util.Rng.int rng (Spr_netlist.Netlist.n_cells nl) in
+    let ripped = Spr_route.Router.rip_up_cell rs journal cell in
+    let routed = Spr_route.Router.reroute rs journal in
+    Spr_timing.Sta.invalidate sta journal (List.sort_uniq compare (ripped @ routed));
+    Spr_util.Journal.rollback journal
+  in
+  let swap_cycle () =
+    let a = Spr_layout.Placement.random_occupied_slot place rng in
+    let b = Spr_layout.Placement.random_slot place rng in
+    if a <> b && Spr_layout.Placement.swap_legal place a b then begin
+      Spr_layout.Placement.swap_slots place a b;
+      Spr_layout.Placement.swap_slots place a b
+    end
+  in
+  [
+    Test.make ~name:"elmore: routed net sink delays"
+      (Staged.stage (fun () -> Spr_timing.Net_delay.sink_delays dm rs !routed_net));
+    Test.make ~name:"sta: critical_delay scan"
+      (Staged.stage (fun () -> Spr_timing.Sta.critical_delay sta));
+    Test.make ~name:"sta: full update" (Staged.stage (fun () -> Spr_timing.Sta.full_update sta));
+    Test.make ~name:"route: detail best_track"
+      (Staged.stage (fun () ->
+           Spr_route.Detail_router.best_track rs ~channel:2
+             ~span:(Spr_util.Interval.make 3 11)));
+    Test.make ~name:"placement: swap pair" (Staged.stage swap_cycle);
+    Test.make ~name:"move: rip+reroute+sta+rollback" (Staged.stage move_cycle);
+  ]
+
+let kernels () =
+  section "Kernel microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let tests = Test.make_grouped ~name:"kernels" (kernel_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ ns ] -> rows := (name, ns) :: !rows
+      | Some _ | None -> ())
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-45s %12.1f ns/run\n" name ns)
+    (List.sort compare !rows);
+  flush stdout
+
+let usage () =
+  print_endline
+    "usage: main.exe [table1|table2|fig6|fig7|ablation-seg|ablation-pinmap|ablation-ordering|rice|kernels|all]";
+  print_endline "env: SPR_BENCH_EFFORT=quick|standard|thorough"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let t0 = Sys.time () in
+  (match args with
+  | [] | [ "all" ] ->
+    table1 ();
+    table2 ();
+    fig6 ();
+    fig7 ();
+    ablation_seg ();
+    ablation_pinmap ();
+    ablation_ordering ();
+    rice_check ();
+    kernels ()
+  | [ "table1" ] -> table1 ()
+  | [ "table2" ] -> table2 ()
+  | [ "fig6" ] -> fig6 ()
+  | [ "fig7" ] -> fig7 ()
+  | [ "ablation-seg" ] -> ablation_seg ()
+  | [ "ablation-pinmap" ] -> ablation_pinmap ()
+  | [ "ablation-ordering" ] -> ablation_ordering ()
+  | [ "rice" ] -> rice_check ()
+  | [ "kernels" ] -> kernels ()
+  | _ -> usage ());
+  Printf.printf "\ntotal bench cpu: %.1f s\n%!" (Sys.time () -. t0)

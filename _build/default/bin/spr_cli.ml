@@ -1,0 +1,294 @@
+(* spr — command-line driver for the simultaneous place-and-route tool
+   and the sequential baseline.
+
+     spr generate --cells 200 --seed 3 > c.blif
+     spr route c.blif --tracks 28 --flow sim
+     spr route --circuit s1 --flow both --svg die.svg --checkpoint s1.ckpt
+     spr route --circuit s1 --report 5 --clock 120
+     spr min-tracks --circuit bw
+     spr dynamics --circuit s1 *)
+
+open Cmdliner
+
+let load_netlist ~file ~circuit =
+  match file, circuit with
+  | Some path, _ -> (
+    match Spr_netlist.Blif.parse_file path with
+    | Ok nl -> Ok nl
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | None, Some name -> (
+    match Spr_netlist.Circuits.find name with
+    | Some spec -> Ok (Spr_netlist.Circuits.make spec)
+    | None ->
+      Error
+        (Printf.sprintf "unknown circuit %s (try: %s)" name
+           (String.concat ", "
+              (List.map
+                 (fun s -> s.Spr_netlist.Circuits.spec_name)
+                 Spr_netlist.Circuits.all))))
+  | None, None -> Error "provide a BLIF file or --circuit NAME"
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"BLIF" ~doc:"Input netlist in BLIF format.")
+
+let circuit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "circuit" ] ~docv:"NAME" ~doc:"Built-in benchmark circuit (s1, cse, ex1, bw, s1a, big529).")
+
+let tracks_arg =
+  Arg.(value & opt int 28 & info [ "tracks" ] ~docv:"N" ~doc:"Horizontal tracks per channel.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let scheme_arg =
+  let parse s =
+    match Spr_arch.Segmentation.scheme_of_string s with
+    | Some scheme -> Ok scheme
+    | None -> Error (`Msg (Printf.sprintf "bad segmentation %S (full|uniform:<n>|actel|geometric)" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Spr_arch.Segmentation.scheme_to_string s) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Spr_arch.Segmentation.Actel_like
+    & info [ "segmentation" ] ~docv:"SCHEME" ~doc:"Channel segmentation scheme.")
+
+let effort_arg =
+  let parse s =
+    match Spr_experiments.Profiles.effort_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg "effort is quick|standard|thorough")
+  in
+  let print ppf = function
+    | Spr_experiments.Profiles.Quick -> Format.pp_print_string ppf "quick"
+    | Spr_experiments.Profiles.Standard -> Format.pp_print_string ppf "standard"
+    | Spr_experiments.Profiles.Thorough -> Format.pp_print_string ppf "thorough"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Spr_experiments.Profiles.Standard
+    & info [ "effort" ] ~docv:"LEVEL" ~doc:"Annealing effort: quick, standard or thorough.")
+
+(* --- generate --- *)
+
+let generate cells seed output =
+  let nl =
+    Spr_netlist.Generator.generate (Spr_netlist.Generator.default ~n_cells:cells) ~seed
+  in
+  let text = Spr_netlist.Blif.to_string ~model_name:(Printf.sprintf "synth%d" cells) nl in
+  (match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc);
+  `Ok ()
+
+let generate_cmd =
+  let cells =
+    Arg.(value & opt int 200 & info [ "cells" ] ~docv:"N" ~doc:"Total cell count.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic MCNC-like circuit as BLIF.")
+    Term.(ret (const generate $ cells $ seed_arg $ output))
+
+(* --- route --- *)
+
+let report_sim nl (r : Spr_core.Tool.result) =
+  Printf.printf "simultaneous: routed=%b (G=%d D=%d)  critical=%.2f ns  cpu=%.1f s\n"
+    r.Spr_core.Tool.fully_routed r.Spr_core.Tool.g r.Spr_core.Tool.d
+    r.Spr_core.Tool.critical_delay r.Spr_core.Tool.cpu_seconds;
+  let path = Spr_timing.Sta.critical_path r.Spr_core.Tool.sta in
+  Printf.printf "critical path: %s\n"
+    (String.concat " -> "
+       (List.map (fun c -> (Spr_netlist.Netlist.cell nl c).Spr_netlist.Netlist.cell_name) path))
+
+let report_seq (r : Spr_seq.Flow.result) =
+  Printf.printf "sequential:   routed=%b (G=%d D=%d)  critical=%.2f ns  cpu=%.1f s\n"
+    r.Spr_seq.Flow.fully_routed r.Spr_seq.Flow.g r.Spr_seq.Flow.d r.Spr_seq.Flow.critical_delay
+    r.Spr_seq.Flow.cpu_seconds
+
+let post_layout nl (r : Spr_core.Tool.result) ~svg ~checkpoint ~ascii ~stats ~report_k ~clock =
+  if stats then
+    Format.printf "%a" Spr_route.Route_stats.pp
+      (Spr_route.Route_stats.collect r.Spr_core.Tool.route);
+  (match svg with
+  | None -> ()
+  | Some path ->
+    let hot = Spr_render.Die_plot.critical_nets r.Spr_core.Tool.sta r.Spr_core.Tool.route in
+    Spr_render.Die_plot.save_svg ~highlight:hot r.Spr_core.Tool.route path;
+    Printf.printf "die plot written to %s\n" path);
+  (match checkpoint with
+  | None -> ()
+  | Some path ->
+    Spr_core.Checkpoint.save r.Spr_core.Tool.route path;
+    Printf.printf "checkpoint written to %s\n" path);
+  if ascii then print_string (Spr_render.Die_plot.to_ascii r.Spr_core.Tool.route);
+  match report_k with
+  | None -> ()
+  | Some k ->
+    let paths =
+      Spr_timing.Path_report.worst_paths ~k ?clock_period:clock r.Spr_core.Tool.sta
+    in
+    Printf.printf "\nworst %d endpoints:\n%s" k (Spr_timing.Path_report.render nl paths)
+
+let route file circuit tracks scheme seed effort flow svg checkpoint ascii stats report_k clock =
+  match load_netlist ~file ~circuit with
+  | Error e -> `Error (false, e)
+  | Ok nl ->
+    let n = Spr_netlist.Netlist.n_cells nl in
+    Format.printf "circuit: %a@." Spr_netlist.Netlist.pp_summary nl;
+    let arch = Spr_arch.Arch.size_for ~tracks ~hscheme:scheme nl in
+    Format.printf "fabric:  %a@." Spr_arch.Arch.pp arch;
+    let run_sim () =
+      match
+        Spr_core.Tool.run ~config:(Spr_experiments.Profiles.tool_config ~seed effort ~n) arch nl
+      with
+      | Ok r ->
+        report_sim nl r;
+        post_layout nl r ~svg ~checkpoint ~ascii ~stats ~report_k ~clock
+      | Error e -> Printf.printf "simultaneous flow failed: %s\n" e
+    in
+    let run_seq () =
+      match
+        Spr_seq.Flow.run ~config:(Spr_experiments.Profiles.flow_config ~seed effort ~n) arch nl
+      with
+      | Ok r -> report_seq r
+      | Error e -> Printf.printf "sequential flow failed: %s\n" e
+    in
+    (match flow with
+    | "sim" -> run_sim ()
+    | "seq" -> run_seq ()
+    | "both" ->
+      run_seq ();
+      run_sim ()
+    | other -> Printf.printf "unknown flow %s (sim|seq|both)\n" other);
+    `Ok ()
+
+let route_cmd =
+  let flow =
+    Arg.(value & opt string "sim" & info [ "flow" ] ~docv:"FLOW" ~doc:"sim, seq or both.")
+  in
+  let svg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE" ~doc:"Write a die plot (critical path highlighted).")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE" ~doc:"Save the layout for later reload/ECO.")
+  in
+  let ascii =
+    Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII die map and channel utilization.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Print wirelength, antifuse and utilization statistics.")
+  in
+  let report_k =
+    Arg.(value & opt (some int) None
+         & info [ "report" ] ~docv:"K" ~doc:"Print the K worst timing endpoints.")
+  in
+  let clock =
+    Arg.(value & opt (some float) None
+         & info [ "clock" ] ~docv:"NS" ~doc:"Clock period for slack in the timing report.")
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Place and route a circuit on a row-based fabric.")
+    Term.(
+      ret
+        (const route $ file_arg $ circuit_arg $ tracks_arg $ scheme_arg $ seed_arg $ effort_arg
+        $ flow $ svg $ checkpoint $ ascii $ stats $ report_k $ clock))
+
+(* --- min-tracks --- *)
+
+let min_tracks circuit seed =
+  match circuit with
+  | None -> `Error (false, "provide --circuit NAME")
+  | Some name -> (
+    match Spr_netlist.Circuits.find name with
+    | None -> `Error (false, "unknown circuit " ^ name)
+    | Some spec ->
+      let row =
+        Spr_experiments.Wirability_table.run_circuit ~effort:Spr_experiments.Profiles.Quick
+          ~seed spec
+      in
+      print_string (Spr_experiments.Wirability_table.render [ row ]);
+      `Ok ())
+
+let min_tracks_cmd =
+  Cmd.v
+    (Cmd.info "min-tracks" ~doc:"Find the minimum tracks/channel for 100% wirability (Table 2).")
+    Term.(ret (const min_tracks $ circuit_arg $ seed_arg))
+
+(* --- dynamics --- *)
+
+let dynamics circuit seed effort =
+  let name = match circuit with Some c -> c | None -> "s1" in
+  match Spr_netlist.Circuits.find name with
+  | None -> `Error (false, "unknown circuit " ^ name)
+  | Some _ ->
+    let t = Spr_experiments.Dynamics_fig.run ~effort ~seed ~circuit:name () in
+    print_string (Spr_experiments.Dynamics_fig.render t);
+    `Ok ()
+
+(* --- partition --- *)
+
+let partition file circuit k seed =
+  match load_netlist ~file ~circuit with
+  | Error e -> `Error (false, e)
+  | Ok nl ->
+    let rng = Spr_util.Rng.create seed in
+    let parts = Spr_partition.Multi_chip.kway ~rng ~k nl in
+    let split = Spr_partition.Multi_chip.split nl ~parts ~n_parts:k in
+    Format.printf "design: %a@." Spr_netlist.Netlist.pp_summary nl;
+    Printf.printf "%d-way partition: %d cut nets, %d pads added\n" k
+      split.Spr_partition.Multi_chip.cut_nets split.Spr_partition.Multi_chip.pads_added;
+    Array.iteri
+      (fun i piece ->
+        Format.printf "chip %d: %a@." i Spr_netlist.Netlist.pp_summary
+          piece.Spr_partition.Multi_chip.netlist)
+      split.Spr_partition.Multi_chip.pieces;
+    `Ok ()
+
+let partition_cmd =
+  let k =
+    Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Number of chips (a power of two).")
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"FM-partition a design across multiple FPGAs and report the cut.")
+    Term.(ret (const partition $ file_arg $ circuit_arg $ k $ seed_arg))
+
+let stats_nl file circuit =
+  match load_netlist ~file ~circuit with
+  | Error e -> `Error (false, e)
+  | Ok nl -> (
+    match Spr_netlist.Netlist_stats.collect nl with
+    | Error e -> `Error (false, e)
+    | Ok stats ->
+      Format.printf "%a" Spr_netlist.Netlist_stats.pp stats;
+      `Ok ())
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print structural statistics of a circuit.")
+    Term.(ret (const stats_nl $ file_arg $ circuit_arg))
+
+let dynamics_cmd =
+  Cmd.v
+    (Cmd.info "dynamics" ~doc:"Trace the annealing dynamics per temperature (Figure 6).")
+    Term.(ret (const dynamics $ circuit_arg $ seed_arg $ effort_arg))
+
+let () =
+  let info =
+    Cmd.info "spr" ~version:"1.0.0"
+      ~doc:"Performance-driven simultaneous place and route for row-based FPGAs (DAC 1994)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; route_cmd; min_tracks_cmd; dynamics_cmd; partition_cmd; stats_cmd ]))

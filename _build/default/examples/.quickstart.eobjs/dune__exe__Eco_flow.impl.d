@@ -1,0 +1,1 @@
+examples/eco_flow.ml: Array Filename List Printf Spr_arch Spr_core Spr_layout Spr_netlist Spr_render Spr_timing String Sys

@@ -1,0 +1,1 @@
+examples/multi_chip.ml: Array Format Printf Spr_anneal Spr_arch Spr_core Spr_netlist Spr_partition Spr_util Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cell_kind Format List Netlist Spr_arch Spr_core Spr_layout Spr_netlist Spr_route Spr_timing String

@@ -1,0 +1,1 @@
+examples/segmentation_explorer.ml: Array List Printf Spr_arch Spr_experiments Sys

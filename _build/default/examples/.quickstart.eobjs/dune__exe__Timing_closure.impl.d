@@ -1,0 +1,1 @@
+examples/timing_closure.ml: Array Format List Printf Spr_arch Spr_core Spr_netlist Spr_seq Spr_timing String Sys

@@ -1,0 +1,1 @@
+examples/track_minimization.ml: Array Printf Spr_experiments Spr_netlist Sys

@@ -1,0 +1,1 @@
+examples/track_minimization.mli:

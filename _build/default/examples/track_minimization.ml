@@ -1,0 +1,28 @@
+(* Device-fitting scenario: how narrow a channel can each flow live
+   with? This is the paper's Table 2 workload on one circuit — the
+   motivation from the introduction: "failure to pack a single design
+   onto the smallest feasible FPGA carries a substantial cost penalty".
+
+     dune exec examples/track_minimization.exe -- [circuit]
+
+   circuit defaults to "bw" (the paper's biggest wirability win: 15 vs
+   10 tracks). *)
+
+let () =
+  let circuit = if Array.length Sys.argv > 1 then Sys.argv.(1) else "bw" in
+  let spec =
+    match Spr_netlist.Circuits.find circuit with
+    | Some s -> s
+    | None ->
+      Printf.eprintf "unknown circuit %s\n" circuit;
+      exit 1
+  in
+  Printf.printf "minimizing tracks/channel for %s (%d cells)...\n%!" circuit
+    spec.Spr_netlist.Circuits.spec_cells;
+  let row = Spr_experiments.Wirability_table.run_circuit ~effort:Spr_experiments.Profiles.Quick spec in
+  Printf.printf "sequential P&R minimum: %d tracks/channel\n"
+    row.Spr_experiments.Wirability_table.seq_min_tracks;
+  Printf.printf "simultaneous P&R minimum: %d tracks/channel\n"
+    row.Spr_experiments.Wirability_table.sim_min_tracks;
+  Printf.printf "track reduction: %.0f%% (paper reports 20-33%% across the suite)\n"
+    row.Spr_experiments.Wirability_table.reduction_pct

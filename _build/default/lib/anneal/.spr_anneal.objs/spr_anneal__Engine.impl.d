@@ -1,0 +1,1 @@
+lib/anneal/engine.ml: Float Spr_util

@@ -1,0 +1,1 @@
+lib/anneal/engine.mli: Spr_util

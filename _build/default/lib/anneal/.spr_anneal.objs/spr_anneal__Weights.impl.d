@@ -1,0 +1,1 @@
+lib/anneal/weights.ml: Spr_util

@@ -1,0 +1,164 @@
+type config = {
+  moves_per_temp : int;
+  warmup_moves : int;
+  initial_acceptance : float;
+  lambda : float;
+  min_alpha : float;
+  max_alpha : float;
+  stop_acceptance : float;
+  stop_cost_tolerance : float;
+  stop_patience : int;
+  max_temperatures : int;
+  quench_temperatures : int;
+}
+
+let default_config ~n =
+  let moves = max 400 (min 30_000 (8 * n)) in
+  {
+    moves_per_temp = moves;
+    warmup_moves = max 200 (moves / 4);
+    initial_acceptance = 0.9;
+    lambda = 0.7;
+    min_alpha = 0.5;
+    max_alpha = 0.95;
+    stop_acceptance = 0.03;
+    stop_cost_tolerance = 0.0015;
+    stop_patience = 3;
+    max_temperatures = 150;
+    quench_temperatures = 2;
+  }
+
+type temp_stats = {
+  temp_index : int;
+  temperature : float;
+  attempted : int;
+  accepted : int;
+  mean_cost : float;
+  sigma_cost : float;
+}
+
+type report = {
+  initial_cost : float;
+  final_cost : float;
+  n_temperatures : int;
+  n_moves : int;
+  n_accepted : int;
+}
+
+let run ?config ?(on_temperature = fun _ -> ()) ~rng ~cost ~propose ~accept ~reject ~n () =
+  let cfg = match config with Some c -> c | None -> default_config ~n in
+  let initial_cost = cost () in
+  let total_moves = ref 0 and total_accepted = ref 0 in
+  (* One batch of moves at a given temperature; [infinity] accepts all
+     (warmup), [0.] accepts only improvement (quench). *)
+  let run_batch ~temperature ~moves ~uphill_stats =
+    let samples = Spr_util.Stats.create () in
+    let attempted = ref 0 and accepted_n = ref 0 in
+    for _ = 1 to moves do
+      let before = cost () in
+      if propose rng then begin
+        incr attempted;
+        let after = cost () in
+        let delta = after -. before in
+        (match uphill_stats with
+        | Some s when delta > 0.0 -> Spr_util.Stats.add s delta
+        | Some _ | None -> ());
+        let take =
+          if delta <= 0.0 then true
+          else if temperature <= 0.0 then false
+          else if temperature = infinity then true
+          else Spr_util.Rng.float rng 1.0 < exp (-.delta /. temperature)
+        in
+        if take then begin
+          accept ();
+          incr accepted_n;
+          Spr_util.Stats.add samples after
+        end
+        else begin
+          reject ();
+          Spr_util.Stats.add samples before
+        end
+      end
+    done;
+    total_moves := !total_moves + !attempted;
+    total_accepted := !total_accepted + !accepted_n;
+    (!attempted, !accepted_n, samples)
+  in
+  (* Warmup: random walk to measure the uphill-delta scale. *)
+  let uphill = Spr_util.Stats.create () in
+  let w_att, w_acc, w_samples =
+    run_batch ~temperature:infinity ~moves:cfg.warmup_moves ~uphill_stats:(Some uphill)
+  in
+  on_temperature
+    {
+      temp_index = 0;
+      temperature = infinity;
+      attempted = w_att;
+      accepted = w_acc;
+      mean_cost = Spr_util.Stats.mean w_samples;
+      sigma_cost = Spr_util.Stats.stddev w_samples;
+    };
+  let avg_uphill =
+    if Spr_util.Stats.count uphill > 0 then Spr_util.Stats.mean uphill
+    else Float.max 1e-9 (initial_cost *. 0.05)
+  in
+  let t0 = -.avg_uphill /. log cfg.initial_acceptance in
+  (* Main cooling loop. A temperature is stagnant when almost nothing is
+     accepted, or when (already in the low-acceptance regime) the mean
+     cost has stopped moving. *)
+  let rec cool temp index stagnant prev_mean =
+    if index > cfg.max_temperatures then index - 1
+    else begin
+      let att, acc, samples =
+        run_batch ~temperature:temp ~moves:cfg.moves_per_temp ~uphill_stats:None
+      in
+      let mean = Spr_util.Stats.mean samples in
+      on_temperature
+        {
+          temp_index = index;
+          temperature = temp;
+          attempted = att;
+          accepted = acc;
+          mean_cost = mean;
+          sigma_cost = Spr_util.Stats.stddev samples;
+        };
+      let ratio = if att = 0 then 0.0 else float_of_int acc /. float_of_int att in
+      let cost_flat =
+        ratio < 0.5 && prev_mean > 0.0
+        && Float.abs (mean -. prev_mean) /. Float.max 1e-12 prev_mean < cfg.stop_cost_tolerance
+      in
+      let stagnant = if ratio < cfg.stop_acceptance || cost_flat then stagnant + 1 else 0 in
+      if stagnant >= cfg.stop_patience then index
+      else begin
+        let sigma = Spr_util.Stats.stddev samples in
+        let alpha =
+          if sigma <= 0.0 then cfg.min_alpha
+          else Float.min cfg.max_alpha (Float.max cfg.min_alpha (exp (-.cfg.lambda *. temp /. sigma)))
+        in
+        cool (temp *. alpha) (index + 1) stagnant mean
+      end
+    end
+  in
+  let last_index = cool t0 1 0 0.0 in
+  (* Greedy quench. *)
+  for q = 1 to cfg.quench_temperatures do
+    let att, acc, samples =
+      run_batch ~temperature:0.0 ~moves:cfg.moves_per_temp ~uphill_stats:None
+    in
+    on_temperature
+      {
+        temp_index = last_index + q;
+        temperature = 0.0;
+        attempted = att;
+        accepted = acc;
+        mean_cost = Spr_util.Stats.mean samples;
+        sigma_cost = Spr_util.Stats.stddev samples;
+      }
+  done;
+  {
+    initial_cost;
+    final_cost = cost ();
+    n_temperatures = last_index + cfg.quench_temperatures;
+    n_moves = !total_moves;
+    n_accepted = !total_accepted;
+  }

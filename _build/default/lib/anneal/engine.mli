@@ -1,0 +1,73 @@
+(** Generic simulated-annealing engine with an adaptive cooling schedule
+    in the style of Huang, Romeo and Sangiovanni-Vincentelli (ICCAD'86),
+    the schedule the paper adopts (§3.2).
+
+    The engine is transaction-oriented: the client's [propose] applies a
+    tentative move to its own state, the engine measures the cost change
+    and either asks the client to keep it ([accept]) or to roll it back
+    ([reject]).
+
+    Schedule: the starting temperature is derived from a warmup walk that
+    accepts everything — [T0 = avg uphill delta / -ln(chi0)] so the first
+    real temperature accepts a fraction [chi0] of uphill moves. Each
+    temperature runs a fixed move count; the decrement adapts to the cost
+    landscape, [alpha = exp(-lambda * T / sigma_T)] clamped to
+    [\[min_alpha, max_alpha\]], cooling fast over rough terrain and slowly
+    through phase transitions. Annealing stops when the acceptance ratio
+    stays below [stop_acceptance] for [stop_patience] consecutive
+    temperatures, then a zero-temperature quench keeps only improving
+    moves. *)
+
+type config = {
+  moves_per_temp : int;
+  warmup_moves : int;
+  initial_acceptance : float;  (** chi0, e.g. 0.9. *)
+  lambda : float;  (** Cooling aggressiveness, e.g. 0.7. *)
+  min_alpha : float;
+  max_alpha : float;
+  stop_acceptance : float;
+  stop_cost_tolerance : float;
+      (** Relative mean-cost change under which a temperature counts as
+          stagnant (only once acceptance has fallen below 0.5). *)
+  stop_patience : int;
+  max_temperatures : int;
+  quench_temperatures : int;
+}
+
+val default_config : n:int -> config
+(** Sized for a problem with [n] movable objects: [moves_per_temp] =
+    [8 * n] bounded to [\[400, 30000\]]. *)
+
+type temp_stats = {
+  temp_index : int;
+  temperature : float;
+  attempted : int;
+  accepted : int;
+  mean_cost : float;
+  sigma_cost : float;
+}
+
+type report = {
+  initial_cost : float;
+  final_cost : float;
+  n_temperatures : int;
+  n_moves : int;
+  n_accepted : int;
+}
+
+val run :
+  ?config:config ->
+  ?on_temperature:(temp_stats -> unit) ->
+  rng:Spr_util.Rng.t ->
+  cost:(unit -> float) ->
+  propose:(Spr_util.Rng.t -> bool) ->
+  accept:(unit -> unit) ->
+  reject:(unit -> unit) ->
+  n:int ->
+  unit ->
+  report
+(** [propose] returns [false] when it could not form a move (nothing is
+    applied in that case); otherwise the tentative move is already
+    applied when the engine evaluates [cost]. Exactly one of [accept] or
+    [reject] is then called. [on_temperature] fires after every
+    temperature including the warmup (index 0) and the quenches. *)

@@ -1,0 +1,35 @@
+type t = {
+  g_per_net : float;
+  d_per_net : float;
+  t_emphasis : float;
+  mutable t_base : float;
+  samples : Spr_util.Stats.t;
+}
+
+let create ?(g_per_net = 0.04) ?(d_per_net = 0.02) ?(t_emphasis = 1.0) ~initial_delay () =
+  if initial_delay <= 0.0 then invalid_arg "Weights.create: initial_delay must be positive";
+  {
+    g_per_net;
+    d_per_net;
+    t_emphasis;
+    t_base = initial_delay;
+    samples = Spr_util.Stats.create ();
+  }
+
+let wg t = t.g_per_net
+
+let wd t = t.d_per_net
+
+let wt t = t.t_emphasis /. t.t_base
+
+let cost t ~g ~d ~delay =
+  (t.g_per_net *. float_of_int g) +. (t.d_per_net *. float_of_int d) +. (wt t *. delay)
+
+let observe t ~delay = Spr_util.Stats.add t.samples delay
+
+let adapt t =
+  if Spr_util.Stats.count t.samples > 0 then begin
+    let m = Spr_util.Stats.mean t.samples in
+    if m > 0.0 then t.t_base <- m;
+    Spr_util.Stats.reset t.samples
+  end

@@ -1,0 +1,38 @@
+(** Adaptive normalization of the cost-function weights
+    [Wg, Wd, Wt] of paper equation (1).
+
+    The delay term is normalized against a running baseline so that
+    [Wt * T ~ t_emphasis] regardless of circuit scale, and each unrouted
+    net contributes a fixed fraction of that normalized delay cost. The
+    baseline adapts between temperatures from the delays observed during
+    the previous one ("the weights ... are determined adaptively at
+    runtime so as to normalize the components of the cost function"). *)
+
+type t
+
+val create :
+  ?g_per_net:float ->
+  ?d_per_net:float ->
+  ?t_emphasis:float ->
+  initial_delay:float ->
+  unit ->
+  t
+(** Defaults: [g_per_net = 0.04], [d_per_net = 0.02], [t_emphasis = 1.0].
+    [initial_delay] seeds the delay baseline (use the starting critical
+    delay; it must be positive). *)
+
+val cost : t -> g:int -> d:int -> delay:float -> float
+(** [Wg*G + Wd*D + Wt*T] under the current normalization. *)
+
+val observe : t -> delay:float -> unit
+(** Record a critical delay sample (call once per move). *)
+
+val adapt : t -> unit
+(** Recompute the delay baseline from the samples observed since the last
+    call (call between temperatures); no-op when nothing was observed. *)
+
+val wg : t -> float
+
+val wd : t -> float
+
+val wt : t -> float

@@ -1,0 +1,1 @@
+lib/arch/arch.ml: Array Float Format List Printf Segmentation Spr_netlist Spr_util

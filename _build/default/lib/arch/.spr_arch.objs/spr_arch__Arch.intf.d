@@ -1,0 +1,1 @@
+lib/arch/arch.mli: Format Segmentation Spr_netlist Spr_util

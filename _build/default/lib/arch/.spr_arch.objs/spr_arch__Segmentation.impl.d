@@ -1,0 +1,1 @@
+lib/arch/segmentation.ml: Array List Printf Spr_util String

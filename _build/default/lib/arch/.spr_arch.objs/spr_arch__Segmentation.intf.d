@@ -1,0 +1,1 @@
+lib/arch/segmentation.mli: Spr_util

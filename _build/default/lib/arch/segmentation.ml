@@ -1,0 +1,72 @@
+type scheme =
+  | Full
+  | Uniform of int
+  | Actel_like
+  | Geometric
+
+let scheme_to_string = function
+  | Full -> "full"
+  | Uniform n -> Printf.sprintf "uniform:%d" n
+  | Actel_like -> "actel"
+  | Geometric -> "geometric"
+
+let scheme_of_string s =
+  match s with
+  | "full" -> Some Full
+  | "actel" -> Some Actel_like
+  | "geometric" -> Some Geometric
+  | _ ->
+    if String.length s > 8 && String.sub s 0 8 = "uniform:" then
+      match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+      | Some n when n > 0 -> Some (Uniform n)
+      | Some _ | None -> None
+    else None
+
+(* Partition [0, cols-1] into segments whose lengths cycle through
+   [lens], with the first segment shortened by [offset] to stagger cut
+   positions between tracks. *)
+let partition ~cols ~offset lens =
+  assert (cols > 0);
+  assert (Array.length lens > 0);
+  let segs = ref [] in
+  let pos = ref 0 in
+  let idx = ref 0 in
+  let first = lens.(0) - (offset mod lens.(0)) in
+  let next_len () =
+    let len = if !pos = 0 then first else lens.(!idx mod Array.length lens) in
+    incr idx;
+    max 1 len
+  in
+  while !pos < cols do
+    let len = min (next_len ()) (cols - !pos) in
+    segs := Spr_util.Interval.make !pos (!pos + len - 1) :: !segs;
+    pos := !pos + len
+  done;
+  Array.of_list (List.rev !segs)
+
+let track scheme ~cols ~channel ~track =
+  match scheme with
+  | Full -> [| Spr_util.Interval.make 0 (cols - 1) |]
+  | Uniform n ->
+    let n = max 1 (min n cols) in
+    partition ~cols ~offset:(((track * 3) + channel) mod n) [| n |]
+  | Actel_like -> (
+    match track mod 4 with
+    | 0 -> [| Spr_util.Interval.make 0 (cols - 1) |]
+    | 1 -> partition ~cols ~offset:((channel * 5) mod cols) [| max 2 (cols / 2) |]
+    | 2 | 3 | _ -> partition ~cols ~offset:(((track * 2) + (channel * 3)) mod 5) [| 5 |])
+  | Geometric ->
+    let rotation = track mod 4 in
+    let base = [| 2; 4; 8; 16 |] in
+    let lens = Array.init 4 (fun i -> base.((i + rotation) mod 4)) in
+    partition ~cols ~offset:(channel mod 3) lens
+
+let average_segment_length scheme ~cols ~tracks =
+  let total_len = ref 0 and total_segs = ref 0 in
+  for t = 0 to max 0 (tracks - 1) do
+    let segs = track scheme ~cols ~channel:0 ~track:t in
+    Array.iter (fun s -> total_len := !total_len + Spr_util.Interval.length s) segs;
+    total_segs := !total_segs + Array.length segs
+  done;
+  if !total_segs = 0 then float_of_int cols
+  else float_of_int !total_len /. float_of_int !total_segs

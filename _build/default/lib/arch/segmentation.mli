@@ -1,0 +1,32 @@
+(** Channel track segmentation.
+
+    Each horizontal track of a channel is cut into contiguous
+    {!Spr_util.Interval.t} column segments; adjacent segments on the same
+    track can be joined by programming the horizontal antifuse between
+    them (paper §1). Short segments help wirability, long segments help
+    delay; real parts mix both, with boundaries staggered between tracks
+    so that cuts do not align. *)
+
+type scheme =
+  | Full  (** One segment spanning the whole channel. *)
+  | Uniform of int  (** All segments the given length, staggered per track. *)
+  | Actel_like
+      (** Track mix modeled on ACT-family channels: every fourth track is
+          full-length, every fourth is half-length, the rest are short
+          (length 5) with staggered cuts. *)
+  | Geometric
+      (** Segment lengths cycle through 2, 4, 8, 16 with per-track
+          rotation. *)
+
+val scheme_to_string : scheme -> string
+
+val scheme_of_string : string -> scheme option
+(** Recognizes ["full"], ["uniform:<n>"], ["actel"], ["geometric"]. *)
+
+val track : scheme -> cols:int -> channel:int -> track:int -> Spr_util.Interval.t array
+(** Segments of one track, in increasing column order; they exactly
+    partition [\[0, cols-1\]]. [channel] and [track] drive the stagger. *)
+
+val average_segment_length : scheme -> cols:int -> tracks:int -> float
+(** Mean segment length over a representative channel; the pre-route
+    delay estimator uses this. *)

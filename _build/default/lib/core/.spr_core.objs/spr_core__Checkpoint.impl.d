@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Array Buffer List Printf Spr_arch Spr_layout Spr_netlist Spr_route Spr_util String

@@ -1,0 +1,1 @@
+lib/core/checkpoint.mli: Spr_netlist Spr_route Stdlib

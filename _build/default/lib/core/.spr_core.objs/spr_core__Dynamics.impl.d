@@ -1,0 +1,1 @@
+lib/core/dynamics.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/core/eco.ml: List Spr_layout Spr_route Spr_timing Spr_util Tool

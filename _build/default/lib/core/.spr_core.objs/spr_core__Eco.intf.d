@@ -1,0 +1,1 @@
+lib/core/eco.mli: Spr_layout Spr_route Spr_timing Stdlib Tool

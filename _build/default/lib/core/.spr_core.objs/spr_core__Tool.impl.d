@@ -1,0 +1,1 @@
+lib/core/tool.ml: Dynamics Float List Logs Spr_anneal Spr_layout Spr_netlist Spr_route Spr_timing Spr_util Sys

@@ -1,0 +1,1 @@
+lib/core/tool.mli: Dynamics Spr_anneal Spr_arch Spr_layout Spr_netlist Spr_route Spr_timing Stdlib

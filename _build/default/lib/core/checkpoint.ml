@@ -1,0 +1,233 @@
+module Rs = Spr_route.Route_state
+module P = Spr_layout.Placement
+module Arch = Spr_arch.Arch
+module Nl = Spr_netlist.Netlist
+module I = Spr_util.Interval
+
+let format_version = 1
+
+let to_string st =
+  let arch = Rs.arch st in
+  let place = Rs.place st in
+  let nl = Rs.netlist st in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "spr-checkpoint %d\n" format_version;
+  add "arch %d %d %d %d %s\n" arch.Arch.rows arch.Arch.cols arch.Arch.tracks arch.Arch.vtracks
+    (Spr_arch.Segmentation.scheme_to_string arch.Arch.hscheme);
+  add "design %d %d\n" (Nl.n_cells nl) (Nl.n_nets nl);
+  for c = 0 to Nl.n_cells nl - 1 do
+    let s = P.slot_of place c in
+    add "cell %d %d %d %d\n" c s.P.row s.P.col (P.pinmap_index place c)
+  done;
+  for net = 0 to Nl.n_nets nl - 1 do
+    (match Rs.global_route st net with
+    | None -> ()
+    | Some vr ->
+      add "vroute %d %d %d %d %d\n" net vr.Rs.v_col vr.Rs.v_vtrack vr.Rs.v_slo vr.Rs.v_shi);
+    List.iter
+      (fun (ch, (hr : Rs.hroute)) ->
+        add "hroute %d %d %d %d %d\n" net ch hr.Rs.h_track hr.Rs.h_slo hr.Rs.h_shi)
+      (Rs.h_routes st net)
+  done;
+  add "end\n";
+  Buffer.contents buf
+
+let save st path =
+  let oc = open_out path in
+  output_string oc (to_string st);
+  close_out oc
+
+type parsed = {
+  mutable p_arch : Arch.t option;
+  mutable p_counts : (int * int) option;
+  mutable p_cells : (int * int * int * int) list;
+  mutable p_vroutes : (int * int * int * int * int) list;
+  mutable p_hroutes : (int * int * int * int * int) list;
+  mutable p_done : bool;
+}
+
+let parse text =
+  let p =
+    { p_arch = None; p_counts = None; p_cells = []; p_vroutes = []; p_hroutes = []; p_done = false }
+  in
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun lineno line ->
+      if !error = None && not p.p_done then begin
+        let words = String.split_on_char ' ' (String.trim line) in
+        match words with
+        | [ "" ] | [] -> ()
+        | [ "spr-checkpoint"; v ] ->
+          if int_of_string_opt v <> Some format_version then
+            fail "line %d: unsupported checkpoint version %s" (lineno + 1) v
+        | [ "arch"; rows; cols; tracks; vtracks; scheme ] -> (
+          match
+            ( int_of_string_opt rows,
+              int_of_string_opt cols,
+              int_of_string_opt tracks,
+              int_of_string_opt vtracks,
+              Spr_arch.Segmentation.scheme_of_string scheme )
+          with
+          | Some rows, Some cols, Some tracks, Some vtracks, Some hscheme ->
+            p.p_arch <- Some (Arch.create ~rows ~cols ~tracks ~hscheme ~vtracks ())
+          | _ -> fail "line %d: bad arch line" (lineno + 1))
+        | [ "design"; cells; nets ] -> (
+          match int_of_string_opt cells, int_of_string_opt nets with
+          | Some c, Some n -> p.p_counts <- Some (c, n)
+          | _ -> fail "line %d: bad design line" (lineno + 1))
+        | [ "cell"; a; b; c; d ] -> (
+          match
+            int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d
+          with
+          | Some a, Some b, Some c, Some d -> p.p_cells <- (a, b, c, d) :: p.p_cells
+          | _ -> fail "line %d: bad cell line" (lineno + 1))
+        | [ "vroute"; a; b; c; d; e ] -> (
+          match
+            ( int_of_string_opt a,
+              int_of_string_opt b,
+              int_of_string_opt c,
+              int_of_string_opt d,
+              int_of_string_opt e )
+          with
+          | Some a, Some b, Some c, Some d, Some e ->
+            p.p_vroutes <- (a, b, c, d, e) :: p.p_vroutes
+          | _ -> fail "line %d: bad vroute line" (lineno + 1))
+        | [ "hroute"; a; b; c; d; e ] -> (
+          match
+            ( int_of_string_opt a,
+              int_of_string_opt b,
+              int_of_string_opt c,
+              int_of_string_opt d,
+              int_of_string_opt e )
+          with
+          | Some a, Some b, Some c, Some d, Some e ->
+            p.p_hroutes <- (a, b, c, d, e) :: p.p_hroutes
+          | _ -> fail "line %d: bad hroute line" (lineno + 1))
+        | [ "end" ] -> p.p_done <- true
+        | w :: _ -> fail "line %d: unknown record %s" (lineno + 1) w
+      end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> if p.p_done then Ok p else Error "truncated checkpoint (no end record)"
+
+(* Replay the routing through the normal claiming path so every
+   Route_state invariant is re-established (or the load fails). *)
+let restore_routes st p =
+  let arch = Rs.arch st in
+  let j = Spr_util.Journal.create () in
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  (* Global routes first: they establish the per-channel demands. *)
+  List.iter
+    (fun (net, col, vtrack, slo, shi) ->
+      if !error = None then begin
+        if not (Rs.needs_global st net) then fail "net %d: checkpoint spine but none needed" net
+        else if not (Rs.vrun_free st ~col ~vtrack ~slo ~shi) then
+          fail "net %d: spine segments already taken" net
+        else begin
+          match Rs.global_route st net with
+          | Some _ -> fail "net %d: duplicate vroute record" net
+          | None ->
+            let segs = Arch.vsegments arch ~col ~vtrack in
+            if slo < 0 || shi >= Array.length segs || slo > shi then
+              fail "net %d: vroute segment range invalid" net
+            else begin
+              (* recompute the spine span from the claimed segments *)
+              let place = Rs.place st in
+              match P.net_channel_span place net with
+              | None -> fail "net %d: no pins" net
+              | Some (clo, chi) ->
+                let covered = I.make segs.(slo).I.lo segs.(shi).I.hi in
+                if not (I.covers covered (I.make clo chi)) then
+                  fail "net %d: checkpoint spine does not cover the channel span" net
+                else
+                  Rs.claim_global st j net
+                    { Rs.v_col = col; v_vtrack = vtrack; v_slo = slo; v_shi = shi;
+                      v_span = I.make clo chi }
+            end
+        end
+      end)
+    (List.rev p.p_vroutes);
+  (* Detailed routes: spans come from the freshly computed demands. *)
+  List.iter
+    (fun (net, channel, track, slo, shi) ->
+      if !error = None then begin
+        match List.assoc_opt channel (Rs.h_demands st net) with
+        | None -> fail "net %d: checkpoint hroute in undemanded channel %d" net channel
+        | Some span ->
+          let segs = Arch.hsegments arch ~channel ~track in
+          if slo < 0 || shi >= Array.length segs || slo > shi then
+            fail "net %d: hroute segment range invalid" net
+          else begin
+            let covered = I.make segs.(slo).I.lo segs.(shi).I.hi in
+            if not (I.covers covered span) then
+              fail "net %d: checkpoint hroute does not cover the span in channel %d" net channel
+            else if not (Rs.hrun_free st ~channel ~track ~slo ~shi) then
+              fail "net %d: hroute segments already taken" net
+            else
+              Rs.claim_detail st j net
+                { Rs.h_channel = channel; h_track = track; h_slo = slo; h_shi = shi;
+                  h_span = span }
+          end
+      end)
+    (List.rev p.p_hroutes);
+  match !error with
+  | Some e ->
+    Spr_util.Journal.rollback j;
+    Error e
+  | None ->
+    Spr_util.Journal.commit j;
+    Ok ()
+
+let of_string nl text =
+  match parse text with
+  | Error e -> Error e
+  | Ok p -> (
+    match p.p_arch, p.p_counts with
+    | None, _ -> Error "checkpoint has no arch record"
+    | _, None -> Error "checkpoint has no design record"
+    | Some arch, Some (cells, nets) ->
+      if cells <> Nl.n_cells nl || nets <> Nl.n_nets nl then
+        Error
+          (Printf.sprintf "design mismatch: checkpoint %d cells/%d nets, netlist %d/%d" cells
+             nets (Nl.n_cells nl) (Nl.n_nets nl))
+      else begin
+        let slots = Array.make (Nl.n_cells nl) { P.row = -1; col = -1 } in
+        let pinmaps = Array.make (Nl.n_cells nl) 0 in
+        let bad = ref None in
+        List.iter
+          (fun (c, row, col, pm) ->
+            if c < 0 || c >= Nl.n_cells nl then bad := Some (Printf.sprintf "cell id %d" c)
+            else begin
+              slots.(c) <- { P.row; col };
+              pinmaps.(c) <- pm
+            end)
+          p.p_cells;
+        match !bad with
+        | Some e -> Error ("bad cell record: " ^ e)
+        | None -> (
+          if Array.exists (fun s -> s.P.row < 0) slots then
+            Error "checkpoint is missing cell records"
+          else
+            match P.create_from arch nl ~slots ~pinmaps with
+            | Error e -> Error e
+            | Ok place -> (
+              let st = Rs.create place in
+              match restore_routes st p with
+              | Error e -> Error e
+              | Ok () -> (
+                match Rs.check st with
+                | Ok () -> Ok st
+                | Error e -> Error ("restored state fails validation: " ^ e))))
+      end)
+
+let load nl path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string nl text

@@ -1,0 +1,23 @@
+(** Save and restore a complete layout — fabric parameters, placement,
+    pinmaps, and every net's routing — as a line-oriented text format.
+
+    A real layout tool needs this for incremental (ECO) flows: finish a
+    long annealing run once, then reload the layout for inspection,
+    re-timing, or small edits (see {!Eco}).
+
+    Restoring replays the routing through the normal claiming paths, so a
+    loaded state satisfies every {!Spr_route.Route_state.check} invariant
+    or the load fails with a diagnostic. Fabrics with custom [vschemes]
+    are not representable (the format records the default scheme
+    parameters); such layouts round-trip only if built with defaults. *)
+
+val to_string : Spr_route.Route_state.t -> string
+
+val save : Spr_route.Route_state.t -> string -> unit
+
+val of_string :
+  Spr_netlist.Netlist.t -> string -> (Spr_route.Route_state.t, string) Stdlib.result
+(** The netlist must be the same design the checkpoint was written from
+    (checked by cell/net counts and per-net terminal counts). *)
+
+val load : Spr_netlist.Netlist.t -> string -> (Spr_route.Route_state.t, string) Stdlib.result

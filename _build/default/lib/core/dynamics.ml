@@ -1,0 +1,57 @@
+type sample = {
+  dyn_temp_index : int;
+  dyn_temperature : float;
+  pct_cells_perturbed : float;
+  pct_nets_globally_unrouted : float;
+  pct_nets_unrouted : float;
+  acceptance : float;
+  cost : float;
+  critical_delay : float;
+}
+
+type t = {
+  n_cells : int;
+  perturbed : bool array;
+  mutable n_perturbed : int;
+  mutable acc : sample list;  (* reversed *)
+}
+
+let create ~n_cells = { n_cells; perturbed = Array.make n_cells false; n_perturbed = 0; acc = [] }
+
+let note_accepted_cells t cells =
+  List.iter
+    (fun c ->
+      if not t.perturbed.(c) then begin
+        t.perturbed.(c) <- true;
+        t.n_perturbed <- t.n_perturbed + 1
+      end)
+    cells
+
+let flush t ~temp_index ~temperature ~g_frac ~d_frac ~acceptance ~cost ~critical_delay =
+  let sample =
+    {
+      dyn_temp_index = temp_index;
+      dyn_temperature = temperature;
+      pct_cells_perturbed = 100.0 *. float_of_int t.n_perturbed /. float_of_int t.n_cells;
+      pct_nets_globally_unrouted = 100.0 *. g_frac;
+      pct_nets_unrouted = 100.0 *. d_frac;
+      acceptance;
+      cost;
+      critical_delay;
+    }
+  in
+  t.acc <- sample :: t.acc;
+  Array.fill t.perturbed 0 (Array.length t.perturbed) false;
+  t.n_perturbed <- 0
+
+let samples t = List.rev t.acc
+
+let pp_series ppf samples =
+  Format.fprintf ppf "%4s  %12s  %8s  %8s  %8s  %6s  %10s@."
+    "temp" "T" "%cells" "%G-unrt" "%unrt" "acc" "delay(ns)";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%4d  %12.5g  %8.1f  %8.1f  %8.1f  %6.2f  %10.2f@."
+        s.dyn_temp_index s.dyn_temperature s.pct_cells_perturbed
+        s.pct_nets_globally_unrouted s.pct_nets_unrouted s.acceptance s.critical_delay)
+    samples

@@ -1,0 +1,44 @@
+(** Per-temperature layout dynamics, the instrumentation behind the
+    paper's Figure 6.
+
+    At each temperature we record the fraction of cells perturbed (moved
+    by an accepted move), the fraction of nets globally unrouted, and the
+    fraction of nets unrouted altogether; the difference of the last two
+    is the fraction globally routed but not detail routed. *)
+
+type sample = {
+  dyn_temp_index : int;
+  dyn_temperature : float;
+  pct_cells_perturbed : float;
+  pct_nets_globally_unrouted : float;
+  pct_nets_unrouted : float;
+  acceptance : float;
+  cost : float;
+  critical_delay : float;
+}
+
+type t
+
+val create : n_cells:int -> t
+
+val note_accepted_cells : t -> int list -> unit
+(** Mark cells perturbed by an accepted move. *)
+
+val flush :
+  t ->
+  temp_index:int ->
+  temperature:float ->
+  g_frac:float ->
+  d_frac:float ->
+  acceptance:float ->
+  cost:float ->
+  critical_delay:float ->
+  unit
+(** Close the current temperature: append a sample and reset the
+    perturbation marks. *)
+
+val samples : t -> sample list
+(** In temperature order. *)
+
+val pp_series : Format.formatter -> sample list -> unit
+(** The Figure 6 series as an aligned text table. *)

@@ -1,0 +1,112 @@
+module Rs = Spr_route.Route_state
+module Router = Spr_route.Router
+module P = Spr_layout.Placement
+module Sta = Spr_timing.Sta
+module J = Spr_util.Journal
+
+type t = {
+  rs : Rs.t;
+  sta : Sta.t;
+  place : P.t;
+  journal : J.t;
+  mutable has_pending : bool;
+}
+
+type delta = {
+  moved_cells : int list;
+  rerouted_nets : int list;
+  unrouted_before : int;
+  unrouted_after : int;
+  delay_before_ns : float;
+  delay_after_ns : float;
+}
+
+let create rs sta = { rs; sta; place = Rs.place rs; journal = J.create (); has_pending = false }
+
+let of_result (r : Tool.result) = create r.Tool.route r.Tool.sta
+
+let pending t = t.has_pending
+
+let critical_delay t = Sta.critical_delay t.sta
+
+let unrouted t = Rs.d_count t.rs
+
+let commit t =
+  J.commit t.journal;
+  t.has_pending <- false
+
+let rollback t =
+  J.rollback t.journal;
+  t.has_pending <- false
+
+(* Shared transaction body: apply the placement change (already done by
+   the caller into the journal), then cascade. *)
+let finish t cells =
+  let ripped = List.concat_map (fun cell -> Router.rip_up_cell t.rs t.journal cell) cells in
+  let uncapped = { Router.default_config with Router.retry_cap = max_int } in
+  let routed = Router.reroute ~config:uncapped t.rs t.journal in
+  let routed2 = Router.reroute ~config:uncapped t.rs t.journal in
+  let dirty = List.sort_uniq compare (ripped @ routed @ routed2) in
+  Sta.invalidate t.sta t.journal dirty;
+  dirty
+
+let guard_no_pending t =
+  if t.has_pending then Error "an edit is already pending; commit or rollback first" else Ok ()
+
+let run_edit t ~cells ~apply =
+  match guard_no_pending t with
+  | Error e -> Error e
+  | Ok () ->
+    let unrouted_before = Rs.d_count t.rs in
+    let delay_before_ns = Sta.critical_delay t.sta in
+    (match apply () with
+    | Error e -> Error e
+    | Ok () ->
+      t.has_pending <- true;
+      let rerouted_nets = finish t cells in
+      Ok
+        {
+          moved_cells = cells;
+          rerouted_nets;
+          unrouted_before;
+          unrouted_after = Rs.d_count t.rs;
+          delay_before_ns;
+          delay_after_ns = Sta.critical_delay t.sta;
+        })
+
+let move_cell t ~cell ~dest =
+  let src = P.slot_of t.place cell in
+  if src = dest then Error "cell is already there"
+  else if not (P.swap_legal t.place src dest) then Error "illegal destination for this cell"
+  else begin
+    let occupant = P.cell_at t.place dest in
+    let cells = cell :: (match occupant with Some c -> [ c ] | None -> []) in
+    run_edit t ~cells ~apply:(fun () ->
+        P.swap_slots t.place src dest;
+        J.record t.journal (fun () -> P.swap_slots t.place src dest);
+        Ok ())
+  end
+
+let swap_cells t a b =
+  if a = b then Error "cannot swap a cell with itself"
+  else begin
+    let sa = P.slot_of t.place a and sb = P.slot_of t.place b in
+    if not (P.swap_legal t.place sa sb) then Error "swap would place a pad off the perimeter"
+    else
+      run_edit t ~cells:[ a; b ] ~apply:(fun () ->
+          P.swap_slots t.place sa sb;
+          J.record t.journal (fun () -> P.swap_slots t.place sa sb);
+          Ok ())
+  end
+
+let set_pinmap t ~cell ~index =
+  let size = P.palette_size t.place cell in
+  if index < 0 || index >= size then Error "pinmap index out of range"
+  else if index = P.pinmap_index t.place cell then Error "pinmap already selected"
+  else begin
+    let old_idx = P.pinmap_index t.place cell in
+    run_edit t ~cells:[ cell ] ~apply:(fun () ->
+        P.set_pinmap t.place ~cell ~index;
+        J.record t.journal (fun () -> P.set_pinmap t.place ~cell ~index:old_idx);
+        Ok ())
+  end

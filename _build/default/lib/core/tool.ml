@@ -1,0 +1,231 @@
+let log_src = Logs.Src.create "spr.tool" ~doc:"Simultaneous place-and-route progress"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module P = Spr_layout.Placement
+module Rs = Spr_route.Route_state
+module Router = Spr_route.Router
+module Sta = Spr_timing.Sta
+module J = Spr_util.Journal
+
+type config = {
+  seed : int;
+  pinmap_move_prob : float;
+  enable_pinmap_moves : bool;
+  router : Router.config;
+  timing_driven_routing : bool;
+  delay_model : Spr_timing.Delay_model.t;
+  g_per_net : float;
+  d_per_net : float;
+  t_emphasis : float;
+  anneal : Spr_anneal.Engine.config option;
+  max_swap_tries : int;
+  validate : bool;
+}
+
+let default_config =
+  {
+    seed = 1;
+    pinmap_move_prob = 0.15;
+    enable_pinmap_moves = true;
+    router = Router.default_config;
+    timing_driven_routing = false;
+    delay_model = Spr_timing.Delay_model.default;
+    g_per_net = 0.04;
+    d_per_net = 0.02;
+    t_emphasis = 1.0;
+    anneal = None;
+    max_swap_tries = 8;
+    validate = false;
+  }
+
+type result = {
+  place : P.t;
+  route : Rs.t;
+  sta : Sta.t;
+  critical_delay : float;
+  g : int;
+  d : int;
+  fully_routed : bool;
+  anneal_report : Spr_anneal.Engine.report;
+  dynamics : Dynamics.sample list;
+  cpu_seconds : float;
+}
+
+(* One move = one transaction. [propose] applies everything (placement
+   delta, rip-ups, reroutes, timing propagation) into the shared journal;
+   accept commits it, reject rolls the whole cascade back. *)
+type session = {
+  cfg : config;
+  router : Router.config;  (* cfg.router, plus the criticality hook *)
+  place : P.t;
+  rs : Rs.t;
+  sta : Sta.t;
+  weights : Spr_anneal.Weights.t;
+  journal : J.t;
+  dyn : Dynamics.t;
+  mutable last_cells : int list;
+}
+
+let session_cost s =
+  Spr_anneal.Weights.cost s.weights ~g:(Rs.g_count s.rs) ~d:(Rs.d_count s.rs)
+    ~delay:(Sta.critical_delay s.sta)
+
+let finish_move s ripped =
+  let routed = Router.reroute ~config:s.router s.rs s.journal in
+  let dirty = List.sort_uniq compare (List.rev_append ripped routed) in
+  Sta.invalidate s.sta s.journal dirty;
+  Spr_anneal.Weights.observe s.weights ~delay:(Sta.critical_delay s.sta)
+
+let propose_pinmap s rng =
+  let nl = P.netlist s.place in
+  let n = Spr_netlist.Netlist.n_cells nl in
+  let cell = Spr_util.Rng.int rng n in
+  let size = P.palette_size s.place cell in
+  if size < 2 then false
+  else begin
+    let old_idx = P.pinmap_index s.place cell in
+    let shift = 1 + Spr_util.Rng.int rng (size - 1) in
+    let idx = (old_idx + shift) mod size in
+    P.set_pinmap s.place ~cell ~index:idx;
+    J.record s.journal (fun () -> P.set_pinmap s.place ~cell ~index:old_idx);
+    let ripped = Router.rip_up_cell s.rs s.journal cell in
+    finish_move s ripped;
+    s.last_cells <- [ cell ];
+    true
+  end
+
+let propose_swap s rng =
+  let rec find tries =
+    if tries = 0 then None
+    else begin
+      let a = P.random_occupied_slot s.place rng in
+      let b = P.random_slot s.place rng in
+      if a <> b && P.swap_legal s.place a b then Some (a, b) else find (tries - 1)
+    end
+  in
+  match find s.cfg.max_swap_tries with
+  | None -> false
+  | Some (a, b) ->
+    let occupants = List.filter_map (fun slot -> P.cell_at s.place slot) [ a; b ] in
+    P.swap_slots s.place a b;
+    J.record s.journal (fun () -> P.swap_slots s.place a b);
+    let ripped =
+      List.concat_map (fun cell -> Router.rip_up_cell s.rs s.journal cell) occupants
+    in
+    finish_move s (List.sort_uniq compare ripped);
+    s.last_cells <- occupants;
+    true
+
+let propose s rng =
+  assert (J.depth s.journal = 0);
+  s.last_cells <- [];
+  if s.cfg.enable_pinmap_moves && Spr_util.Rng.float rng 1.0 < s.cfg.pinmap_move_prob then
+    propose_pinmap s rng
+  else propose_swap s rng
+
+let validate_now s =
+  (match P.check s.place with
+  | Ok () -> ()
+  | Error e -> failwith ("Tool: placement invariant broken: " ^ e));
+  match Rs.check s.rs with
+  | Ok () -> ()
+  | Error e -> failwith ("Tool: routing invariant broken: " ^ e)
+
+let run ?(config = default_config) arch nl =
+  match Spr_netlist.Levelize.run nl with
+  | Error e -> Error e
+  | Ok _ -> (
+    let rng = Spr_util.Rng.create config.seed in
+    match P.create arch nl ~rng with
+    | Error e -> Error e
+    | Ok place ->
+      let t_start = Sys.time () in
+      let rs = Rs.create place in
+      (* Start-up transient: give every net a first chance at a (poor)
+         route in the random placement. *)
+      Router.route_all ~config:config.router ~passes:2 rs;
+      let sta = Sta.create config.delay_model rs in
+      let initial_delay = Float.max 1e-6 (Sta.critical_delay sta) in
+      let weights =
+        Spr_anneal.Weights.create ~g_per_net:config.g_per_net ~d_per_net:config.d_per_net
+          ~t_emphasis:config.t_emphasis ~initial_delay ()
+      in
+      let router =
+        if not config.timing_driven_routing then config.router
+        else begin
+          let crit net =
+            Sta.arrival_out sta (Spr_netlist.Netlist.net nl net).Spr_netlist.Netlist.driver
+          in
+          { config.router with Router.criticality = Some crit }
+        end
+      in
+      let s =
+        {
+          cfg = config;
+          router;
+          place;
+          rs;
+          sta;
+          weights;
+          journal = J.create ();
+          dyn = Dynamics.create ~n_cells:(Spr_netlist.Netlist.n_cells nl);
+          last_cells = [];
+        }
+      in
+      let n_routable = max 1 (Rs.n_routable rs) in
+      let on_temperature (ts : Spr_anneal.Engine.temp_stats) =
+        Spr_anneal.Weights.adapt s.weights;
+        if config.validate then validate_now s;
+        Log.debug (fun m ->
+            m "temp %d T=%.4g acc=%d/%d G=%d D=%d delay=%.2fns"
+              ts.Spr_anneal.Engine.temp_index ts.Spr_anneal.Engine.temperature
+              ts.Spr_anneal.Engine.accepted ts.Spr_anneal.Engine.attempted (Rs.g_count rs)
+              (Rs.d_count rs) (Sta.critical_delay sta));
+        let acceptance =
+          if ts.Spr_anneal.Engine.attempted = 0 then 0.0
+          else
+            float_of_int ts.Spr_anneal.Engine.accepted
+            /. float_of_int ts.Spr_anneal.Engine.attempted
+        in
+        Dynamics.flush s.dyn ~temp_index:ts.Spr_anneal.Engine.temp_index
+          ~temperature:ts.Spr_anneal.Engine.temperature
+          ~g_frac:(float_of_int (Rs.g_count rs) /. float_of_int n_routable)
+          ~d_frac:(float_of_int (Rs.d_count rs) /. float_of_int n_routable)
+          ~acceptance ~cost:(session_cost s)
+          ~critical_delay:(Sta.critical_delay sta)
+      in
+      let anneal_report =
+        Spr_anneal.Engine.run ?config:config.anneal ~on_temperature ~rng
+          ~cost:(fun () -> session_cost s)
+          ~propose:(fun rng -> propose s rng)
+          ~accept:(fun () ->
+            Dynamics.note_accepted_cells s.dyn s.last_cells;
+            J.commit s.journal)
+          ~reject:(fun () -> J.rollback s.journal)
+          ~n:(Spr_netlist.Netlist.n_cells nl)
+          ()
+      in
+      (* Final cleanup pass: any still-queued nets get a last chance with
+         unbounded retries, then refresh the timing picture. *)
+      Router.route_all ~config:config.router ~passes:3 rs;
+      Sta.full_update sta;
+      if config.validate then validate_now s;
+      Ok
+        {
+          place;
+          route = rs;
+          sta;
+          critical_delay = Sta.critical_delay sta;
+          g = Rs.g_count rs;
+          d = Rs.d_count rs;
+          fully_routed = Rs.fully_routed rs;
+          anneal_report;
+          dynamics = Dynamics.samples s.dyn;
+          cpu_seconds = Sys.time () -. t_start;
+        })
+
+let run_exn ?config arch nl =
+  match run ?config arch nl with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Tool.run: " ^ e)

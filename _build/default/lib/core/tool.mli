@@ -1,0 +1,60 @@
+(** Simultaneous placement, global routing and detailed routing
+    (paper §3) — the system's primary entry point.
+
+    One annealing process manipulates all design variables concurrently:
+    the move set is cell swaps/translations plus pinmap reassignments;
+    every placement move rips up the attached nets and triggers an
+    incremental global + detailed rerouting cascade and an incremental
+    critical-path update; the cost is
+
+    {v Cost = Wg*G + Wd*D + Wt*T        (paper eq. 1) v}
+
+    with no wirelength term — wirelength minimization happens
+    constructively inside the routers. Intermediate layouts are
+    deliberately incomplete: unroutable nets simply stay queued and
+    penalized until the placement becomes compliant. *)
+
+type config = {
+  seed : int;
+  pinmap_move_prob : float;
+      (** Fraction of moves that reassign a pinmap instead of swapping
+          cells (paper §3.2 move set). *)
+  enable_pinmap_moves : bool;  (** Off for the A2 ablation. *)
+  router : Spr_route.Router.config;
+  timing_driven_routing : bool;
+      (** Order the rip-up/retry queues by net criticality (the driver's
+          current arrival time) ahead of estimated length, as the
+          routers the paper builds on do for critical nets. Off by
+          default. *)
+  delay_model : Spr_timing.Delay_model.t;
+  g_per_net : float;  (** See {!Spr_anneal.Weights}. *)
+  d_per_net : float;
+  t_emphasis : float;
+  anneal : Spr_anneal.Engine.config option;  (** [None]: sized to the netlist. *)
+  max_swap_tries : int;  (** Attempts to find a legal swap per move. *)
+  validate : bool;  (** Run full invariant checks every temperature. *)
+}
+
+val default_config : config
+(** [seed = 1], [pinmap_move_prob = 0.15], pinmap moves on, default
+    router/delay/weight parameters, auto-sized annealing, no
+    validation. *)
+
+type result = {
+  place : Spr_layout.Placement.t;
+  route : Spr_route.Route_state.t;
+  sta : Spr_timing.Sta.t;
+  critical_delay : float;  (** ns, from the final full STA. *)
+  g : int;
+  d : int;
+  fully_routed : bool;
+  anneal_report : Spr_anneal.Engine.report;
+  dynamics : Dynamics.sample list;
+  cpu_seconds : float;
+}
+
+val run : ?config:config -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> (result, string) Stdlib.result
+(** Errors when the netlist does not fit the fabric or has combinational
+    cycles. *)
+
+val run_exn : ?config:config -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> result

@@ -1,0 +1,1 @@
+lib/experiments/big_design.ml: Printf Profiles Spr_anneal Spr_core Spr_netlist Spr_route

@@ -1,0 +1,1 @@
+lib/experiments/big_design.mli: Profiles

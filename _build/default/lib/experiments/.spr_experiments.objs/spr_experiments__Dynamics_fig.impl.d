@@ -1,0 +1,1 @@
+lib/experiments/dynamics_fig.ml: Buffer Format List Profiles Spr_core Spr_netlist

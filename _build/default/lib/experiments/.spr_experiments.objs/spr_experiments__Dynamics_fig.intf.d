@@ -1,0 +1,1 @@
+lib/experiments/dynamics_fig.mli: Profiles Spr_core

@@ -1,0 +1,1 @@
+lib/experiments/ordering_ablation.mli: Profiles

@@ -1,0 +1,1 @@
+lib/experiments/pinmap_ablation.ml: Printf Profiles Spr_core Spr_netlist

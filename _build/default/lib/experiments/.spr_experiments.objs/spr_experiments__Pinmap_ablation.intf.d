@@ -1,0 +1,1 @@
+lib/experiments/pinmap_ablation.mli: Profiles

@@ -1,0 +1,1 @@
+lib/experiments/profiles.ml: Spr_anneal Spr_arch Spr_core Spr_seq

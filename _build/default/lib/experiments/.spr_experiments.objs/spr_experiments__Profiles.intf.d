@@ -1,0 +1,1 @@
+lib/experiments/profiles.mli: Spr_anneal Spr_arch Spr_core Spr_netlist Spr_seq

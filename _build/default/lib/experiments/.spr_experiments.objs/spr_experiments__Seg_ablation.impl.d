@@ -1,0 +1,1 @@
+lib/experiments/seg_ablation.ml: List Printf Profiles Spr_arch Spr_core Spr_netlist Spr_seq Spr_util

@@ -1,0 +1,1 @@
+lib/experiments/seg_ablation.mli: Profiles Spr_arch

@@ -1,0 +1,1 @@
+lib/experiments/timing_table.mli: Profiles Spr_netlist

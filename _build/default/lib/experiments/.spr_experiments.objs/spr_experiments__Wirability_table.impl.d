@@ -1,0 +1,1 @@
+lib/experiments/wirability_table.ml: List Printf Profiles Spr_core Spr_netlist Spr_seq Spr_util

@@ -1,0 +1,1 @@
+lib/experiments/wirability_table.mli: Profiles Spr_netlist

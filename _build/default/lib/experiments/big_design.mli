@@ -1,0 +1,19 @@
+(** Experiment F7 — paper Figure 7: a larger 529-cell design completed
+    with 100% routing by the simultaneous tool (the paper reports roughly
+    8 hours on an IBM RS6000; the reproduction takes a couple of
+    minutes). *)
+
+type t = {
+  n_cells : int;
+  tracks : int;
+  fully_routed : bool;
+  routed_pct : float;
+  critical_delay_ns : float;
+  cpu_seconds : float;
+  n_moves : int;
+}
+
+val run : ?effort:Profiles.effort -> ?seed:int -> ?tracks:int -> unit -> t
+(** Defaults: [Thorough] effort, 38 tracks. *)
+
+val render : t -> string

@@ -1,0 +1,19 @@
+(** Ablation A3 — rip-up/retry queue ordering.
+
+    The paper orders U{_G} and U{_D,R} by estimated net length; the
+    routers it builds on ([8], [11]) also prioritize critical nets. This
+    ablation runs the simultaneous tool with pure length ordering and
+    with criticality-first ordering, same seed and fabric. *)
+
+type t = {
+  circuit : string;
+  length_ordered_delay_ns : float;
+  length_ordered_unrouted : int;
+  criticality_ordered_delay_ns : float;
+  criticality_ordered_unrouted : int;
+}
+
+val run : ?effort:Profiles.effort -> ?seed:int -> ?circuit:string -> ?tracks:int -> unit -> t
+(** Defaults: ["cse"], 28 tracks. *)
+
+val render : t -> string

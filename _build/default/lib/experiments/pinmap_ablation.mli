@@ -1,0 +1,18 @@
+(** Ablation A2 — pinmap reassignment moves (paper §3.2 includes them in
+    the move set; this quantifies what they buy).
+
+    Runs the simultaneous tool on one circuit with and without pinmap
+    moves, same seed and fabric, and compares routability and delay. *)
+
+type t = {
+  circuit : string;
+  with_pinmaps_delay_ns : float;
+  with_pinmaps_unrouted : int;
+  without_pinmaps_delay_ns : float;
+  without_pinmaps_unrouted : int;
+}
+
+val run : ?effort:Profiles.effort -> ?seed:int -> ?circuit:string -> ?tracks:int -> unit -> t
+(** Defaults: ["s1"], 28 tracks. *)
+
+val render : t -> string

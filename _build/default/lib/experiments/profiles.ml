@@ -1,0 +1,40 @@
+type effort = Quick | Standard | Thorough
+
+let effort_of_string = function
+  | "quick" -> Some Quick
+  | "standard" -> Some Standard
+  | "thorough" -> Some Thorough
+  | _ -> None
+
+let anneal effort ~n =
+  let base = Spr_anneal.Engine.default_config ~n in
+  match effort with
+  | Quick ->
+    {
+      base with
+      Spr_anneal.Engine.moves_per_temp = max 300 (5 * n);
+      max_temperatures = 90;
+    }
+  | Standard -> base
+  | Thorough ->
+    {
+      base with
+      Spr_anneal.Engine.moves_per_temp = max 400 (6 * n);
+      stop_acceptance = 0.01;
+      stop_cost_tolerance = 0.0005;
+      stop_patience = 4;
+      max_temperatures = 130;
+    }
+
+let tool_config ?(seed = 1) effort ~n =
+  { Spr_core.Tool.default_config with Spr_core.Tool.seed; anneal = Some (anneal effort ~n) }
+
+let flow_config ?(seed = 1) effort ~n =
+  {
+    Spr_seq.Flow.default_config with
+    Spr_seq.Flow.seed;
+    place =
+      { Spr_seq.Seq_place.default_config with Spr_seq.Seq_place.anneal = Some (anneal effort ~n) };
+  }
+
+let arch_for ?(tracks = 28) ?hscheme nl = Spr_arch.Arch.size_for ~tracks ?hscheme nl

@@ -1,0 +1,19 @@
+(** Shared effort profiles and tool configurations for the experiment
+    harness (Tables 1-2, Figures 6-7, ablations). *)
+
+type effort =
+  | Quick  (** Width probes and ablations: fast, slightly lower quality. *)
+  | Standard  (** Headline comparisons. *)
+  | Thorough  (** The 529-cell Figure 7 run. *)
+
+val effort_of_string : string -> effort option
+
+val anneal : effort -> n:int -> Spr_anneal.Engine.config
+
+val tool_config : ?seed:int -> effort -> n:int -> Spr_core.Tool.config
+
+val flow_config : ?seed:int -> effort -> n:int -> Spr_seq.Flow.config
+
+val arch_for :
+  ?tracks:int -> ?hscheme:Spr_arch.Segmentation.scheme -> Spr_netlist.Netlist.t -> Spr_arch.Arch.t
+(** The standard evaluation fabric for a circuit (default 28 tracks). *)

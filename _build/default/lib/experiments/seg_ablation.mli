@@ -1,0 +1,24 @@
+(** Ablation A1 — channel segmentation (a design axis the paper's §1
+    motivates: short segments aid wirability, long segments aid delay).
+
+    Runs both flows on one circuit across segmentation schemes at a fixed
+    channel width and reports routability and critical delay, exposing
+    the wirability/delay trade-off the paper describes. *)
+
+type row = {
+  scheme : Spr_arch.Segmentation.scheme;
+  avg_segment_len : float;
+  sim_routed : bool;
+  sim_unrouted : int;
+  sim_delay_ns : float;
+  seq_routed : bool;
+  seq_unrouted : int;
+  seq_delay_ns : float;
+}
+
+val run :
+  ?effort:Profiles.effort -> ?seed:int -> ?circuit:string -> ?tracks:int -> unit -> row list
+(** Defaults: ["cse"], 24 tracks, schemes uniform:3, uniform:6,
+    actel-like, geometric, full. *)
+
+val render : row list -> string

@@ -1,0 +1,31 @@
+(** Experiment T1 — paper Table 1: worst-case timing improvement of
+    simultaneous over sequential place-and-route on the five benchmark
+    circuits.
+
+    For each circuit the harness picks the narrowest evaluation fabric
+    (starting at 28 tracks, widening by 4) on which the {e sequential}
+    flow achieves 100% wirability — Table 1 compares fully routed
+    layouts — then runs both flows and reports the percentage
+    improvement in critical-path delay. *)
+
+type row = {
+  circuit : string;
+  n_cells : int;
+  tracks_used : int;
+  seq_delay_ns : float;
+  sim_delay_ns : float;
+  improvement_pct : float;
+  seq_routed : bool;
+  sim_routed : bool;
+  seq_cpu_s : float;
+  sim_cpu_s : float;
+}
+
+val run_circuit : ?effort:Profiles.effort -> ?seed:int -> Spr_netlist.Circuits.spec -> row
+
+val run : ?effort:Profiles.effort -> ?seed:int -> unit -> row list
+(** All five circuits of the paper's Table 1. *)
+
+val render : row list -> string
+(** Rows in the paper's format (design, cells, % improvement) plus the
+    measured context columns. *)

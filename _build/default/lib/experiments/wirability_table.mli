@@ -1,0 +1,23 @@
+(** Experiment T2 — paper Table 2: minimum tracks per channel for 100%
+    wirability under each flow.
+
+    Following the paper's procedure, the number of tracks per channel is
+    reduced until each tool fails to achieve 100% wirability; the minimum
+    feasible width is reported. Annealing is stochastic, so a failing
+    width is retried once with a different seed before being declared
+    infeasible. *)
+
+type row = {
+  circuit : string;
+  n_cells : int;
+  seq_min_tracks : int;
+  sim_min_tracks : int;
+  reduction_pct : float;
+}
+
+val run_circuit :
+  ?effort:Profiles.effort -> ?seed:int -> ?start_tracks:int -> Spr_netlist.Circuits.spec -> row
+
+val run : ?effort:Profiles.effort -> ?seed:int -> unit -> row list
+
+val render : row list -> string

@@ -1,0 +1,1 @@
+lib/layout/placement.ml: Array List Printf Spr_arch Spr_netlist Spr_util

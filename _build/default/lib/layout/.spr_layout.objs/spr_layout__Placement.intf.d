@@ -1,0 +1,1 @@
+lib/layout/placement.mli: Spr_arch Spr_netlist Spr_util

@@ -1,0 +1,239 @@
+type slot = { row : int; col : int }
+
+type t = {
+  arch : Spr_arch.Arch.t;
+  nl : Spr_netlist.Netlist.t;
+  slot_of_cell : int array;  (* cell -> row * cols + col *)
+  cell_at_slot : int array;  (* encoded slot -> cell id or -1 *)
+  pinmap_idx : int array;  (* cell -> palette index *)
+  palettes : Spr_netlist.Pinmap.t array array;  (* cell -> palette *)
+}
+
+let encode arch { row; col } = (row * arch.Spr_arch.Arch.cols) + col
+
+let decode arch e = { row = e / arch.Spr_arch.Arch.cols; col = e mod arch.Spr_arch.Arch.cols }
+
+let arch t = t.arch
+
+let netlist t = t.nl
+
+let legal_kind_at arch kind s =
+  if Spr_netlist.Cell_kind.is_io kind then
+    Spr_arch.Arch.is_perimeter arch ~row:s.row ~col:s.col
+  else true
+
+let create arch nl ~rng =
+  match Spr_arch.Arch.check_fits arch nl with
+  | Error e -> Error e
+  | Ok () ->
+    let n = Spr_netlist.Netlist.n_cells nl in
+    let n_slots = Spr_arch.Arch.n_slots arch in
+    let slot_of_cell = Array.make n (-1) in
+    let cell_at_slot = Array.make n_slots (-1) in
+    (* Perimeter and interior slot pools, both shuffled. *)
+    let perimeter = ref [] and interior = ref [] in
+    for row = 0 to arch.Spr_arch.Arch.rows - 1 do
+      for col = 0 to arch.Spr_arch.Arch.cols - 1 do
+        let e = encode arch { row; col } in
+        if Spr_arch.Arch.is_perimeter arch ~row ~col then perimeter := e :: !perimeter
+        else interior := e :: !interior
+      done
+    done;
+    let perimeter = Array.of_list !perimeter in
+    let interior = Array.of_list !interior in
+    Spr_util.Rng.shuffle_in_place rng perimeter;
+    Spr_util.Rng.shuffle_in_place rng interior;
+    let peri_next = ref 0 and inter_next = ref 0 in
+    let take_perimeter () =
+      let e = perimeter.(!peri_next) in
+      incr peri_next;
+      e
+    in
+    let take_any () =
+      (* Non-pad cells prefer interior slots, spilling onto remaining
+         perimeter slots when the interior is full. *)
+      if !inter_next < Array.length interior then begin
+        let e = interior.(!inter_next) in
+        incr inter_next;
+        e
+      end
+      else take_perimeter ()
+    in
+    let place c e =
+      slot_of_cell.(c) <- e;
+      cell_at_slot.(e) <- c
+    in
+    Array.iter
+      (fun cell ->
+        if Spr_netlist.Cell_kind.is_io cell.Spr_netlist.Netlist.kind then
+          place cell.Spr_netlist.Netlist.id (take_perimeter ()))
+      (Spr_netlist.Netlist.cells nl);
+    Array.iter
+      (fun cell ->
+        if not (Spr_netlist.Cell_kind.is_io cell.Spr_netlist.Netlist.kind) then
+          place cell.Spr_netlist.Netlist.id (take_any ()))
+      (Spr_netlist.Netlist.cells nl);
+    let palettes =
+      Array.init n (fun c ->
+          Spr_netlist.Pinmap.palette ~n_pins:(Spr_netlist.Netlist.n_pins nl c))
+    in
+    Ok
+      {
+        arch;
+        nl;
+        slot_of_cell;
+        cell_at_slot;
+        pinmap_idx = Array.make n 0;
+        palettes;
+      }
+
+let create_exn arch nl ~rng =
+  match create arch nl ~rng with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Placement.create: " ^ e)
+
+let create_from arch nl ~slots ~pinmaps =
+  let n = Spr_netlist.Netlist.n_cells nl in
+  if Array.length slots <> n || Array.length pinmaps <> n then
+    Error "create_from: slots/pinmaps must have one entry per cell"
+  else begin
+    let n_slots = Spr_arch.Arch.n_slots arch in
+    let slot_of_cell = Array.make n (-1) in
+    let cell_at_slot = Array.make n_slots (-1) in
+    let palettes =
+      Array.init n (fun c ->
+          Spr_netlist.Pinmap.palette ~n_pins:(Spr_netlist.Netlist.n_pins nl c))
+    in
+    let error = ref None in
+    let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+    Array.iteri
+      (fun c s ->
+        let kind = (Spr_netlist.Netlist.cell nl c).Spr_netlist.Netlist.kind in
+        if s.row < 0 || s.row >= arch.Spr_arch.Arch.rows || s.col < 0
+           || s.col >= arch.Spr_arch.Arch.cols
+        then fail "cell %d: slot (%d,%d) out of range" c s.row s.col
+        else if not (legal_kind_at arch kind s) then
+          fail "cell %d: pad placed off the perimeter at (%d,%d)" c s.row s.col
+        else begin
+          let e = encode arch s in
+          if cell_at_slot.(e) <> -1 then fail "slot (%d,%d) assigned twice" s.row s.col
+          else begin
+            cell_at_slot.(e) <- c;
+            slot_of_cell.(c) <- e
+          end
+        end)
+      slots;
+    Array.iteri
+      (fun c idx ->
+        if idx < 0 || idx >= Array.length palettes.(c) then
+          fail "cell %d: pinmap index %d out of range" c idx)
+      pinmaps;
+    match !error with
+    | Some e -> Error e
+    | None ->
+      Ok { arch; nl; slot_of_cell; cell_at_slot; pinmap_idx = Array.copy pinmaps; palettes }
+  end
+
+let slot_of t c = decode t.arch t.slot_of_cell.(c)
+
+let cell_at t s =
+  let c = t.cell_at_slot.(encode t.arch s) in
+  if c = -1 then None else Some c
+
+let legal_at t ~cell s = legal_kind_at t.arch (Spr_netlist.Netlist.cell t.nl cell).Spr_netlist.Netlist.kind s
+
+let swap_legal t a b =
+  let ok_at occupant target =
+    match occupant with
+    | None -> true
+    | Some c -> legal_at t ~cell:c target
+  in
+  ok_at (cell_at t a) b && ok_at (cell_at t b) a
+
+let swap_slots t a b =
+  let ea = encode t.arch a and eb = encode t.arch b in
+  let ca = t.cell_at_slot.(ea) and cb = t.cell_at_slot.(eb) in
+  t.cell_at_slot.(ea) <- cb;
+  t.cell_at_slot.(eb) <- ca;
+  if ca <> -1 then t.slot_of_cell.(ca) <- eb;
+  if cb <> -1 then t.slot_of_cell.(cb) <- ea
+
+let pinmap_index t c = t.pinmap_idx.(c)
+
+let palette_size t c = Array.length t.palettes.(c)
+
+let set_pinmap t ~cell ~index =
+  assert (index >= 0 && index < Array.length t.palettes.(cell));
+  t.pinmap_idx.(cell) <- index
+
+let pin_side t ~cell ~pin = t.palettes.(cell).(t.pinmap_idx.(cell)).(pin)
+
+(* Channel k runs below row k, channel k+1 above it. *)
+let pin_channel t ~cell ~pin =
+  let s = slot_of t cell in
+  match pin_side t ~cell ~pin with
+  | Spr_netlist.Pinmap.Bottom -> s.row
+  | Spr_netlist.Pinmap.Top -> s.row + 1
+
+let pin_col t ~cell ~pin =
+  ignore pin;
+  (slot_of t cell).col
+
+let net_pin_positions t net_id =
+  let net = Spr_netlist.Netlist.net t.nl net_id in
+  let driver = net.Spr_netlist.Netlist.driver in
+  let out_pin = (Spr_netlist.Netlist.cell t.nl driver).Spr_netlist.Netlist.n_inputs in
+  let driver_pos =
+    (pin_channel t ~cell:driver ~pin:out_pin, pin_col t ~cell:driver ~pin:out_pin)
+  in
+  driver_pos
+  :: Array.to_list
+       (Array.map
+          (fun (c, pin) -> (pin_channel t ~cell:c ~pin, pin_col t ~cell:c ~pin))
+          net.Spr_netlist.Netlist.sinks)
+
+let net_channel_span t net_id =
+  match net_pin_positions t net_id with
+  | [] -> None
+  | (ch, _) :: rest ->
+    Some (List.fold_left (fun (lo, hi) (c, _) -> (min lo c, max hi c)) (ch, ch) rest)
+
+let net_col_span t net_id =
+  match net_pin_positions t net_id with
+  | [] -> None
+  | (_, col) :: rest ->
+    Some (List.fold_left (fun (lo, hi) (_, c) -> (min lo c, max hi c)) (col, col) rest)
+
+let half_perimeter t net_id =
+  match net_channel_span t net_id, net_col_span t net_id with
+  | Some (clo, chi), Some (xlo, xhi) -> chi - clo + (xhi - xlo)
+  | _, _ -> 0
+
+let random_slot t rng =
+  decode t.arch (Spr_util.Rng.int rng (Spr_arch.Arch.n_slots t.arch))
+
+let random_occupied_slot t rng =
+  let c = Spr_util.Rng.int rng (Array.length t.slot_of_cell) in
+  decode t.arch t.slot_of_cell.(c)
+
+let check t =
+  let n_slots = Spr_arch.Arch.n_slots t.arch in
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  Array.iteri
+    (fun c e ->
+      if e < 0 || e >= n_slots then fail "cell %d on invalid slot %d" c e
+      else if t.cell_at_slot.(e) <> c then fail "slot map inconsistent for cell %d" c
+      else begin
+        let s = decode t.arch e in
+        if not (legal_at t ~cell:c s) then
+          fail "cell %d (%s) illegally placed at (%d,%d)" c
+            (Spr_netlist.Cell_kind.to_string
+               (Spr_netlist.Netlist.cell t.nl c).Spr_netlist.Netlist.kind)
+            s.row s.col
+      end)
+    t.slot_of_cell;
+  Array.iteri
+    (fun e c -> if c <> -1 && t.slot_of_cell.(c) <> e then fail "slot %d points to wrong cell" e)
+    t.cell_at_slot;
+  match !error with Some e -> Error e | None -> Ok ()

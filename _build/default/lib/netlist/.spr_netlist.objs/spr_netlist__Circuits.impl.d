@@ -1,0 +1,1 @@
+lib/netlist/circuits.ml: Generator List

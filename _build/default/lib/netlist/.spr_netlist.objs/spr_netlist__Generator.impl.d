@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Cell_kind Float List Netlist Printf Spr_util

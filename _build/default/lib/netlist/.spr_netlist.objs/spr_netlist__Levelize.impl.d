@@ -1,0 +1,1 @@
+lib/netlist/levelize.ml: Array Cell_kind List Netlist Printf Queue String

@@ -1,0 +1,1 @@
+lib/netlist/netlist_stats.ml: Array Format Hashtbl Levelize List Netlist Option

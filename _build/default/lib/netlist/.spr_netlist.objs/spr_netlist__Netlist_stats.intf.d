@@ -1,0 +1,1 @@
+lib/netlist/netlist_stats.mli: Format Netlist

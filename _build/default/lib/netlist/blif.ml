@@ -1,0 +1,186 @@
+let is_cover_line line =
+  line <> ""
+  && String.for_all (fun ch -> ch = '0' || ch = '1' || ch = '-' || ch = ' ' || ch = '\t') line
+
+(* Logical lines: strip comments, join continuations, drop blanks. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let rec join acc pending = function
+    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+    | line :: rest ->
+      let line = strip_comment line in
+      let line = String.trim line in
+      if line = "" then join acc pending rest
+      else if String.length line > 0 && line.[String.length line - 1] = '\\' then
+        join acc (pending ^ String.sub line 0 (String.length line - 1) ^ " ") rest
+      else join ((pending ^ line) :: acc) "" rest
+  in
+  join [] "" raw
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+type statement =
+  | Model of string
+  | Inputs of string list
+  | Outputs of string list
+  | Names of string list  (* fanins @ [output] *)
+  | Latch of string * string  (* input, output *)
+  | End
+
+let parse_statements text =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match tokens line with
+      | [] -> loop acc rest
+      | ".model" :: name :: _ -> loop (Model name :: acc) rest
+      | [ ".model" ] -> loop (Model "top" :: acc) rest
+      | ".inputs" :: names -> loop (Inputs names :: acc) rest
+      | ".outputs" :: names -> loop (Outputs names :: acc) rest
+      | ".names" :: signals ->
+        if signals = [] then Error "empty .names"
+        else loop (Names signals :: acc) rest
+      | ".latch" :: input :: output :: _ -> loop (Latch (input, output) :: acc) rest
+      | [ ".latch" ] | [ ".latch"; _ ] -> Error "malformed .latch"
+      | ".end" :: _ -> loop (End :: acc) rest
+      | first :: _ when String.length first > 0 && first.[0] = '.' ->
+        Error (Printf.sprintf "unsupported BLIF construct: %s" first)
+      | _ when is_cover_line line -> loop acc rest  (* .names cover row *)
+      | _ -> Error (Printf.sprintf "unparseable line: %s" line))
+  in
+  loop [] (logical_lines text)
+
+let parse_string ?model_name:_ text =
+  match parse_statements text with
+  | Error e -> Error e
+  | Ok stmts ->
+    let b = Netlist.Builder.create () in
+    let driver_of : (string, int) Hashtbl.t = Hashtbl.create 64 in
+    (* First pass: create cells and record which cell drives each signal. *)
+    let gates = ref [] in
+    (* (cell id, fanin signal names) *)
+    let outputs = ref [] in
+    let error = ref None in
+    let fail msg = if !error = None then error := Some msg in
+    let declare_driver signal cell =
+      if Hashtbl.mem driver_of signal then
+        fail (Printf.sprintf "signal %s has multiple drivers" signal)
+      else Hashtbl.add driver_of signal cell
+    in
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Model _ | End -> ()
+        | Inputs names ->
+          List.iter
+            (fun s ->
+              let id = Netlist.Builder.add_cell b ~name:s ~kind:Cell_kind.Input ~n_inputs:0 in
+              declare_driver s id)
+            names
+        | Outputs names -> outputs := !outputs @ names
+        | Names signals ->
+          let rec split_last acc = function
+            | [] -> assert false
+            | [ last ] -> (List.rev acc, last)
+            | x :: rest -> split_last (x :: acc) rest
+          in
+          let fanins, out = split_last [] signals in
+          let id =
+            Netlist.Builder.add_cell b ~name:out ~kind:Cell_kind.Comb
+              ~n_inputs:(List.length fanins)
+          in
+          declare_driver out id;
+          gates := (id, fanins) :: !gates
+        | Latch (input, output) ->
+          let id = Netlist.Builder.add_cell b ~name:output ~kind:Cell_kind.Seq ~n_inputs:1 in
+          declare_driver output id;
+          gates := (id, [ input ]) :: !gates)
+      stmts;
+    (* Primary-output pad cells. *)
+    List.iter
+      (fun s ->
+        let id = Netlist.Builder.add_cell b ~name:(s ^ "_pad") ~kind:Cell_kind.Output ~n_inputs:1 in
+        gates := (id, [ s ]) :: !gates)
+      !outputs;
+    (* Second pass: one net per driven signal, then connect sinks. *)
+    let net_of : (string, int) Hashtbl.t = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun signal cell ->
+        Hashtbl.add net_of signal (Netlist.Builder.add_net b ~name:signal ~driver:cell))
+      driver_of;
+    List.iter
+      (fun (cell, fanins) ->
+        List.iteri
+          (fun pin signal ->
+            match Hashtbl.find_opt net_of signal with
+            | Some net -> Netlist.Builder.add_sink b ~net ~cell ~pin
+            | None -> fail (Printf.sprintf "signal %s is never driven" signal))
+          fanins)
+      (List.rev !gates);
+    (match !error with
+    | Some e -> Error e
+    | None -> Netlist.Builder.finish b)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string ?(model_name = "top") nl =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (".model " ^ model_name ^ "\n");
+  let signal_of_net net = (Netlist.net nl net).Netlist.net_name in
+  let inputs = ref [] and outputs = ref [] in
+  Array.iter
+    (fun c ->
+      match c.Netlist.kind with
+      | Cell_kind.Input -> (
+        match Netlist.out_net nl c.Netlist.id with
+        | Some n -> inputs := signal_of_net n :: !inputs
+        | None -> ())
+      | Cell_kind.Output ->
+        outputs := signal_of_net (Netlist.in_net nl c.Netlist.id 0) :: !outputs
+      | Cell_kind.Comb | Cell_kind.Seq -> ())
+    (Netlist.cells nl);
+  if !inputs <> [] then
+    Buffer.add_string buf (".inputs " ^ String.concat " " (List.rev !inputs) ^ "\n");
+  if !outputs <> [] then
+    Buffer.add_string buf (".outputs " ^ String.concat " " (List.rev !outputs) ^ "\n");
+  Array.iter
+    (fun c ->
+      let id = c.Netlist.id in
+      match c.Netlist.kind with
+      | Cell_kind.Input | Cell_kind.Output -> ()
+      | Cell_kind.Comb -> (
+        match Netlist.out_net nl id with
+        | None -> ()
+        | Some out ->
+          let fanins =
+            Array.to_list (Array.map signal_of_net (Netlist.in_nets nl id))
+          in
+          Buffer.add_string buf
+            (".names " ^ String.concat " " (fanins @ [ signal_of_net out ]) ^ "\n");
+          if fanins <> [] then
+            Buffer.add_string buf (String.make (List.length fanins) '1' ^ " 1\n")
+          else Buffer.add_string buf "1\n")
+      | Cell_kind.Seq -> (
+        match Netlist.out_net nl id with
+        | None -> ()
+        | Some out ->
+          Buffer.add_string buf
+            (Printf.sprintf ".latch %s %s 0\n"
+               (signal_of_net (Netlist.in_net nl id 0))
+               (signal_of_net out))))
+    (Netlist.cells nl);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Reader and writer for a practical subset of the Berkeley BLIF format,
+    so that real mapped MCNC circuits can replace the synthetic benchmarks
+    when available.
+
+    Supported constructs: [.model], [.inputs], [.outputs], [.names]
+    (the cover rows are consumed and discarded — only connectivity
+    matters for layout), [.latch] (clock and initial value ignored),
+    [.end], comments ([#]) and line continuations ([\\]).
+
+    Each [.names] becomes one combinational cell; each [.latch] becomes
+    one sequential cell; each declared input/output becomes a pad cell. *)
+
+val parse_string : ?model_name:string -> string -> (Netlist.t, string) result
+
+val parse_file : string -> (Netlist.t, string) result
+
+val to_string : ?model_name:string -> Netlist.t -> string
+(** Serializes connectivity back to BLIF. Combinational cells are emitted
+    as [.names] with a dummy all-ones cover; sequential cells as
+    [.latch]. *)

@@ -1,0 +1,20 @@
+type t = Input | Output | Comb | Seq
+
+let equal a b =
+  match a, b with
+  | Input, Input | Output, Output | Comb, Comb | Seq, Seq -> true
+  | (Input | Output | Comb | Seq), _ -> false
+
+let to_string = function
+  | Input -> "input"
+  | Output -> "output"
+  | Comb -> "comb"
+  | Seq -> "seq"
+
+let is_io = function Input | Output -> true | Comb | Seq -> false
+
+let is_timing_source = function Input | Seq -> true | Output | Comb -> false
+
+let is_timing_sink = function Output | Seq -> true | Input | Comb -> false
+
+let has_output = function Output -> false | Input | Comb | Seq -> true

@@ -1,0 +1,24 @@
+(** Kinds of FPGA logic-block-sized cells produced by technology mapping
+    (the "i", "c", ... blocks of the paper's Figure 1). *)
+
+type t =
+  | Input  (** Primary-input pad: no input pins, one output pin. *)
+  | Output  (** Primary-output pad: one input pin, no output pin. *)
+  | Comb  (** Combinational logic module. *)
+  | Seq  (** Sequential module (flip-flop); a timing boundary. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val is_io : t -> bool
+(** [Input] and [Output] cells; these are restricted to perimeter slots. *)
+
+val is_timing_source : t -> bool
+(** Cells whose output starts a combinational path: [Input] and [Seq]. *)
+
+val is_timing_sink : t -> bool
+(** Cells whose input ends a combinational path: [Output] and [Seq]. *)
+
+val has_output : t -> bool
+(** Every kind except [Output] drives a net. *)

@@ -1,0 +1,29 @@
+(** Named benchmark circuits.
+
+    The paper evaluates on five MCNC benchmarks (s1, cse, ex1, bw, s1a)
+    plus one larger 529-cell design (Figure 7). The original mapped
+    netlists are not redistributable, so each preset is a seeded synthetic
+    circuit with the same total cell count and MCNC-like statistics (see
+    {!Generator} and DESIGN.md §2). A real netlist in BLIF form can be
+    substituted via {!Blif.parse_file}. *)
+
+type spec = {
+  spec_name : string;
+  spec_cells : int;  (** Paper-reported cell count. *)
+  spec_seed : int;
+}
+
+val all : spec list
+(** [s1 (181), cse (156), ex1 (227), bw (158), s1a (163), big529 (529)]. *)
+
+val table_specs : spec list
+(** The five circuits of Tables 1 and 2 (everything except [big529]). *)
+
+val big529 : spec
+
+val find : string -> spec option
+
+val make : spec -> Netlist.t
+
+val make_by_name : string -> Netlist.t
+(** Raises [Not_found] for unknown names. *)

@@ -1,0 +1,86 @@
+type t = {
+  levels : int array;
+  order : int array;
+  max_level : int;
+}
+
+(* A cell is a combinational source when paths cannot extend backward
+   through it: primary inputs, flip-flops, and constant generators. *)
+let is_source nl c =
+  let cell = Netlist.cell nl c in
+  Cell_kind.is_timing_source cell.Netlist.kind || cell.Netlist.n_inputs = 0
+
+let distinct_in_nets nl c =
+  List.sort_uniq compare (Array.to_list (Netlist.in_nets nl c))
+
+(* Kahn's algorithm over the combinational subgraph. The in-degree of a
+   non-source cell counts its distinct input nets driven by non-source
+   cells; popping a non-source cell releases exactly one such dependency
+   per distinct fanout cell, since a cell drives at most one net. *)
+let run nl =
+  let n = Netlist.n_cells nl in
+  let levels = Array.make n 0 in
+  let indeg = Array.make n 0 in
+  let driver_of net = (Netlist.net nl net).Netlist.driver in
+  for c = 0 to n - 1 do
+    if not (is_source nl c) then
+      List.iter
+        (fun net -> if not (is_source nl (driver_of net)) then indeg.(c) <- indeg.(c) + 1)
+        (distinct_in_nets nl c)
+  done;
+  let queue = Queue.create () in
+  for c = 0 to n - 1 do
+    if is_source nl c then Queue.add c queue
+    else if indeg.(c) = 0 then begin
+      levels.(c) <- 1;
+      Queue.add c queue
+    end
+  done;
+  let n_done = ref 0 in
+  let order_rev = ref [] in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    incr n_done;
+    order_rev := c :: !order_rev;
+    if not (is_source nl c) then
+      List.iter
+        (fun f ->
+          if not (is_source nl f) then begin
+            indeg.(f) <- indeg.(f) - 1;
+            if indeg.(f) = 0 then begin
+              let lvl =
+                List.fold_left
+                  (fun acc net ->
+                    let d = driver_of net in
+                    max acc (if is_source nl d then 0 else levels.(d)))
+                  0
+                  (distinct_in_nets nl f)
+              in
+              levels.(f) <- lvl + 1;
+              Queue.add f queue
+            end
+          end)
+        (Netlist.fanout_cells nl c)
+  done;
+  if !n_done < n then begin
+    let seen = Array.make n false in
+    List.iter (fun c -> seen.(c) <- true) !order_rev;
+    let stuck = ref [] in
+    for c = n - 1 downto 0 do
+      if not seen.(c) then stuck := (Netlist.cell nl c).Netlist.cell_name :: !stuck
+    done;
+    Error
+      (Printf.sprintf "combinational cycle involving cells: %s"
+         (String.concat ", " !stuck))
+  end
+  else begin
+    let order = Array.of_list (List.rev !order_rev) in
+    Array.sort (fun a b -> compare levels.(a) levels.(b)) order;
+    let max_level = Array.fold_left max 0 levels in
+    Ok { levels; order; max_level }
+  end
+
+let run_exn nl =
+  match run nl with
+  | Ok r -> r
+  | Error msg -> invalid_arg ("Levelize.run: " ^ msg)

@@ -1,0 +1,20 @@
+(** Combinational levelization (paper §3.5).
+
+    Boundary elements — primary inputs, sequential cells, and constant
+    (zero-input) combinational cells — have level 0. Every other cell's
+    level is one more than the maximum level over its input-net drivers,
+    where a driver that is itself a boundary element contributes level 0.
+    Levels depend only on connectivity, never on placement, so they are
+    computed once per netlist. *)
+
+type t = {
+  levels : int array;  (** Per cell id. *)
+  order : int array;  (** All cell ids sorted by non-decreasing level. *)
+  max_level : int;
+}
+
+val run : Netlist.t -> (t, string) result
+(** [Error] describes a combinational cycle (a loop not broken by any
+    sequential cell), listing the cells involved. *)
+
+val run_exn : Netlist.t -> t

@@ -1,0 +1,97 @@
+(** Immutable mapped netlist: FPGA logic-block-sized cells connected by
+    multi-terminal nets.
+
+    Pin indexing convention: a cell with [k] input pins uses pin indices
+    [0 .. k-1] for its inputs; when the cell kind has an output
+    ({!Cell_kind.has_output}), the output uses pin index [k]. *)
+
+type cell = {
+  id : int;
+  cell_name : string;
+  kind : Cell_kind.t;
+  n_inputs : int;
+}
+
+type net = {
+  net_id : int;
+  net_name : string;
+  driver : int;  (** Driving cell id. *)
+  sinks : (int * int) array;  (** [(cell id, input pin index)] pairs. *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type netlist := t
+
+  type t
+
+  val create : unit -> t
+
+  val add_cell : t -> name:string -> kind:Cell_kind.t -> n_inputs:int -> int
+  (** Returns the new cell's id. Ids are dense, starting at 0. *)
+
+  val add_net : t -> name:string -> driver:int -> int
+  (** Returns the new net's id. The driver must have an output and must
+      not already drive another net (checked at {!finish}). *)
+
+  val add_sink : t -> net:int -> cell:int -> pin:int -> unit
+
+  val finish : t -> (netlist, string) result
+  (** Validates and freezes. Errors on: an input pin left unconnected or
+      connected twice, a net driven by a cell without an output, a cell
+      driving more than one net, or an out-of-range pin index. Nets with
+      zero sinks are permitted (they need no routing). *)
+
+  val finish_exn : t -> netlist
+end
+
+(** {1 Accessors} *)
+
+val n_cells : t -> int
+
+val n_nets : t -> int
+
+val cell : t -> int -> cell
+
+val net : t -> int -> net
+
+val cells : t -> cell array
+
+val nets : t -> net array
+
+val out_net : t -> int -> int option
+(** Net driven by the cell, if any. *)
+
+val in_net : t -> int -> int -> int
+(** [in_net t cell pin] is the net feeding input [pin] of [cell]. *)
+
+val in_nets : t -> int -> int array
+(** All input nets of a cell, indexed by input pin. *)
+
+val n_pins : t -> int -> int
+(** Total pin count of a cell: inputs plus output when present. *)
+
+val nets_of_cell : t -> int -> int list
+(** Every net touching the cell (its input nets and its output net),
+    without duplicates. *)
+
+val fanout_cells : t -> int -> int list
+(** Distinct sink cells of the net driven by the given cell ([] when the
+    cell drives nothing). *)
+
+(** {1 Statistics} *)
+
+type counts = {
+  n_input : int;
+  n_output : int;
+  n_comb : int;
+  n_seq : int;
+  total_pins : int;
+}
+
+val counts : t -> counts
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+type histogram = (int * int) list
+
+type t = {
+  n_cells : int;
+  n_nets : int;
+  logic_depth : int;
+  depth_histogram : histogram;
+  avg_fanin : float;
+  fanout_histogram : histogram;
+  avg_fanout : float;
+  max_fanout : int;
+  avg_net_terminals : float;
+}
+
+let histogram_of values =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+    values;
+  List.sort compare (Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [])
+
+let collect nl =
+  match Levelize.run nl with
+  | Error e -> Error e
+  | Ok lev ->
+    let n_cells = Netlist.n_cells nl in
+    let n_nets = Netlist.n_nets nl in
+    let levels = Array.to_list lev.Levelize.levels in
+    let fanin_total = ref 0 and fanin_cells = ref 0 in
+    Array.iter
+      (fun c ->
+        if c.Netlist.n_inputs > 0 then begin
+          fanin_total := !fanin_total + c.Netlist.n_inputs;
+          incr fanin_cells
+        end)
+      (Netlist.cells nl);
+    let fanouts =
+      List.map
+        (fun net -> Array.length net.Netlist.sinks)
+        (Array.to_list (Netlist.nets nl))
+    in
+    let driven = List.filter (fun f -> f > 0) fanouts in
+    let sum = List.fold_left ( + ) 0 in
+    Ok
+      {
+        n_cells;
+        n_nets;
+        logic_depth = lev.Levelize.max_level;
+        depth_histogram = histogram_of levels;
+        avg_fanin =
+          (if !fanin_cells = 0 then 0.0
+           else float_of_int !fanin_total /. float_of_int !fanin_cells);
+        fanout_histogram = histogram_of fanouts;
+        avg_fanout =
+          (if driven = [] then 0.0
+           else float_of_int (sum driven) /. float_of_int (List.length driven));
+        max_fanout = List.fold_left max 0 fanouts;
+        avg_net_terminals =
+          (if n_nets = 0 then 0.0
+           else float_of_int (sum fanouts + n_nets) /. float_of_int n_nets);
+      }
+
+let collect_exn nl =
+  match collect nl with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Netlist_stats.collect: " ^ e)
+
+let pp ppf t =
+  Format.fprintf ppf "%d cells, %d nets, logic depth %d@." t.n_cells t.n_nets t.logic_depth;
+  Format.fprintf ppf "avg fanin %.2f, avg fanout %.2f (max %d), avg net terminals %.2f@."
+    t.avg_fanin t.avg_fanout t.max_fanout t.avg_net_terminals;
+  Format.fprintf ppf "cells per level:";
+  List.iter (fun (lvl, n) -> Format.fprintf ppf " %d:%d" lvl n) t.depth_histogram;
+  Format.fprintf ppf "@.fanout distribution:";
+  List.iter (fun (f, n) -> Format.fprintf ppf " %d:%d" f n) t.fanout_histogram;
+  Format.fprintf ppf "@."

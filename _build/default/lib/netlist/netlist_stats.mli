@@ -1,0 +1,29 @@
+(** Structural statistics of a netlist: logic depth, fanin/fanout
+    distributions, net terminal counts.
+
+    Two uses: validating that the synthetic generator produces circuits
+    with mapped-MCNC-like structure (the substitution argument of
+    DESIGN.md §2), and sizing intuition for users bringing their own
+    BLIF circuits. *)
+
+type histogram = (int * int) list
+(** [(value, count)] pairs, sorted by value. *)
+
+type t = {
+  n_cells : int;
+  n_nets : int;
+  logic_depth : int;  (** Maximum combinational level. *)
+  depth_histogram : histogram;  (** Cells per level. *)
+  avg_fanin : float;  (** Over cells with inputs. *)
+  fanout_histogram : histogram;  (** Nets per sink count. *)
+  avg_fanout : float;  (** Sinks per net, over driven nets. *)
+  max_fanout : int;
+  avg_net_terminals : float;  (** Pins per net (driver + sinks). *)
+}
+
+val collect : Netlist.t -> (t, string) result
+(** Fails only when the netlist has a combinational cycle. *)
+
+val collect_exn : Netlist.t -> t
+
+val pp : Format.formatter -> t -> unit

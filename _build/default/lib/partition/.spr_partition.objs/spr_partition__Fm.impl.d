@@ -1,0 +1,1 @@
+lib/partition/fm.ml: Array Fun List Spr_netlist Spr_util

@@ -1,0 +1,1 @@
+lib/partition/fm.mli: Spr_netlist Spr_util

@@ -1,0 +1,1 @@
+lib/partition/multi_chip.ml: Array Fm List Spr_netlist

@@ -1,0 +1,1 @@
+lib/partition/multi_chip.mli: Fm Spr_netlist Spr_util

@@ -1,0 +1,111 @@
+module Nl = Spr_netlist.Netlist
+module Ck = Spr_netlist.Cell_kind
+
+type piece = {
+  netlist : Nl.t;
+  orig_cell : int array;
+}
+
+type t = {
+  pieces : piece array;
+  cut_nets : int;
+  pads_added : int;
+}
+
+let split nl ~parts ~n_parts =
+  assert (Array.length parts = Nl.n_cells nl);
+  Array.iter (fun p -> assert (p >= 0 && p < n_parts)) parts;
+  let builders = Array.init n_parts (fun _ -> Nl.Builder.create ()) in
+  (* original cell -> local id in its piece *)
+  let local_id = Array.make (Nl.n_cells nl) (-1) in
+  let orig_rev = Array.make n_parts [] in
+  let pads_added = ref 0 in
+  Array.iter
+    (fun cell ->
+      let p = parts.(cell.Nl.id) in
+      let id =
+        Nl.Builder.add_cell builders.(p) ~name:cell.Nl.cell_name ~kind:cell.Nl.kind
+          ~n_inputs:cell.Nl.n_inputs
+      in
+      local_id.(cell.Nl.id) <- id;
+      orig_rev.(p) <- cell.Nl.id :: orig_rev.(p))
+    (Nl.cells nl);
+  let add_pad p name kind n_inputs =
+    incr pads_added;
+    let id = Nl.Builder.add_cell builders.(p) ~name ~kind ~n_inputs in
+    orig_rev.(p) <- -1 :: orig_rev.(p);
+    id
+  in
+  let cut_nets = ref 0 in
+  Array.iter
+    (fun net ->
+      let dp = parts.(net.Nl.driver) in
+      (* sinks grouped by part *)
+      let by_part = Array.make n_parts [] in
+      Array.iter
+        (fun (c, pin) -> by_part.(parts.(c)) <- (c, pin) :: by_part.(parts.(c)))
+        net.Nl.sinks;
+      let crosses = ref false in
+      for q = 0 to n_parts - 1 do
+        if q <> dp && by_part.(q) <> [] then crosses := true
+      done;
+      if !crosses then incr cut_nets;
+      (* the driving piece: local net with local sinks, plus an output
+         pad when the net leaves the chip *)
+      let dnet = Nl.Builder.add_net builders.(dp) ~name:net.Nl.net_name ~driver:local_id.(net.Nl.driver) in
+      List.iter
+        (fun (c, pin) -> Nl.Builder.add_sink builders.(dp) ~net:dnet ~cell:local_id.(c) ~pin)
+        (List.rev by_part.(dp));
+      if !crosses then begin
+        let pad = add_pad dp (net.Nl.net_name ^ "_xout") Ck.Output 1 in
+        Nl.Builder.add_sink builders.(dp) ~net:dnet ~cell:pad ~pin:0
+      end;
+      (* consuming pieces: an input pad drives the local sinks *)
+      for q = 0 to n_parts - 1 do
+        if q <> dp && by_part.(q) <> [] then begin
+          let pad = add_pad q (net.Nl.net_name ^ "_xin") Ck.Input 0 in
+          let qnet = Nl.Builder.add_net builders.(q) ~name:(net.Nl.net_name ^ "_x") ~driver:pad in
+          List.iter
+            (fun (c, pin) -> Nl.Builder.add_sink builders.(q) ~net:qnet ~cell:local_id.(c) ~pin)
+            (List.rev by_part.(q))
+        end
+      done)
+    (Nl.nets nl);
+  let pieces =
+    Array.init n_parts (fun p ->
+        {
+          netlist = Nl.Builder.finish_exn builders.(p);
+          orig_cell = Array.of_list (List.rev orig_rev.(p));
+        })
+  in
+  { pieces; cut_nets = !cut_nets; pads_added = !pads_added }
+
+let bipartition_and_split ?balance ~rng nl =
+  let fm = Fm.bipartition ?balance ~rng nl in
+  let parts = Array.map (fun b -> if b then 1 else 0) fm.Fm.side in
+  (split nl ~parts ~n_parts:2, fm)
+
+let rec kway ?balance ~rng ~k nl =
+  let n = Nl.n_cells nl in
+  if k <= 1 then Array.make n 0
+  else begin
+    let fm = Fm.bipartition ?balance ~rng nl in
+    if k = 2 then Array.map (fun b -> if b then 1 else 0) fm.Fm.side
+    else begin
+      (* recurse on each induced piece; cut pads inside pieces are
+         ignored when mapping the assignment back *)
+      let parts = Array.map (fun b -> if b then 1 else 0) fm.Fm.side in
+      let pieces = split nl ~parts ~n_parts:2 in
+      let result = Array.make n 0 in
+      let half = k / 2 in
+      Array.iteri
+        (fun p piece ->
+          let sub = kway ?balance ~rng ~k:half piece.netlist in
+          Array.iteri
+            (fun local orig ->
+              if orig >= 0 then result.(orig) <- (p * half) + sub.(local))
+            piece.orig_cell)
+        pieces.pieces;
+      result
+    end
+  end

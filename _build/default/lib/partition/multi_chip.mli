@@ -1,0 +1,31 @@
+(** Multi-FPGA splitting: materialize a k-way partition as one netlist
+    per chip, with each cut net realized as an output pad on the driving
+    chip and an input pad on every consuming chip (the inter-chip pin
+    demand that partitioners minimize, §2.2).
+
+    Each piece is a complete, valid netlist that can be placed and
+    routed independently on its own fabric. *)
+
+type piece = {
+  netlist : Spr_netlist.Netlist.t;
+  orig_cell : int array;
+      (** Per piece-cell id: the original cell id, or [-1] for a pad
+          created by the cut. *)
+}
+
+type t = {
+  pieces : piece array;
+  cut_nets : int;  (** Original nets spanning more than one piece. *)
+  pads_added : int;  (** Total pad cells created across pieces. *)
+}
+
+val split : Spr_netlist.Netlist.t -> parts:int array -> n_parts:int -> t
+(** [parts] maps each original cell to its piece ([0 .. n_parts-1]). *)
+
+val bipartition_and_split :
+  ?balance:float -> rng:Spr_util.Rng.t -> Spr_netlist.Netlist.t -> t * Fm.result
+(** Convenience: FM bipartition then {!split} into two pieces. *)
+
+val kway : ?balance:float -> rng:Spr_util.Rng.t -> k:int -> Spr_netlist.Netlist.t -> int array
+(** Recursive FM bisection into [k] parts ([k] a power of two); returns
+    the per-cell part assignment. *)

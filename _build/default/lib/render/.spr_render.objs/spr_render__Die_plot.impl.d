@@ -1,0 +1,1 @@
+lib/render/die_plot.ml: Array Buffer List Printf Spr_arch Spr_layout Spr_netlist Spr_route Spr_timing Spr_util String Svg

@@ -1,0 +1,1 @@
+lib/render/die_plot.mli: Spr_route Spr_timing Svg

@@ -1,0 +1,29 @@
+(** Die plots of a placed-and-routed layout — the artifact of the
+    paper's Figure 7 ("Output of example with 529 cells").
+
+    Two renderers:
+
+    - {!to_svg}: a full plot with logic-module rows, channel tracks and
+      their segmentation, vertical feedthroughs, every routed net's
+      claimed segments (colored per net), pin taps, and an optional
+      highlighted net set (e.g. the critical path's nets).
+
+    - {!to_ascii}: a compact terminal view — the cell map (one character
+      per slot by kind) plus per-channel track-utilization bars. *)
+
+val to_svg :
+  ?highlight:int list ->
+  ?show_free_segments:bool ->
+  Spr_route.Route_state.t ->
+  Svg.t
+(** [highlight] nets are drawn thick and red; [show_free_segments]
+    (default true) draws unclaimed segments in light gray so the
+    segmentation is visible. *)
+
+val save_svg :
+  ?highlight:int list -> ?show_free_segments:bool -> Spr_route.Route_state.t -> string -> unit
+
+val to_ascii : Spr_route.Route_state.t -> string
+
+val critical_nets : Spr_timing.Sta.t -> Spr_route.Route_state.t -> int list
+(** The nets along the current critical path, for [highlight]. *)

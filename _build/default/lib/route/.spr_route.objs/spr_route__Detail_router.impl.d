@@ -1,0 +1,1 @@
+lib/route/detail_router.ml: Array List Route_state Spr_arch Spr_util

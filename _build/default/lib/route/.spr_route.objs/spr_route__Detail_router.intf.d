@@ -1,0 +1,1 @@
+lib/route/detail_router.mli: Route_state Spr_util

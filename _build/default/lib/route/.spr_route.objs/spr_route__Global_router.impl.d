@@ -1,0 +1,1 @@
+lib/route/global_router.ml: List Route_state Spr_arch Spr_layout Spr_util

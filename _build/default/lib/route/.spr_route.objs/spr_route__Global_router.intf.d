@@ -1,0 +1,1 @@
+lib/route/global_router.mli: Route_state Spr_util

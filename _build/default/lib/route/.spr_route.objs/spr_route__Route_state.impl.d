@@ -1,0 +1,1 @@
+lib/route/route_state.ml: Arch Array Buffer Hashtbl List Option Printf Spr_arch Spr_layout Spr_netlist Spr_util

@@ -1,0 +1,1 @@
+lib/route/route_state.mli: Spr_arch Spr_layout Spr_netlist Spr_util

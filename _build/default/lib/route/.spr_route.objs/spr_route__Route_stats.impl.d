@@ -1,0 +1,1 @@
+lib/route/route_stats.ml: Arch Array Format List Route_state Spr_arch Spr_layout Spr_netlist Spr_util

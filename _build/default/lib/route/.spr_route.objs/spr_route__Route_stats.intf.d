@@ -1,0 +1,1 @@
+lib/route/route_stats.mli: Format Route_state

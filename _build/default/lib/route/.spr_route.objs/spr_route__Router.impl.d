@@ -1,0 +1,1 @@
+lib/route/router.ml: Detail_router Global_router List Route_state Spr_arch Spr_layout Spr_netlist Spr_util

@@ -1,0 +1,1 @@
+lib/route/router.mli: Route_state Spr_util

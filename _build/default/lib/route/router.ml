@@ -1,0 +1,99 @@
+type config = {
+  spine_margin : int;
+  spine_candidates : int;
+  antifuse_weight : float;
+  retry_cap : int;
+  criticality : (int -> float) option;
+}
+
+let default_config =
+  {
+    spine_margin = 2;
+    spine_candidates = 24;
+    antifuse_weight = 3.0;
+    retry_cap = 64;
+    criticality = None;
+  }
+
+(* Queue ordering: (criticality, estimated length) descending, net id as
+   the deterministic tie-break. *)
+let sort_queue config keyed =
+  match config.criticality with
+  | None ->
+    List.sort (fun ((a : int), na) (b, nb) -> compare (b, nb) (a, na)) keyed
+  | Some crit ->
+    let scored = List.map (fun (len, net) -> (crit net, len, net)) keyed in
+    List.map
+      (fun (_, len, net) -> (len, net))
+      (List.sort (fun (ca, la, na) (cb, lb, nb) -> compare (cb, lb, nb) (ca, la, na)) scored)
+
+let rip_up_cell st j cell =
+  let nl = Route_state.netlist st in
+  let nets = Spr_netlist.Netlist.nets_of_cell nl cell in
+  List.iter (fun net -> Route_state.rip_up st j net) nets;
+  nets
+
+let take n xs =
+  let rec loop acc n = function
+    | [] -> List.rev acc
+    | _ when n = 0 -> List.rev acc
+    | x :: rest -> loop (x :: acc) (n - 1) rest
+  in
+  loop [] n xs
+
+let reroute ?(config = default_config) st j =
+  let place = Route_state.place st in
+  (* Global phase: longest nets first (paper: U_G "is sorted based on the
+     estimated length of its contents ... giving priority to the longer
+     unroutable nets"). *)
+  let ug = Route_state.u_g st in
+  let keyed =
+    List.map (fun net -> (Spr_layout.Placement.half_perimeter place net, net)) ug
+  in
+  let keyed = List.filter (fun (_, net) -> Route_state.global_attempt_pending st net) keyed in
+  let sorted = sort_queue config keyed in
+  let changed = ref [] in
+  List.iter
+    (fun (_, net) ->
+      if
+        Global_router.attempt ~margin:config.spine_margin
+          ~max_candidates:config.spine_candidates st j net
+      then
+        changed := net :: !changed
+      else Route_state.note_global_failure st net)
+    (take config.retry_cap sorted);
+  (* Detailed phase: each channel's queue, longest span first. *)
+  let arch = Route_state.arch st in
+  for channel = 0 to arch.Spr_arch.Arch.n_channels - 1 do
+    let queued = Route_state.u_d st channel in
+    let keyed =
+      List.filter_map
+        (fun net ->
+          if not (Route_state.detail_attempt_pending st net ~channel) then None
+          else
+            match List.assoc_opt channel (Route_state.h_demands st net) with
+            | Some span -> Some (Spr_util.Interval.length span, net)
+            | None -> None)
+        queued
+    in
+    let sorted = sort_queue config keyed in
+    List.iter
+      (fun (_, net) ->
+        if Detail_router.attempt ~antifuse_weight:config.antifuse_weight st j ~net ~channel
+        then changed := net :: !changed
+        else Route_state.note_detail_failure st net ~channel)
+      (take config.retry_cap sorted)
+  done;
+  List.sort_uniq compare !changed
+
+let route_all ?(config = default_config) ?(passes = 3) st =
+  let config = { config with retry_cap = max_int } in
+  let j = Spr_util.Journal.create () in
+  let rec loop p =
+    if p > 0 && not (Route_state.fully_routed st) then begin
+      ignore (reroute ~config st j : int list);
+      loop (p - 1)
+    end
+  in
+  loop passes;
+  Spr_util.Journal.commit j

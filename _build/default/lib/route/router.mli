@@ -1,0 +1,42 @@
+(** Incremental rip-up-and-reroute pass (paper §3.3-3.4).
+
+    After every placement or pinmap perturbation the nets attached to the
+    perturbed cells are ripped up and queued. One {!reroute} pass then
+    works down U{_G} in decreasing estimated-length order giving each net
+    a spine, and then sweeps the channels giving every queued net in each
+    U{_D,R} a track run, longest first. Nets the heuristics cannot place
+    stay queued and are retried after subsequent moves. *)
+
+type config = {
+  spine_margin : int;  (** Columns the spine may sit outside the pin bbox. *)
+  spine_candidates : int;  (** Bound on spine columns probed per attempt. *)
+  antifuse_weight : float;  (** Detailed-route cost per segment used. *)
+  retry_cap : int;
+      (** Upper bound on queued nets attempted per pass and per queue; keeps
+          the per-move cost bounded when the design is badly unroutable.
+          Ripped nets of the current move always fit under the cap in
+          practice since the queues are sorted longest-first. *)
+  criticality : (int -> float) option;
+      (** When set, queues order by (criticality, estimated length)
+          descending instead of length alone — the "prioritize critical
+          nets" behaviour of the routers the paper builds on ([8], [11]).
+          The callback must be cheap; the simultaneous tool passes the
+          net driver's current arrival time. *)
+}
+
+val default_config : config
+
+val rip_up_cell : Route_state.t -> Spr_util.Journal.t -> int -> int list
+(** Rip up and queue every net attached to the cell; returns the ripped
+    net ids (the timing analyzer must re-estimate their delays). *)
+
+val reroute : ?config:config -> Route_state.t -> Spr_util.Journal.t -> int list
+(** One incremental global + detailed rerouting pass over the queues.
+    Returns the nets whose embedding changed (gained a spine or a track
+    run) so the timing analyzer can update them. *)
+
+val route_all : ?config:config -> ?passes:int -> Route_state.t -> unit
+(** From-scratch routing: repeated {!reroute} passes (default 3) with no
+    retry cap, committing the work; used by the sequential baseline and
+    by tests. Does not rip anything up first — call it on a fresh state
+    or after explicit rip-ups. *)

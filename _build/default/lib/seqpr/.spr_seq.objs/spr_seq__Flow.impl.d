@@ -1,0 +1,1 @@
+lib/seqpr/flow.ml: Seq_place Seq_route Spr_layout Spr_netlist Spr_route Spr_timing Spr_util Sys

@@ -1,0 +1,1 @@
+lib/seqpr/flow.mli: Seq_place Spr_arch Spr_layout Spr_netlist Spr_route Spr_timing Stdlib

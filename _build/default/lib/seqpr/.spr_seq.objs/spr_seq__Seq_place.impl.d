@@ -1,0 +1,1 @@
+lib/seqpr/seq_place.ml: Array Float Hashtbl List Printf Spr_anneal Spr_arch Spr_layout Spr_netlist Spr_util

@@ -1,0 +1,1 @@
+lib/seqpr/seq_place.mli: Spr_anneal Spr_arch Spr_layout Spr_netlist Stdlib

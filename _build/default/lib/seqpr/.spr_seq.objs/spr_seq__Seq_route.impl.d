@@ -1,0 +1,1 @@
+lib/seqpr/seq_route.ml: List Spr_arch Spr_layout Spr_route Spr_util

@@ -1,0 +1,1 @@
+lib/seqpr/seq_route.mli: Spr_route Spr_util

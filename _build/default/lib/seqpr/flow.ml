@@ -1,0 +1,61 @@
+module Rs = Spr_route.Route_state
+
+type config = {
+  seed : int;
+  place : Seq_place.config;
+  router : Spr_route.Router.config;
+  improve_iters : int;
+  delay_model : Spr_timing.Delay_model.t;
+}
+
+let default_config =
+  {
+    seed = 1;
+    place = Seq_place.default_config;
+    router = Spr_route.Router.default_config;
+    improve_iters = 25;
+    delay_model = Spr_timing.Delay_model.default;
+  }
+
+type result = {
+  place : Spr_layout.Placement.t;
+  route : Rs.t;
+  sta : Spr_timing.Sta.t;
+  critical_delay : float;
+  g : int;
+  d : int;
+  fully_routed : bool;
+  wirelength : float;
+  cpu_seconds : float;
+}
+
+let run ?(config = default_config) arch nl =
+  match Spr_netlist.Levelize.run nl with
+  | Error e -> Error e
+  | Ok _ -> (
+    let t_start = Sys.time () in
+    let place_cfg = { config.place with Seq_place.seed = config.seed } in
+    match Seq_place.run ~config:place_cfg arch nl with
+    | Error e -> Error e
+    | Ok (place, _report) ->
+      let rs = Rs.create place in
+      let rng = Spr_util.Rng.create (config.seed + 0x5E01) in
+      Seq_route.run ~router:config.router ~improve_iters:config.improve_iters ~rng rs;
+      let sta = Spr_timing.Sta.create config.delay_model rs in
+      Ok
+        {
+          place;
+          route = rs;
+          sta;
+          critical_delay = Spr_timing.Sta.critical_delay sta;
+          g = Rs.g_count rs;
+          d = Rs.d_count rs;
+          fully_routed = Rs.fully_routed rs;
+          wirelength = Seq_place.wirelength place;
+          cpu_seconds = Sys.time () -. t_start;
+        })
+
+let run_exn ?config arch nl =
+  match run ?config arch nl with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Flow.run: " ^ e)

@@ -1,0 +1,35 @@
+(** The complete sequential place-then-route baseline: annealing
+    wirelength/congestion placement, then global routing, then detailed
+    routing with rip-up-and-retry, then a full static timing analysis.
+
+    This is the reproduction's stand-in for the production flow the paper
+    compares against (TimberWolfSC placer [6], Rao global router [7],
+    Roy detailed router [11]); see DESIGN.md §2 for the substitution
+    argument. *)
+
+type config = {
+  seed : int;
+  place : Seq_place.config;
+  router : Spr_route.Router.config;
+  improve_iters : int;
+  delay_model : Spr_timing.Delay_model.t;
+}
+
+val default_config : config
+
+type result = {
+  place : Spr_layout.Placement.t;
+  route : Spr_route.Route_state.t;
+  sta : Spr_timing.Sta.t;
+  critical_delay : float;  (** ns. *)
+  g : int;
+  d : int;
+  fully_routed : bool;
+  wirelength : float;
+  cpu_seconds : float;
+}
+
+val run :
+  ?config:config -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> (result, string) Stdlib.result
+
+val run_exn : ?config:config -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> result

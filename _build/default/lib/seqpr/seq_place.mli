@@ -1,0 +1,45 @@
+(** Baseline annealing placer in the TimberWolfSC tradition [6]: minimize
+    estimated wirelength (bounding-box half-perimeter) plus a channel
+    congestion penalty.
+
+    This is the "sequential" side of the paper's comparison: the placer
+    sees neither the channel segmentation nor antifuse delays — exactly
+    the blindness (paper §2.1) that the simultaneous tool removes. *)
+
+type config = {
+  seed : int;
+  vertical_weight : float;
+      (** Cost of one channel of vertical span, in column units. *)
+  congestion_weight : float;
+  channel_fill : float;
+      (** Fraction of [tracks * cols] of a channel usable before the
+          congestion penalty engages. *)
+  anneal : Spr_anneal.Engine.config option;
+  max_swap_tries : int;
+}
+
+val default_config : config
+
+val run :
+  ?config:config ->
+  Spr_arch.Arch.t ->
+  Spr_netlist.Netlist.t ->
+  (Spr_layout.Placement.t * Spr_anneal.Engine.report, string) Stdlib.result
+(** Produces a placement (default pinmaps) optimized for estimated
+    wirelength and congestion only. *)
+
+val wirelength : Spr_layout.Placement.t -> float
+(** Current weighted half-perimeter total (vertical weight 2.0), for
+    reporting. *)
+
+val self_test :
+  ?moves:int ->
+  config ->
+  Spr_arch.Arch.t ->
+  Spr_netlist.Netlist.t ->
+  seed:int ->
+  (unit, string) Stdlib.result
+(** Oracle for the placer's incremental bookkeeping: runs random
+    accepted and rejected moves (default 500) and after each checks the
+    incrementally maintained wirelength and congestion totals against a
+    from-scratch recomputation. Used by the test suite. *)

@@ -1,0 +1,18 @@
+(** Baseline routing for a frozen placement: one-shot global routing then
+    per-channel detailed routing, improved by a bounded
+    rip-up-and-retry loop.
+
+    The router primitives are shared with the simultaneous tool (same
+    fabric, same heuristics); the improvement loop compensates for the
+    baseline's lack of placement flexibility: when a net cannot be
+    routed, the victims blocking its cheapest track (or spine) are ripped
+    up and everything is re-attempted longest-first. *)
+
+val run :
+  ?router:Spr_route.Router.config ->
+  ?improve_iters:int ->
+  rng:Spr_util.Rng.t ->
+  Spr_route.Route_state.t ->
+  unit
+(** [improve_iters] defaults to 25. The state is left with whatever could
+    be routed; inspect {!Spr_route.Route_state.fully_routed}. *)

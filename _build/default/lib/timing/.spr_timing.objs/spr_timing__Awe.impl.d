@@ -1,0 +1,1 @@
+lib/timing/awe.ml: Array Float Net_delay Rc_tree Spr_netlist Spr_route Spr_util

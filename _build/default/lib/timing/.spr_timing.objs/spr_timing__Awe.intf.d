@@ -1,0 +1,1 @@
+lib/timing/awe.mli: Delay_model Spr_route

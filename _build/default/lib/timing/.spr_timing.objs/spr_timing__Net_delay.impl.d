@@ -1,0 +1,1 @@
+lib/timing/net_delay.ml: Array Delay_model Float Hashtbl List Rc_tree Spr_arch Spr_layout Spr_netlist Spr_route Spr_util

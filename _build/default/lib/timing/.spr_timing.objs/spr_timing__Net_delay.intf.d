@@ -1,0 +1,1 @@
+lib/timing/net_delay.mli: Delay_model Rc_tree Spr_route

@@ -1,0 +1,1 @@
+lib/timing/path_report.ml: Array Buffer List Option Printf Spr_netlist Sta String

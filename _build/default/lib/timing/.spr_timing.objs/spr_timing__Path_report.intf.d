@@ -1,0 +1,1 @@
+lib/timing/path_report.mli: Spr_netlist Sta

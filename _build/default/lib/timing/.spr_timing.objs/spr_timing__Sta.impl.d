@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array Delay_model Float List Net_delay Seq Spr_netlist Spr_route Spr_util

@@ -1,0 +1,1 @@
+lib/timing/sta.mli: Delay_model Spr_route Spr_util

@@ -1,0 +1,36 @@
+module Rs = Spr_route.Route_state
+
+let d2m ~m1 ~m2 =
+  if m2 <= 0.0 then 0.0 else Float.log 2.0 *. m1 *. m1 /. sqrt m2
+
+let routed_sink_delays dm st net =
+  match Net_delay.build_rc_tree dm st net with
+  | None -> None
+  | Some (tree, root, sink_nodes) ->
+    let m1, m2 = Rc_tree.moments tree ~root in
+    Some (Array.map (fun n -> d2m ~m1:m1.(n) ~m2:m2.(n)) sink_nodes)
+
+type agreement = {
+  n_sinks : int;
+  mean_ratio : float;
+  min_ratio : float;
+  max_ratio : float;
+}
+
+let compare_with_elmore dm st =
+  let nl = Rs.netlist st in
+  let stats = Spr_util.Stats.create () in
+  for net = 0 to Spr_netlist.Netlist.n_nets nl - 1 do
+    match Net_delay.routed_sink_delays dm st net, routed_sink_delays dm st net with
+    | Some elmore, Some awe ->
+      Array.iteri
+        (fun i e -> if e > 0.0 then Spr_util.Stats.add stats (awe.(i) /. e))
+        elmore
+    | _, _ -> ()
+  done;
+  {
+    n_sinks = Spr_util.Stats.count stats;
+    mean_ratio = Spr_util.Stats.mean stats;
+    min_ratio = Spr_util.Stats.min_value stats;
+    max_ratio = Spr_util.Stats.max_value stats;
+  }

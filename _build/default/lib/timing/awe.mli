@@ -1,0 +1,31 @@
+(** Two-moment delay metric — the reproduction's stand-in for the RICE
+    AWE-based post-layout delay evaluator the paper validated against
+    ("The critical path delays determined by the post-layout timing
+    analyzer were very close (within 90%) of that determined internally",
+    §4).
+
+    D2M (Alpert, Devgan, Kashyap) computes a 50% delay from the first two
+    moments of the RC-tree impulse response:
+
+    {v D2M = ln 2 * m1^2 / sqrt(m2) v}
+
+    It is exact for a single pole and substantially more accurate than
+    Elmore on resistively shielded far sinks, making it a meaningful
+    independent cross-check of the Elmore numbers the annealer uses. *)
+
+val routed_sink_delays :
+  Delay_model.t -> Spr_route.Route_state.t -> int -> float array option
+(** Per-sink D2M delays over the exact embedding; [None] when the net is
+    not fully embedded. *)
+
+type agreement = {
+  n_sinks : int;
+  mean_ratio : float;  (** mean of (D2M / Elmore) over all routed sinks. *)
+  min_ratio : float;
+  max_ratio : float;
+}
+
+val compare_with_elmore : Delay_model.t -> Spr_route.Route_state.t -> agreement
+(** Evaluate both metrics over every fully routed net of the layout.
+    Elmore upper-bounds the 50% delay, so ratios are <= 1; the paper's
+    "within 90%" corresponds to a mean ratio around 0.9 or above. *)

@@ -1,0 +1,34 @@
+type t = {
+  r_driver : float;
+  c_pin : float;
+  r_hseg : float;
+  c_hseg : float;
+  r_vseg : float;
+  c_vseg : float;
+  r_antifuse : float;
+  c_antifuse : float;
+  t_comb : float;
+  t_seq : float;
+  t_io : float;
+}
+
+let default =
+  {
+    r_driver = 1.0;
+    c_pin = 0.02;
+    r_hseg = 0.025;
+    c_hseg = 0.06;
+    r_vseg = 0.05;
+    c_vseg = 0.10;
+    r_antifuse = 0.5;
+    c_antifuse = 0.012;
+    t_comb = 3.0;
+    t_seq = 4.0;
+    t_io = 2.0;
+  }
+
+let intrinsic t = function
+  | Spr_netlist.Cell_kind.Input -> t.t_io
+  | Spr_netlist.Cell_kind.Output -> t.t_io
+  | Spr_netlist.Cell_kind.Comb -> t.t_comb
+  | Spr_netlist.Cell_kind.Seq -> t.t_seq

@@ -1,0 +1,26 @@
+(** Electrical and intrinsic delay parameters.
+
+    Units: resistance in kilo-ohms, capacitance in picofarads, delay in
+    nanoseconds (so R*C multiplies directly to ns). The defaults are in
+    the ranges published for ACT-1/ACT-2-era antifuse parts: a programmed
+    antifuse contributes roughly half a kilo-ohm, which is why paths
+    through many short segments accrue significant delay — the effect the
+    paper's cost function puts pressure on. *)
+
+type t = {
+  r_driver : float;  (** Module output driver resistance (kOhm). *)
+  c_pin : float;  (** Module input pin capacitance (pF). *)
+  r_hseg : float;  (** Horizontal segment resistance per column unit. *)
+  c_hseg : float;  (** Horizontal segment capacitance per column unit. *)
+  r_vseg : float;  (** Vertical segment resistance per channel unit. *)
+  c_vseg : float;  (** Vertical segment capacitance per channel unit. *)
+  r_antifuse : float;  (** Programmed antifuse resistance (any kind). *)
+  c_antifuse : float;  (** Programmed antifuse capacitance. *)
+  t_comb : float;  (** Combinational module intrinsic delay (ns). *)
+  t_seq : float;  (** Flip-flop clock-to-output delay (ns). *)
+  t_io : float;  (** Pad delay (ns). *)
+}
+
+val default : t
+
+val intrinsic : t -> Spr_netlist.Cell_kind.t -> float

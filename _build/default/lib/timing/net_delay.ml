@@ -1,0 +1,163 @@
+module I = Spr_util.Interval
+module Rs = Spr_route.Route_state
+
+(* Index of the claimed segment containing [col] within an hroute. *)
+let hseg_index arch (hr : Rs.hroute) col =
+  let segs = Spr_arch.Arch.hsegments arch ~channel:hr.Rs.h_channel ~track:hr.Rs.h_track in
+  let rec loop i =
+    if i > hr.Rs.h_shi then invalid_arg "Net_delay: column outside hroute"
+    else if I.contains segs.(i) col then i
+    else loop (i + 1)
+  in
+  loop hr.Rs.h_slo
+
+let vseg_index arch (vr : Rs.vroute) channel =
+  let segs = Spr_arch.Arch.vsegments arch ~col:vr.Rs.v_col ~vtrack:vr.Rs.v_vtrack in
+  let rec loop i =
+    if i > vr.Rs.v_shi then invalid_arg "Net_delay: channel outside vroute"
+    else if I.contains segs.(i) channel then i
+    else loop (i + 1)
+  in
+  loop vr.Rs.v_slo
+
+let build_rc_tree dm st net =
+  match Rs.embedding st net with
+  | None -> None
+  | Some emb ->
+    let arch = Rs.arch st in
+    let place = Rs.place st in
+    let nl = Rs.netlist st in
+    let tree = Rc_tree.create () in
+    let half_fuse = dm.Delay_model.c_antifuse /. 2.0 in
+    (* One node per claimed horizontal segment, chained with antifuse
+       edges that also carry the wire resistance of the two halves. *)
+    let hnode = Hashtbl.create 16 in
+    List.iter
+      (fun (ch, (hr : Rs.hroute)) ->
+        let segs = Spr_arch.Arch.hsegments arch ~channel:ch ~track:hr.Rs.h_track in
+        for s = hr.Rs.h_slo to hr.Rs.h_shi do
+          let len = float_of_int (I.length segs.(s)) in
+          let n = Rc_tree.add_node tree ~cap:(dm.Delay_model.c_hseg *. len) in
+          Hashtbl.replace hnode (ch, s) n;
+          if s > hr.Rs.h_slo then begin
+            let prev = Hashtbl.find hnode (ch, s - 1) in
+            let len_prev = float_of_int (I.length segs.(s - 1)) in
+            let res =
+              dm.Delay_model.r_antifuse
+              +. (dm.Delay_model.r_hseg *. (len +. len_prev) /. 2.0)
+            in
+            Rc_tree.add_edge tree prev n ~res;
+            Rc_tree.add_cap tree ~node:prev ~cap:half_fuse;
+            Rc_tree.add_cap tree ~node:n ~cap:half_fuse
+          end
+        done)
+      emb.Rs.e_hroutes;
+    (* Vertical spine nodes, then cross antifuses tying each channel's
+       chain to the spine. *)
+    (match emb.Rs.e_global with
+    | None -> ()
+    | Some vr ->
+      let segs = Spr_arch.Arch.vsegments arch ~col:vr.Rs.v_col ~vtrack:vr.Rs.v_vtrack in
+      let vnode = Hashtbl.create 8 in
+      for s = vr.Rs.v_slo to vr.Rs.v_shi do
+        let len = float_of_int (I.length segs.(s)) in
+        let n = Rc_tree.add_node tree ~cap:(dm.Delay_model.c_vseg *. len) in
+        Hashtbl.replace vnode s n;
+        if s > vr.Rs.v_slo then begin
+          let prev = Hashtbl.find vnode (s - 1) in
+          let len_prev = float_of_int (I.length segs.(s - 1)) in
+          let res =
+            dm.Delay_model.r_antifuse +. (dm.Delay_model.r_vseg *. (len +. len_prev) /. 2.0)
+          in
+          Rc_tree.add_edge tree prev n ~res;
+          Rc_tree.add_cap tree ~node:prev ~cap:half_fuse;
+          Rc_tree.add_cap tree ~node:n ~cap:half_fuse
+        end
+      done;
+      List.iter
+        (fun (ch, hr) ->
+          let v = Hashtbl.find vnode (vseg_index arch vr ch) in
+          let h = Hashtbl.find hnode (ch, hseg_index arch hr vr.Rs.v_col) in
+          Rc_tree.add_edge tree v h ~res:dm.Delay_model.r_antifuse;
+          Rc_tree.add_cap tree ~node:v ~cap:half_fuse;
+          Rc_tree.add_cap tree ~node:h ~cap:half_fuse)
+        emb.Rs.e_hroutes);
+    let attach_pin ~cap ~extra_res ch col =
+      match List.assoc_opt ch emb.Rs.e_hroutes with
+      | None -> invalid_arg "Net_delay: pin in channel without hroute"
+      | Some hr ->
+        let h = Hashtbl.find hnode (ch, hseg_index arch hr col) in
+        let n = Rc_tree.add_node tree ~cap in
+        Rc_tree.add_edge tree n h ~res:(dm.Delay_model.r_antifuse +. extra_res);
+        Rc_tree.add_cap tree ~node:n ~cap:half_fuse;
+        Rc_tree.add_cap tree ~node:h ~cap:half_fuse;
+        n
+    in
+    let netrec = Spr_netlist.Netlist.net nl net in
+    let driver = netrec.Spr_netlist.Netlist.driver in
+    let out_pin = (Spr_netlist.Netlist.cell nl driver).Spr_netlist.Netlist.n_inputs in
+    let dch = Spr_layout.Placement.pin_channel place ~cell:driver ~pin:out_pin in
+    let dcol = Spr_layout.Placement.pin_col place ~cell:driver ~pin:out_pin in
+    let root = attach_pin ~cap:0.0 ~extra_res:dm.Delay_model.r_driver dch dcol in
+    let sink_nodes =
+      Array.map
+        (fun (cell, pin) ->
+          let ch = Spr_layout.Placement.pin_channel place ~cell ~pin in
+          let col = Spr_layout.Placement.pin_col place ~cell ~pin in
+          attach_pin ~cap:dm.Delay_model.c_pin ~extra_res:0.0 ch col)
+        netrec.Spr_netlist.Netlist.sinks
+    in
+    Some (tree, root, sink_nodes)
+
+let routed_sink_delays dm st net =
+  match build_rc_tree dm st net with
+  | None -> None
+  | Some (tree, root, sink_nodes) ->
+    let delays = Rc_tree.elmore tree ~root in
+    Some (Array.map (fun n -> delays.(n)) sink_nodes)
+
+(* Crude pre-embedding estimate: relate the net's spatial extent to the
+   probable wire and antifuse load. Accuracy is secondary; what matters
+   is growing monotonically with span and expected antifuse count. *)
+let estimate dm st net =
+  let place = Rs.place st in
+  let pins = Spr_layout.Placement.net_pin_positions place net in
+  match pins with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let arch = Rs.arch st in
+    let chans = List.map fst pins and cols = List.map snd pins in
+    let clo = List.fold_left min max_int chans and chi = List.fold_left max min_int chans in
+    let xlo = List.fold_left min max_int cols and xhi = List.fold_left max min_int cols in
+    let col_span = float_of_int (xhi - xlo + 1) in
+    let chan_span = float_of_int (chi - clo) in
+    let n_chans = float_of_int (List.length (List.sort_uniq compare chans)) in
+    let n_sinks = float_of_int (List.length pins - 1) in
+    let avg_seg = Spr_arch.Arch.avg_hseg_length arch in
+    let est_segs_per_chan = Float.max 1.0 (Float.round (col_span /. avg_seg)) in
+    let est_antifuses =
+      (n_chans *. (est_segs_per_chan -. 1.0))  (* horizontal antifuses *)
+      +. (2.0 *. (n_sinks +. 1.0))  (* cross antifuses at pins *)
+      +. (2.0 *. Float.min chan_span 1.0 *. n_chans)  (* spine taps *)
+    in
+    let total_c =
+      (dm.Delay_model.c_hseg *. col_span *. n_chans)
+      +. (dm.Delay_model.c_vseg *. chan_span)
+      +. (dm.Delay_model.c_pin *. n_sinks)
+      +. (dm.Delay_model.c_antifuse *. est_antifuses)
+    in
+    let path_r =
+      (dm.Delay_model.r_hseg *. col_span)
+      +. (dm.Delay_model.r_vseg *. chan_span)
+      +. (dm.Delay_model.r_antifuse *. (est_segs_per_chan +. 3.0))
+    in
+    ((dm.Delay_model.r_driver +. (0.5 *. path_r)) *. total_c)
+
+let sink_delays dm st net =
+  let nl = Rs.netlist st in
+  let n_sinks = Array.length (Spr_netlist.Netlist.net nl net).Spr_netlist.Netlist.sinks in
+  if n_sinks = 0 then [||]
+  else
+    match routed_sink_delays dm st net with
+    | Some d -> d
+    | None -> Array.make n_sinks (estimate dm st net)

@@ -1,0 +1,33 @@
+(** Interconnect delay of one net, driver to each sink.
+
+    Fully embedded nets get a detailed RC-tree Elmore evaluation over
+    their exact segments and antifuses (paper §3.5: "we calculate the
+    Elmore delay" once "the exact antifuse usage is known"). Nets not yet
+    embedded get a crude estimate relating the net's spatial extent to
+    the probable number of antifuses it will encounter — inaccurate, but
+    sufficient early in layout while other cost terms push the net toward
+    a feasible path. *)
+
+val build_rc_tree :
+  Delay_model.t ->
+  Spr_route.Route_state.t ->
+  int ->
+  (Rc_tree.t * int * int array) option
+(** [(tree, root node, per-sink nodes)] for a fully embedded net: one
+    node per claimed segment, antifuse edges between adjacent segments,
+    cross-antifuse taps for the driver, sinks, and spine junctions.
+    [None] when the net is not fully embedded. Both the Elmore evaluator
+    and the two-moment {!Awe} cross-checker consume this tree. *)
+
+val routed_sink_delays :
+  Delay_model.t -> Spr_route.Route_state.t -> int -> float array option
+(** Per-sink Elmore delays, indexed like the net's sink array; [None]
+    when the net is not fully embedded. *)
+
+val estimate : Delay_model.t -> Spr_route.Route_state.t -> int -> float
+(** Crude single-value estimate from the pin bounding box and the
+    fabric's average segment length. *)
+
+val sink_delays : Delay_model.t -> Spr_route.Route_state.t -> int -> float array
+(** Per-sink delays: exact when embedded, otherwise the estimate
+    replicated. Zero-length for nets without sinks. *)

@@ -1,0 +1,54 @@
+type path = {
+  endpoint : int;
+  arrival_ns : float;
+  slack_ns : float option;
+  cells : int list;
+}
+
+let all_endpoints ?clock_period sta =
+  let sinks = Sta.timing_sinks sta in
+  let paths =
+    Array.to_list
+      (Array.map
+         (fun endpoint ->
+           let arrival_ns = Sta.arrival_in sta endpoint in
+           {
+             endpoint;
+             arrival_ns;
+             slack_ns = Option.map (fun p -> p -. arrival_ns) clock_period;
+             cells = Sta.path_to sta endpoint;
+           })
+         sinks)
+  in
+  List.sort (fun a b -> compare b.arrival_ns a.arrival_ns) paths
+
+let worst_paths ?(k = 10) ?clock_period sta =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take k (all_endpoints ?clock_period sta)
+
+let violations ~clock_period sta =
+  List.filter
+    (fun p -> match p.slack_ns with Some s -> s < 0.0 | None -> false)
+    (all_endpoints ~clock_period sta)
+
+let render nl paths =
+  let buf = Buffer.create 1024 in
+  let name c = (Spr_netlist.Netlist.cell nl c).Spr_netlist.Netlist.cell_name in
+  List.iteri
+    (fun i p ->
+      let slack =
+        match p.slack_ns with
+        | Some s -> Printf.sprintf "  slack %+.2f ns%s" s (if s < 0.0 then "  (VIOLATED)" else "")
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "#%d  endpoint %-10s arrival %.2f ns%s\n" (i + 1) (name p.endpoint)
+           p.arrival_ns slack);
+      Buffer.add_string buf
+        ("    " ^ String.concat " -> " (List.map name p.cells) ^ "\n"))
+    paths;
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Endpoint timing report: the K worst path endpoints with their worst
+    paths and (optionally) slack against a target clock period — the
+    report a user reads after layout, and the data behind the paper's
+    "identification and minimization of critical path delay" discussion
+    (§2.1). *)
+
+type path = {
+  endpoint : int;  (** Timing-sink cell id. *)
+  arrival_ns : float;  (** Worst arrival at the endpoint's inputs. *)
+  slack_ns : float option;  (** [period - arrival] when a period is given. *)
+  cells : int list;  (** Worst path, source first, endpoint last. *)
+}
+
+val worst_paths : ?k:int -> ?clock_period:float -> Sta.t -> path list
+(** The [k] (default 10) endpoints with the largest arrivals, worst
+    first. *)
+
+val violations : clock_period:float -> Sta.t -> path list
+(** All endpoints with negative slack at the given period, worst
+    first. *)
+
+val render : Spr_netlist.Netlist.t -> path list -> string

@@ -1,0 +1,207 @@
+module Rs = Spr_route.Route_state
+module Nl = Spr_netlist.Netlist
+module J = Spr_util.Journal
+
+type t = {
+  dm : Delay_model.t;
+  st : Rs.t;
+  nl : Nl.t;
+  lev : Spr_netlist.Levelize.t;
+  arr_out : float array;
+  net_delays : float array array;  (* per net, per sink index *)
+  sink_idx : int array array;  (* cell -> input pin -> index into feeding net's sinks *)
+  sink_cells : int array;  (* cells whose inputs end paths *)
+  prop_fanout : int array array;  (* cell -> fanout cells that propagate *)
+  net_prop_sinks : int array array;  (* net -> sink cells that propagate, deduped *)
+  frontier : int Spr_util.Pqueue.t;
+  seen : int array;  (* generation stamps *)
+  mutable generation : int;
+}
+
+let eps = 1e-12
+
+let delay_model t = t.dm
+
+let is_source nl c =
+  let cell = Nl.cell nl c in
+  Spr_netlist.Cell_kind.is_timing_source cell.Nl.kind || cell.Nl.n_inputs = 0
+
+let arrival_in t c =
+  let ins = Nl.in_nets t.nl c in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun pin net ->
+      let d = (Nl.net t.nl net).Nl.driver in
+      let a = t.arr_out.(d) +. t.net_delays.(net).(t.sink_idx.(c).(pin)) in
+      if a > !worst then worst := a)
+    ins;
+  !worst
+
+let intrinsic t c = Delay_model.intrinsic t.dm (Nl.cell t.nl c).Nl.kind
+
+let compute_arr_out t c =
+  if is_source t.nl c then intrinsic t c else arrival_in t c +. intrinsic t c
+
+let full_update t =
+  for net = 0 to Nl.n_nets t.nl - 1 do
+    t.net_delays.(net) <- Net_delay.sink_delays t.dm t.st net
+  done;
+  Array.iter
+    (fun c ->
+      if Spr_netlist.Cell_kind.has_output (Nl.cell t.nl c).Nl.kind then
+        t.arr_out.(c) <- compute_arr_out t c)
+    t.lev.Spr_netlist.Levelize.order
+
+let create dm st =
+  let nl = Rs.netlist st in
+  let lev =
+    match Spr_netlist.Levelize.run nl with
+    | Ok l -> l
+    | Error e -> invalid_arg ("Sta.create: " ^ e)
+  in
+  let n = Nl.n_cells nl in
+  let sink_idx =
+    Array.init n (fun c ->
+        let ins = Nl.in_nets nl c in
+        Array.mapi
+          (fun pin net ->
+            let sinks = (Nl.net nl net).Nl.sinks in
+            let rec find i =
+              if i >= Array.length sinks then invalid_arg "Sta.create: sink index missing"
+              else if sinks.(i) = (c, pin) then i
+              else find (i + 1)
+            in
+            find 0)
+          ins)
+  in
+  let sink_cells =
+    Array.of_seq
+      (Seq.filter_map
+         (fun c ->
+           if Spr_netlist.Cell_kind.is_timing_sink (Nl.cell nl c).Nl.kind then Some c else None)
+         (Seq.init n (fun c -> c)))
+  in
+  let propagates c =
+    (not (is_source nl c)) && Spr_netlist.Cell_kind.has_output (Nl.cell nl c).Nl.kind
+  in
+  let net_prop_sinks =
+    Array.init (Nl.n_nets nl) (fun net ->
+        let sinks = (Nl.net nl net).Nl.sinks in
+        Array.of_list
+          (List.sort_uniq compare
+             (Array.to_list
+                (Array.of_seq
+                   (Seq.filter_map
+                      (fun (c, _) -> if propagates c then Some c else None)
+                      (Array.to_seq sinks))))))
+  in
+  let prop_fanout =
+    Array.init n (fun c ->
+        match Nl.out_net nl c with
+        | None -> [||]
+        | Some net -> net_prop_sinks.(net))
+  in
+  let t =
+    {
+      dm;
+      st;
+      nl;
+      lev;
+      arr_out = Array.make n 0.0;
+      net_delays = Array.init (Nl.n_nets nl) (fun _ -> [||]);
+      sink_idx;
+      sink_cells;
+      prop_fanout;
+      net_prop_sinks;
+      frontier = Spr_util.Pqueue.create ();
+      seen = Array.make n (-1);
+      generation = 0;
+    }
+  in
+  full_update t;
+  t
+
+let critical_delay t =
+  Array.fold_left (fun acc c -> Float.max acc (arrival_in t c)) 0.0 t.sink_cells
+
+let arrival_out t c = t.arr_out.(c)
+
+(* Frontier propagation: affected cells are processed in minimum-level
+   order; a cell whose output arrival changes puts its combinational
+   fanouts on the frontier (boundary sinks have no stored state — the
+   critical delay reads their inputs directly). *)
+let invalidate t j nets =
+  t.generation <- t.generation + 1;
+  let gen = t.generation in
+  let push c =
+    if t.seen.(c) <> gen then begin
+      t.seen.(c) <- gen;
+      Spr_util.Pqueue.add t.frontier t.lev.Spr_netlist.Levelize.levels.(c) c
+    end
+  in
+  List.iter
+    (fun net ->
+      let old = t.net_delays.(net) in
+      let fresh = Net_delay.sink_delays t.dm t.st net in
+      let changed =
+        Array.length old <> Array.length fresh
+        || Array.exists2 (fun a b -> Float.abs (a -. b) > eps) old fresh
+      in
+      if changed then begin
+        t.net_delays.(net) <- fresh;
+        J.record j (fun () -> t.net_delays.(net) <- old);
+        Array.iter push t.net_prop_sinks.(net)
+      end)
+    nets;
+  let rec drain () =
+    match Spr_util.Pqueue.pop_min t.frontier with
+    | None -> ()
+    | Some (_, c) ->
+      let fresh = compute_arr_out t c in
+      let old = t.arr_out.(c) in
+      if Float.abs (fresh -. old) > eps then begin
+        t.arr_out.(c) <- fresh;
+        J.record j (fun () -> t.arr_out.(c) <- old);
+        Array.iter push t.prop_fanout.(c)
+      end;
+      drain ()
+  in
+  drain ()
+
+(* Walk backward along argmax inputs until a source. The starting sink
+   may itself be a flip-flop (both boundary roles); its input side must
+   still be traced. *)
+let path_to t sink =
+  let rec back ?(first = false) c acc =
+    let acc = c :: acc in
+    if (Nl.cell t.nl c).Nl.n_inputs = 0 || ((not first) && is_source t.nl c) then acc
+    else begin
+      let ins = Nl.in_nets t.nl c in
+      let best = ref (-1) and best_a = ref neg_infinity in
+      Array.iteri
+        (fun pin net ->
+          let d = (Nl.net t.nl net).Nl.driver in
+          let a = t.arr_out.(d) +. t.net_delays.(net).(t.sink_idx.(c).(pin)) in
+          if a > !best_a then begin
+            best_a := a;
+            best := d
+          end)
+        ins;
+      if !best = -1 then acc else back !best acc
+    end
+  in
+  back ~first:true sink []
+
+let timing_sinks t = Array.copy t.sink_cells
+
+let critical_path t =
+  let worst_sink = ref (-1) and worst = ref neg_infinity in
+  Array.iter
+    (fun c ->
+      let a = arrival_in t c in
+      if a > !worst then begin
+        worst := a;
+        worst_sink := c
+      end)
+    t.sink_cells;
+  if !worst_sink = -1 then [] else path_to t !worst_sink

@@ -1,0 +1,51 @@
+(** Static timing analysis with incremental update (paper §3.5).
+
+    Long-path model, all paths assumed sensitizable. Critical paths run
+    between boundary elements: primary inputs and flip-flop outputs are
+    sources; primary outputs and flip-flop inputs are sinks. Cells are
+    levelized once (connectivity only); arrival times propagate in level
+    order.
+
+    After a perturbation the affected nets' interconnect delays are
+    recomputed, and the change propagates through a frontier of affected
+    cells processed in minimum-level order; expansion stops where output
+    arrivals stop changing or at boundary elements. All state changes are
+    journaled, so a rejected move restores the analyzer exactly. *)
+
+type t
+
+val create : Delay_model.t -> Spr_route.Route_state.t -> t
+(** Levelizes the netlist and performs an initial full update. Raises
+    [Invalid_argument] on combinational cycles. *)
+
+val delay_model : t -> Delay_model.t
+
+val full_update : t -> unit
+(** Recompute every net delay and arrival from scratch (not journaled).
+    Used at initialization and by tests as the incremental oracle. *)
+
+val invalidate : t -> Spr_util.Journal.t -> int list -> unit
+(** [invalidate t j nets]: re-evaluate the interconnect delay of each
+    listed net and propagate arrival-time changes forward. Call once per
+    move with every net whose routing or pin positions changed. *)
+
+val critical_delay : t -> float
+(** Worst arrival at any timing-sink input (ns). *)
+
+val arrival_out : t -> int -> float
+(** Arrival time at a cell's output (intrinsic delay for sources). *)
+
+val arrival_in : t -> int -> float
+(** Worst arrival over the cell's inputs; 0 for cells without inputs. *)
+
+val critical_path : t -> int list
+(** Cells on one worst path, source first. Empty when the design has no
+    timing sinks. *)
+
+val path_to : t -> int -> int list
+(** The worst path ending at the given cell's inputs (source first,
+    ending at the cell). [\[cell\]] when the cell has no inputs. *)
+
+val timing_sinks : t -> int array
+(** Cells whose inputs end combinational paths (primary outputs and
+    flip-flops). *)

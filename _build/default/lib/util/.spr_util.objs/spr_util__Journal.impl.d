@@ -1,0 +1,1 @@
+lib/util/journal.ml: List

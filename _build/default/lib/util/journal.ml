@@ -1,0 +1,34 @@
+type t = { mutable undos : (unit -> unit) list; mutable n : int }
+
+let create () = { undos = []; n = 0 }
+
+let record t undo =
+  t.undos <- undo :: t.undos;
+  t.n <- t.n + 1
+
+let depth t = t.n
+
+let mark t = t.n
+
+let rollback t =
+  List.iter (fun undo -> undo ()) t.undos;
+  t.undos <- [];
+  t.n <- 0
+
+let rollback_to t m =
+  (* Undo the (n - m) most recent entries. *)
+  let rec loop undos n =
+    if n > m then
+      match undos with
+      | [] -> assert false
+      | undo :: rest ->
+        undo ();
+        loop rest (n - 1)
+    else undos
+  in
+  t.undos <- loop t.undos t.n;
+  t.n <- m
+
+let commit t =
+  t.undos <- [];
+  t.n <- 0

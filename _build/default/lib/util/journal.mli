@@ -1,0 +1,31 @@
+(** Undo journal for transactional state mutation.
+
+    The annealing loop evaluates each move by actually applying it —
+    placement change, net rip-up, incremental reroute, incremental timing
+    update — and rolls everything back if the move is rejected. Every
+    mutating subsystem records an inverse action here before mutating.
+
+    Rollback applies the recorded inverses in reverse order of
+    recording. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> (unit -> unit) -> unit
+(** [record j undo] pushes an inverse action. *)
+
+val depth : t -> int
+(** Number of pending inverse actions. *)
+
+val mark : t -> int
+(** Position marker for nested rollback; pair with {!rollback_to}. *)
+
+val rollback : t -> unit
+(** Undo everything recorded since creation or the last {!commit}. *)
+
+val rollback_to : t -> int -> unit
+(** Undo entries recorded after the given {!mark}. *)
+
+val commit : t -> unit
+(** Forget all recorded inverses; the mutations become permanent. *)

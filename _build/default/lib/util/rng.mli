@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the library threads an explicit [Rng.t]
+    so that runs are reproducible from a single integer seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy sharing the current position. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)

@@ -1,0 +1,32 @@
+(** Online mean / variance accumulator (Welford) plus simple descriptive
+    helpers.
+
+    The adaptive annealing schedule derives its starting temperature and
+    temperature decrements from cost statistics collected with this
+    module. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Population variance; 0 when fewer than two samples. *)
+
+val stddev : t -> float
+
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val reset : t -> unit
+
+val mean_of : float list -> float

@@ -1,0 +1,36 @@
+type align = Left | Right
+
+let render ?(align = []) ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  let note_row r = List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) r in
+  List.iter note_row all;
+  let align_of i = match List.nth_opt align i with Some a -> a | None -> Left in
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    match align_of i with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+  in
+  let line r =
+    let cells = List.mapi pad r in
+    String.concat "  " cells
+  in
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (line r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?align ~header rows =
+  print_string (render ?align ~header rows);
+  flush stdout

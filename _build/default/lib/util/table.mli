@@ -1,0 +1,12 @@
+(** Minimal fixed-width ASCII table rendering for experiment reports. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out the header and rows in aligned columns
+    separated by two spaces, with a dashed rule under the header. [align]
+    gives per-column alignment (default all [Left]; missing entries default
+    to [Left]). *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string] and a flush. *)

@@ -1,0 +1,20 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used by the netlist validator to check connectivity properties and by
+    tests to verify that routed nets form a single electrically connected
+    component. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of distinct sets. *)

@@ -1,0 +1,1 @@
+test/test_anneal.ml: Alcotest Array Float Fun List QCheck QCheck_alcotest Spr_anneal Spr_util

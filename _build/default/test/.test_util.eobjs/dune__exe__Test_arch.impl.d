@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array List QCheck QCheck_alcotest Spr_arch Spr_netlist Spr_util String

@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Filename Fun List QCheck QCheck_alcotest Spr_arch Spr_core Spr_layout Spr_netlist Spr_route Spr_timing Spr_util String Sys

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float List Spr_anneal Spr_arch Spr_core Spr_layout Spr_netlist Spr_route

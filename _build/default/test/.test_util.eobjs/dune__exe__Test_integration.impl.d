@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Printf Spr_anneal Spr_arch Spr_core Spr_netlist Spr_route Spr_seq Spr_timing

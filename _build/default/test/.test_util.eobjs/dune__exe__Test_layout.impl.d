@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array List QCheck QCheck_alcotest Spr_arch Spr_layout Spr_netlist Spr_util

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array List QCheck QCheck_alcotest Spr_netlist String

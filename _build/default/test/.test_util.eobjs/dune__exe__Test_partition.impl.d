@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Fun Printf QCheck QCheck_alcotest Spr_arch Spr_layout Spr_netlist Spr_partition Spr_route Spr_util

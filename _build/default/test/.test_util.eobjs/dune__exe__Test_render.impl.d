@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Filename List Spr_arch Spr_layout Spr_netlist Spr_render Spr_route Spr_timing Spr_util String Sys

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Hashtbl List QCheck QCheck_alcotest Spr_arch Spr_layout Spr_netlist Spr_route Spr_util

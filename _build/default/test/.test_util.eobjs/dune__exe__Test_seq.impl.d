@@ -1,0 +1,1 @@
+test/test_seq.ml: Alcotest Spr_anneal Spr_arch Spr_layout Spr_netlist Spr_route Spr_seq Spr_util

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Spr_arch Spr_layout Spr_netlist Spr_route Spr_timing Spr_util String

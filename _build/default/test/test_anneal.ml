@@ -1,0 +1,188 @@
+module Engine = Spr_anneal.Engine
+module Weights = Spr_anneal.Weights
+module Rng = Spr_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Toy problem: order an array by random adjacent swaps; cost = number of
+   inversions. Annealing should sort it (or nearly). *)
+let toy_problem seed n =
+  let rng_init = Rng.create seed in
+  let arr = Array.init n Fun.id in
+  Rng.shuffle_in_place rng_init arr;
+  let inversions () =
+    let c = ref 0 in
+    for i = 0 to n - 1 do
+      for k = i + 1 to n - 1 do
+        if arr.(i) > arr.(k) then incr c
+      done
+    done;
+    float_of_int !c
+  in
+  let pending = ref None in
+  let propose rng =
+    let i = Rng.int rng (n - 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(i + 1);
+    arr.(i + 1) <- tmp;
+    pending := Some i;
+    true
+  in
+  let undo () =
+    match !pending with
+    | None -> ()
+    | Some i ->
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(i + 1);
+      arr.(i + 1) <- tmp;
+      pending := None
+  in
+  (arr, inversions, propose, undo, pending)
+
+let test_engine_optimizes () =
+  let arr, cost, propose, undo, pending = toy_problem 3 24 in
+  let report =
+    Engine.run ~rng:(Rng.create 42) ~cost
+      ~propose
+      ~accept:(fun () -> pending := None)
+      ~reject:undo ~n:24 ()
+  in
+  Alcotest.(check bool) "cost improved" true (report.Engine.final_cost < report.Engine.initial_cost);
+  Alcotest.(check bool) "nearly sorted" true (report.Engine.final_cost < 8.0);
+  Alcotest.(check bool) "moves counted" true (report.Engine.n_moves > 0);
+  Alcotest.(check bool) "acceptances bounded" true
+    (report.Engine.n_accepted <= report.Engine.n_moves);
+  ignore arr
+
+let test_engine_deterministic () =
+  let run seed =
+    let _, cost, propose, undo, pending = toy_problem 7 20 in
+    Engine.run ~rng:(Rng.create seed) ~cost ~propose
+      ~accept:(fun () -> pending := None)
+      ~reject:undo ~n:20 ()
+  in
+  let a = run 5 and b = run 5 in
+  Alcotest.(check (float 1e-9)) "same final cost" a.Engine.final_cost b.Engine.final_cost;
+  Alcotest.(check int) "same move count" a.Engine.n_moves b.Engine.n_moves
+
+let test_engine_temperature_callbacks () =
+  let temps = ref [] in
+  let _, cost, propose, undo, pending = toy_problem 11 16 in
+  let report =
+    Engine.run
+      ~on_temperature:(fun ts -> temps := ts :: !temps)
+      ~rng:(Rng.create 1) ~cost ~propose
+      ~accept:(fun () -> pending := None)
+      ~reject:undo ~n:16 ()
+  in
+  let temps = List.rev !temps in
+  Alcotest.(check bool) "got callbacks" true (List.length temps >= 3);
+  (match temps with
+  | warmup :: rest ->
+    Alcotest.(check int) "warmup is index 0" 0 warmup.Engine.temp_index;
+    Alcotest.(check bool) "warmup at infinity" true (warmup.Engine.temperature = infinity);
+    (* temperatures decrease monotonically over the cooling phase *)
+    let cooling = List.filter (fun ts -> ts.Engine.temperature > 0.0 && ts.Engine.temperature < infinity) rest in
+    let rec decreasing = function
+      | a :: (b :: _ as rest) -> a.Engine.temperature >= b.Engine.temperature && decreasing rest
+      | [ _ ] | [] -> true
+    in
+    Alcotest.(check bool) "monotone cooling" true (decreasing cooling)
+  | [] -> Alcotest.fail "no warmup");
+  Alcotest.(check int) "report temperature count consistent" report.Engine.n_temperatures
+    (List.length temps - 1)
+
+let test_engine_quench_only_improves () =
+  (* With max_temperatures = 0 the engine goes straight from warmup to the
+     quench; quench must never accept an uphill move, so the cost at the
+     end cannot exceed the cost right after warmup. Run it twice to check
+     determinism of the path too. *)
+  let _, cost, propose, undo, pending = toy_problem 13 18 in
+  let cfg =
+    { (Engine.default_config ~n:18) with Engine.max_temperatures = 0; quench_temperatures = 3 }
+  in
+  let after_warmup = ref nan in
+  let seen_warmup = ref false in
+  let _report =
+    Engine.run ~config:cfg
+      ~on_temperature:(fun ts ->
+        if not !seen_warmup then begin
+          seen_warmup := true;
+          after_warmup := ts.Engine.mean_cost
+        end)
+      ~rng:(Rng.create 2) ~cost ~propose
+      ~accept:(fun () -> pending := None)
+      ~reject:undo ~n:18 ()
+  in
+  Alcotest.(check bool) "cost after quench <= typical warmup cost" true
+    (cost () <= !after_warmup +. 1e-9)
+
+let test_engine_no_moves () =
+  (* propose always fails: engine terminates with zero moves *)
+  let report =
+    Engine.run
+      ~rng:(Rng.create 1)
+      ~cost:(fun () -> 1.0)
+      ~propose:(fun _ -> false)
+      ~accept:(fun () -> Alcotest.fail "no move to accept")
+      ~reject:(fun () -> Alcotest.fail "no move to reject")
+      ~n:4 ()
+  in
+  Alcotest.(check int) "zero moves" 0 report.Engine.n_moves
+
+(* --- Weights --- *)
+
+let test_weights_cost () =
+  let w = Weights.create ~g_per_net:0.5 ~d_per_net:0.25 ~t_emphasis:2.0 ~initial_delay:10.0 () in
+  Alcotest.(check (float 1e-9)) "wg" 0.5 (Weights.wg w);
+  Alcotest.(check (float 1e-9)) "wd" 0.25 (Weights.wd w);
+  Alcotest.(check (float 1e-9)) "wt = emphasis / base" 0.2 (Weights.wt w);
+  Alcotest.(check (float 1e-9)) "combined" ((0.5 *. 3.0) +. (0.25 *. 2.0) +. (0.2 *. 15.0))
+    (Weights.cost w ~g:3 ~d:2 ~delay:15.0)
+
+let test_weights_adapt () =
+  let w = Weights.create ~initial_delay:10.0 () in
+  let wt0 = Weights.wt w in
+  Weights.observe w ~delay:20.0;
+  Weights.observe w ~delay:20.0;
+  Alcotest.(check (float 1e-12)) "no change before adapt" wt0 (Weights.wt w);
+  Weights.adapt w;
+  Alcotest.(check (float 1e-9)) "baseline moved to 20" (wt0 /. 2.0) (Weights.wt w);
+  (* adapt with no samples is a no-op *)
+  let wt1 = Weights.wt w in
+  Weights.adapt w;
+  Alcotest.(check (float 1e-12)) "no-op adapt" wt1 (Weights.wt w)
+
+let test_weights_validation () =
+  Alcotest.check_raises "non-positive delay"
+    (Invalid_argument "Weights.create: initial_delay must be positive") (fun () ->
+      ignore (Weights.create ~initial_delay:0.0 ()))
+
+let test_weights_normalized_invariant =
+  QCheck.Test.make ~name:"wt * baseline = emphasis after adapt" ~count:100
+    QCheck.(pair (float_range 0.5 500.0) (float_range 0.5 500.0))
+    (fun (d0, d1) ->
+      let w = Weights.create ~t_emphasis:1.0 ~initial_delay:d0 () in
+      Weights.observe w ~delay:d1;
+      Weights.adapt w;
+      Float.abs ((Weights.wt w *. d1) -. 1.0) < 1e-9)
+
+let () =
+  Alcotest.run "spr_anneal"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "optimizes toy problem" `Quick test_engine_optimizes;
+          Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+          Alcotest.test_case "temperature callbacks" `Quick test_engine_temperature_callbacks;
+          Alcotest.test_case "quench only improves" `Quick test_engine_quench_only_improves;
+          Alcotest.test_case "no moves" `Quick test_engine_no_moves;
+        ] );
+      ( "weights",
+        [
+          Alcotest.test_case "cost formula" `Quick test_weights_cost;
+          Alcotest.test_case "adaptation" `Quick test_weights_adapt;
+          Alcotest.test_case "validation" `Quick test_weights_validation;
+          qtest test_weights_normalized_invariant;
+        ] );
+    ]

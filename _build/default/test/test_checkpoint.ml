@@ -1,0 +1,270 @@
+(* Checkpoint save/restore and ECO edits. *)
+
+module Cp = Spr_core.Checkpoint
+module Eco = Spr_core.Eco
+module Rs = Spr_route.Route_state
+module Router = Spr_route.Router
+module P = Spr_layout.Placement
+module Arch = Spr_arch.Arch
+module Nl = Spr_netlist.Netlist
+module Gen = Spr_netlist.Generator
+module Rng = Spr_util.Rng
+module Sta = Spr_timing.Sta
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let routed_state ?(n_cells = 60) ?(seed = 5) ?(tracks = 22) () =
+  let nl = Gen.generate (Gen.default ~n_cells) ~seed in
+  let arch = Arch.size_for ~tracks nl in
+  let place = P.create_exn arch nl ~rng:(Rng.create (seed + 1)) in
+  let st = Rs.create place in
+  Router.route_all st;
+  (st, nl)
+
+(* --- Checkpoint --- *)
+
+let test_roundtrip () =
+  let st, nl = routed_state () in
+  let text = Cp.to_string st in
+  match Cp.of_string nl text with
+  | Error e -> Alcotest.failf "restore failed: %s" e
+  | Ok st2 ->
+    Alcotest.(check string) "identical routing state" (Rs.snapshot st) (Rs.snapshot st2);
+    (* placements agree *)
+    for c = 0 to Nl.n_cells nl - 1 do
+      Alcotest.(check bool) "same slot" true
+        (P.slot_of (Rs.place st) c = P.slot_of (Rs.place st2) c);
+      Alcotest.(check int) "same pinmap"
+        (P.pinmap_index (Rs.place st) c)
+        (P.pinmap_index (Rs.place st2) c)
+    done
+
+let test_roundtrip_many =
+  QCheck.Test.make ~name:"checkpoint round-trips arbitrary layouts" ~count:10 QCheck.small_int
+    (fun seed ->
+      let st, nl = routed_state ~seed:(seed mod 13) () in
+      match Cp.of_string nl (Cp.to_string st) with
+      | Error _ -> false
+      | Ok st2 -> Rs.snapshot st = Rs.snapshot st2)
+
+let test_roundtrip_timing_identical () =
+  let st, nl = routed_state () in
+  let sta = Sta.create Spr_timing.Delay_model.default st in
+  match Cp.of_string nl (Cp.to_string st) with
+  | Error e -> Alcotest.fail e
+  | Ok st2 ->
+    let sta2 = Sta.create Spr_timing.Delay_model.default st2 in
+    Alcotest.(check (float 1e-9)) "same critical delay" (Sta.critical_delay sta)
+      (Sta.critical_delay sta2)
+
+let test_file_roundtrip () =
+  let st, nl = routed_state () in
+  let path = Filename.temp_file "spr_ckpt" ".txt" in
+  Cp.save st path;
+  let restored = Cp.load nl path in
+  Sys.remove path;
+  match restored with
+  | Error e -> Alcotest.fail e
+  | Ok st2 -> Alcotest.(check string) "file roundtrip" (Rs.snapshot st) (Rs.snapshot st2)
+
+let test_design_mismatch () =
+  let st, _ = routed_state ~n_cells:60 () in
+  let other = Gen.generate (Gen.default ~n_cells:80) ~seed:9 in
+  match Cp.of_string other (Cp.to_string st) with
+  | Error e -> Alcotest.(check bool) "mentions mismatch" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "mismatched design accepted"
+
+let test_corrupt_inputs () =
+  let st, nl = routed_state () in
+  let text = Cp.to_string st in
+  (* truncation *)
+  (match Cp.of_string nl (String.sub text 0 (String.length text / 2)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated checkpoint accepted");
+  (* garbage line *)
+  (match Cp.of_string nl ("garbage here\n" ^ text) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  (* double-claimed spine: duplicate the first vroute line *)
+  let lines = String.split_on_char '\n' text in
+  let vlines = List.filter (fun l -> String.length l > 6 && String.sub l 0 6 = "vroute") lines in
+  match vlines with
+  | [] -> ()
+  | v :: _ -> (
+    let doubled =
+      String.concat "\n"
+        (List.concat_map (fun l -> if l = v then [ l; l ] else [ l ]) lines)
+    in
+    match Cp.of_string nl doubled with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "doubled vroute accepted")
+
+let test_fuzzed_checkpoints_never_invalid =
+  (* Randomly drop or duplicate lines: the loader must either reject the
+     text or produce a state that passes full validation. *)
+  QCheck.Test.make ~name:"fuzzed checkpoints load as Error or valid state" ~count:40
+    QCheck.small_int (fun seed ->
+      let st, nl = routed_state () in
+      let text = Cp.to_string st in
+      let rng = Rng.create seed in
+      let lines = String.split_on_char '\n' text in
+      let mutated =
+        List.concat_map
+          (fun line ->
+            match Rng.int rng 12 with
+            | 0 -> []  (* drop *)
+            | 1 -> [ line; line ]  (* duplicate *)
+            | _ -> [ line ])
+          lines
+      in
+      match Cp.of_string nl (String.concat "\n" mutated) with
+      | Error _ -> true
+      | Ok st2 -> ( match Rs.check st2 with Ok () -> true | Error _ -> false))
+
+(* --- Eco --- *)
+
+let make_eco () =
+  let st, nl = routed_state ~tracks:26 () in
+  let sta = Sta.create Spr_timing.Delay_model.default st in
+  (Eco.create st sta, st, nl)
+
+let test_eco_swap_commit () =
+  let eco, st, nl = make_eco () in
+  (* find two comb cells to swap *)
+  let combs =
+    List.filter
+      (fun c ->
+        Spr_netlist.Cell_kind.equal (Nl.cell nl c).Nl.kind Spr_netlist.Cell_kind.Comb)
+      (List.init (Nl.n_cells nl) Fun.id)
+  in
+  match combs with
+  | a :: b :: _ -> (
+    match Eco.swap_cells eco a b with
+    | Error e -> Alcotest.fail e
+    | Ok delta ->
+      Alcotest.(check bool) "pending" true (Eco.pending eco);
+      Alcotest.(check (list int)) "moved cells" (List.sort compare [ a; b ])
+        (List.sort compare delta.Eco.moved_cells);
+      Alcotest.(check bool) "delay fields populated" true (delta.Eco.delay_after_ns > 0.0);
+      Eco.commit eco;
+      Alcotest.(check bool) "not pending after commit" false (Eco.pending eco);
+      (match Rs.check st with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "state invalid after commit: %s" e);
+      (* the swap really happened *)
+      Alcotest.(check bool) "cells actually swapped" true
+        (P.slot_of (Rs.place st) a <> P.slot_of (Rs.place st) b))
+  | _ -> Alcotest.fail "not enough comb cells"
+
+let test_eco_rollback_exact () =
+  let eco, st, nl = make_eco () in
+  let before = Rs.snapshot st in
+  let delay_before = Eco.critical_delay eco in
+  (match Eco.swap_cells eco 0 1 with
+  | Error _ -> ()  (* an illegal pair is fine for this test *)
+  | Ok _ -> Eco.rollback eco);
+  Alcotest.(check string) "state restored" before (Rs.snapshot st);
+  Alcotest.(check (float 1e-9)) "delay restored" delay_before (Eco.critical_delay eco);
+  ignore nl
+
+let test_eco_move_to_empty () =
+  let eco, st, nl = make_eco () in
+  (* find an empty interior slot *)
+  let arch = Rs.arch st in
+  let place = Rs.place st in
+  let empty = ref None in
+  for row = 1 to arch.Arch.rows - 2 do
+    for col = 1 to arch.Arch.cols - 2 do
+      if !empty = None && P.cell_at place { P.row; col } = None then
+        empty := Some { P.row; col }
+    done
+  done;
+  (* find a comb cell *)
+  let comb =
+    List.find
+      (fun c ->
+        Spr_netlist.Cell_kind.equal (Nl.cell nl c).Nl.kind Spr_netlist.Cell_kind.Comb)
+      (List.init (Nl.n_cells nl) Fun.id)
+  in
+  match !empty with
+  | None -> ()  (* fully packed fabric; nothing to test *)
+  | Some dest -> (
+    match Eco.move_cell eco ~cell:comb ~dest with
+    | Error e -> Alcotest.fail e
+    | Ok _ ->
+      Eco.commit eco;
+      Alcotest.(check bool) "cell moved" true (P.slot_of place comb = dest))
+
+let test_eco_illegal_moves () =
+  let eco, st, nl = make_eco () in
+  let arch = Rs.arch st in
+  (* a pad cannot move to the interior *)
+  let pad =
+    List.find
+      (fun c -> Spr_netlist.Cell_kind.is_io (Nl.cell nl c).Nl.kind)
+      (List.init (Nl.n_cells nl) Fun.id)
+  in
+  let interior = { P.row = arch.Arch.rows / 2; col = arch.Arch.cols / 2 } in
+  (match Eco.move_cell eco ~cell:pad ~dest:interior with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "pad moved into the interior");
+  (* self swap *)
+  (match Eco.swap_cells eco 3 3 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "self swap accepted");
+  (* same pinmap *)
+  match Eco.set_pinmap eco ~cell:3 ~index:(P.pinmap_index (Rs.place st) 3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "no-op pinmap accepted"
+
+let test_eco_pending_guard () =
+  let eco, _, _ = make_eco () in
+  match Eco.swap_cells eco 0 1 with
+  | Error _ -> ()
+  | Ok _ -> (
+    match Eco.swap_cells eco 2 3 with
+    | Error _ -> Eco.rollback eco
+    | Ok _ -> Alcotest.fail "second edit accepted while pending")
+
+let test_eco_pinmap_edit () =
+  let eco, st, nl = make_eco () in
+  let cell = 0 in
+  if P.palette_size (Rs.place st) cell >= 2 then begin
+    let old_idx = P.pinmap_index (Rs.place st) cell in
+    let index = (old_idx + 1) mod P.palette_size (Rs.place st) cell in
+    match Eco.set_pinmap eco ~cell ~index with
+    | Error e -> Alcotest.fail e
+    | Ok delta ->
+      Alcotest.(check (list int)) "only this cell" [ cell ] delta.Eco.moved_cells;
+      Eco.commit eco;
+      Alcotest.(check int) "pinmap changed" index (P.pinmap_index (Rs.place st) cell);
+      match Rs.check st with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "state invalid: %s" e
+  end;
+  ignore nl
+
+let () =
+  Alcotest.run "spr_checkpoint_eco"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "timing identical after restore" `Quick
+            test_roundtrip_timing_identical;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "design mismatch rejected" `Quick test_design_mismatch;
+          Alcotest.test_case "corrupt inputs rejected" `Quick test_corrupt_inputs;
+          qtest test_roundtrip_many;
+          qtest test_fuzzed_checkpoints_never_invalid;
+        ] );
+      ( "eco",
+        [
+          Alcotest.test_case "swap and commit" `Quick test_eco_swap_commit;
+          Alcotest.test_case "rollback is exact" `Quick test_eco_rollback_exact;
+          Alcotest.test_case "move to empty slot" `Quick test_eco_move_to_empty;
+          Alcotest.test_case "illegal edits rejected" `Quick test_eco_illegal_moves;
+          Alcotest.test_case "pending guard" `Quick test_eco_pending_guard;
+          Alcotest.test_case "pinmap edit" `Quick test_eco_pinmap_edit;
+        ] );
+    ]

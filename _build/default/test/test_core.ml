@@ -1,0 +1,166 @@
+module Tool = Spr_core.Tool
+module Dynamics = Spr_core.Dynamics
+module Rs = Spr_route.Route_state
+module Arch = Spr_arch.Arch
+module Nl = Spr_netlist.Netlist
+module Gen = Spr_netlist.Generator
+module Engine = Spr_anneal.Engine
+
+(* Small, quick anneal profile so the suite stays fast. *)
+let quick_config ?(seed = 1) n =
+  {
+    Tool.default_config with
+    Tool.seed;
+    validate = true;
+    anneal =
+      Some
+        {
+          (Engine.default_config ~n) with
+          Engine.moves_per_temp = max 200 (3 * n);
+          warmup_moves = 200;
+          max_temperatures = 25;
+        };
+  }
+
+let small_case ?(n_cells = 60) ?(seed = 7) ?(tracks = 20) () =
+  let nl = Gen.generate (Gen.default ~n_cells) ~seed in
+  let arch = Arch.size_for ~tracks nl in
+  (arch, nl)
+
+let test_run_routes_small_circuit () =
+  let arch, nl = small_case () in
+  let r = Tool.run_exn ~config:(quick_config (Nl.n_cells nl)) arch nl in
+  Alcotest.(check bool) "fully routed" true r.Tool.fully_routed;
+  Alcotest.(check int) "g zero" 0 r.Tool.g;
+  Alcotest.(check int) "d zero" 0 r.Tool.d;
+  Alcotest.(check bool) "positive delay" true (r.Tool.critical_delay > 0.0);
+  (* the result state is internally consistent (validate=true already
+     checked during the run; check the final state again explicitly) *)
+  (match Rs.check r.Tool.route with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "final route state invalid: %s" e);
+  match Spr_layout.Placement.check r.Tool.place with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "final placement invalid: %s" e
+
+let test_run_deterministic () =
+  let arch, nl = small_case () in
+  let cfg = quick_config (Nl.n_cells nl) in
+  let a = Tool.run_exn ~config:cfg arch nl in
+  let b = Tool.run_exn ~config:cfg arch nl in
+  Alcotest.(check (float 1e-9)) "same final delay" a.Tool.critical_delay b.Tool.critical_delay;
+  Alcotest.(check int) "same move count" a.Tool.anneal_report.Engine.n_moves
+    b.Tool.anneal_report.Engine.n_moves
+
+let test_run_seed_matters () =
+  let arch, nl = small_case () in
+  let a = Tool.run_exn ~config:(quick_config ~seed:1 (Nl.n_cells nl)) arch nl in
+  let b = Tool.run_exn ~config:(quick_config ~seed:2 (Nl.n_cells nl)) arch nl in
+  (* different seeds explore different layouts; delays should differ *)
+  Alcotest.(check bool) "different outcomes" true
+    (Float.abs (a.Tool.critical_delay -. b.Tool.critical_delay) > 1e-9)
+
+let test_dynamics_recorded () =
+  let arch, nl = small_case () in
+  let r = Tool.run_exn ~config:(quick_config (Nl.n_cells nl)) arch nl in
+  let samples = r.Tool.dynamics in
+  Alcotest.(check bool) "samples recorded" true (List.length samples >= 3);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "cell pct in range" true
+        (s.Dynamics.pct_cells_perturbed >= 0.0 && s.Dynamics.pct_cells_perturbed <= 100.0);
+      Alcotest.(check bool) "unrouted pct >= globally-unrouted pct" true
+        (s.Dynamics.pct_nets_unrouted >= s.Dynamics.pct_nets_globally_unrouted -. 1e-9))
+    samples;
+  (* the last sample should be fully routed for this easy fabric *)
+  let last = List.nth samples (List.length samples - 1) in
+  Alcotest.(check (float 1e-6)) "ends fully routed" 0.0 last.Dynamics.pct_nets_unrouted;
+  (* activity decays: the first cooling sample perturbs more cells than
+     the last *)
+  match samples with
+  | first :: _ ->
+    Alcotest.(check bool) "placement activity decays" true
+      (first.Dynamics.pct_cells_perturbed >= last.Dynamics.pct_cells_perturbed)
+  | [] -> Alcotest.fail "no samples"
+
+let test_cost_improves () =
+  let arch, nl = small_case () in
+  let r = Tool.run_exn ~config:(quick_config (Nl.n_cells nl)) arch nl in
+  Alcotest.(check bool) "final cost below initial" true
+    (r.Tool.anneal_report.Engine.final_cost < r.Tool.anneal_report.Engine.initial_cost)
+
+let test_pinmap_moves_can_be_disabled () =
+  let arch, nl = small_case () in
+  let cfg = { (quick_config (Nl.n_cells nl)) with Tool.enable_pinmap_moves = false } in
+  let r = Tool.run_exn ~config:cfg arch nl in
+  Alcotest.(check bool) "still completes" true (r.Tool.critical_delay > 0.0);
+  (* all pinmaps stay at palette entry 0 *)
+  for c = 0 to Nl.n_cells nl - 1 do
+    Alcotest.(check int) "pinmap untouched" 0 (Spr_layout.Placement.pinmap_index r.Tool.place c)
+  done
+
+let test_timing_driven_routing () =
+  let arch, nl = small_case () in
+  let cfg =
+    { (quick_config (Nl.n_cells nl)) with Tool.timing_driven_routing = true }
+  in
+  let r = Tool.run_exn ~config:cfg arch nl in
+  Alcotest.(check bool) "routes with criticality ordering" true r.Tool.fully_routed;
+  (match Rs.check r.Tool.route with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid state: %s" e)
+
+let test_run_rejects_cycles () =
+  let b = Nl.Builder.create () in
+  let a = Nl.Builder.add_cell b ~name:"a" ~kind:Spr_netlist.Cell_kind.Comb ~n_inputs:1 in
+  let c = Nl.Builder.add_cell b ~name:"c" ~kind:Spr_netlist.Cell_kind.Comb ~n_inputs:1 in
+  let na = Nl.Builder.add_net b ~name:"na" ~driver:a in
+  let nc = Nl.Builder.add_net b ~name:"nc" ~driver:c in
+  Nl.Builder.add_sink b ~net:na ~cell:c ~pin:0;
+  Nl.Builder.add_sink b ~net:nc ~cell:a ~pin:0;
+  let nl = Nl.Builder.finish_exn b in
+  let arch = Arch.create ~rows:2 ~cols:4 ~tracks:4 () in
+  match Tool.run arch nl with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "combinational cycle accepted"
+
+let test_run_rejects_overflow () =
+  let nl = Gen.generate (Gen.default ~n_cells:100) ~seed:1 in
+  let arch = Arch.create ~rows:2 ~cols:5 ~tracks:4 () in
+  match Tool.run arch nl with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overfull fabric accepted"
+
+let test_dynamics_module () =
+  let d = Dynamics.create ~n_cells:10 in
+  Dynamics.note_accepted_cells d [ 1; 2; 2; 3 ];
+  Dynamics.flush d ~temp_index:1 ~temperature:5.0 ~g_frac:0.5 ~d_frac:0.75 ~acceptance:0.9
+    ~cost:1.0 ~critical_delay:10.0;
+  Dynamics.note_accepted_cells d [ 4 ];
+  Dynamics.flush d ~temp_index:2 ~temperature:2.5 ~g_frac:0.0 ~d_frac:0.25 ~acceptance:0.5
+    ~cost:0.5 ~critical_delay:9.0;
+  match Dynamics.samples d with
+  | [ s1; s2 ] ->
+    Alcotest.(check (float 1e-9)) "3 distinct cells of 10" 30.0 s1.Dynamics.pct_cells_perturbed;
+    Alcotest.(check (float 1e-9)) "reset between temps" 10.0 s2.Dynamics.pct_cells_perturbed;
+    Alcotest.(check (float 1e-9)) "g pct scaled" 50.0 s1.Dynamics.pct_nets_globally_unrouted;
+    Alcotest.(check (float 1e-9)) "d pct scaled" 25.0 s2.Dynamics.pct_nets_unrouted
+  | other -> Alcotest.failf "expected 2 samples, got %d" (List.length other)
+
+let () =
+  Alcotest.run "spr_core"
+    [
+      ( "tool",
+        [
+          Alcotest.test_case "routes a small circuit" `Slow test_run_routes_small_circuit;
+          Alcotest.test_case "deterministic per seed" `Slow test_run_deterministic;
+          Alcotest.test_case "seed changes outcome" `Slow test_run_seed_matters;
+          Alcotest.test_case "cost improves" `Slow test_cost_improves;
+          Alcotest.test_case "dynamics recorded" `Slow test_dynamics_recorded;
+          Alcotest.test_case "pinmap moves can be disabled" `Slow test_pinmap_moves_can_be_disabled;
+          Alcotest.test_case "timing-driven routing" `Slow test_timing_driven_routing;
+          Alcotest.test_case "rejects comb cycles" `Quick test_run_rejects_cycles;
+          Alcotest.test_case "rejects overfull fabric" `Quick test_run_rejects_overflow;
+        ] );
+      ("dynamics", [ Alcotest.test_case "bookkeeping" `Quick test_dynamics_module ]);
+    ]

@@ -1,0 +1,179 @@
+module P = Spr_layout.Placement
+module Arch = Spr_arch.Arch
+module Nl = Spr_netlist.Netlist
+module Ck = Spr_netlist.Cell_kind
+module Gen = Spr_netlist.Generator
+module Rng = Spr_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let make_place ?(n_cells = 80) ?(seed = 5) ?(tracks = 12) () =
+  let nl = Gen.generate (Gen.default ~n_cells) ~seed in
+  let arch = Arch.size_for ~tracks nl in
+  let rng = Rng.create (seed + 1) in
+  (P.create_exn arch nl ~rng, nl, arch)
+
+let check_ok place label =
+  match P.check place with Ok () -> () | Error e -> Alcotest.failf "%s: %s" label e
+
+let test_create_legal () =
+  let place, nl, arch = make_place () in
+  check_ok place "fresh placement";
+  (* every I/O pad on the perimeter *)
+  Array.iter
+    (fun c ->
+      if Ck.is_io c.Nl.kind then begin
+        let s = P.slot_of place c.Nl.id in
+        Alcotest.(check bool) "pad on perimeter" true
+          (Arch.is_perimeter arch ~row:s.P.row ~col:s.P.col)
+      end)
+    (Nl.cells nl)
+
+let test_create_fails_when_too_small () =
+  let nl = Gen.generate (Gen.default ~n_cells:100) ~seed:1 in
+  let tiny = Arch.create ~rows:2 ~cols:4 ~tracks:4 () in
+  match P.create tiny nl ~rng:(Rng.create 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should not fit"
+
+let test_bijection () =
+  let place, nl, arch = make_place () in
+  (* each occupied slot points back at its cell *)
+  for c = 0 to Nl.n_cells nl - 1 do
+    let s = P.slot_of place c in
+    Alcotest.(check (option int)) "slot points back" (Some c) (P.cell_at place s)
+  done;
+  (* count occupied slots = n_cells *)
+  let occupied = ref 0 in
+  for row = 0 to arch.Arch.rows - 1 do
+    for col = 0 to arch.Arch.cols - 1 do
+      if P.cell_at place { P.row; col } <> None then incr occupied
+    done
+  done;
+  Alcotest.(check int) "occupancy" (Nl.n_cells nl) !occupied
+
+let test_swap_involutive =
+  QCheck.Test.make ~name:"swap twice restores the placement" ~count:100
+    QCheck.(pair small_int small_int)
+    (fun (seed, move_seed) ->
+      let place, nl, _ = make_place ~seed:(seed mod 17) () in
+      let rng = Rng.create move_seed in
+      let before = Array.init (Nl.n_cells nl) (fun c -> P.slot_of place c) in
+      let a = P.random_occupied_slot place rng in
+      let b = P.random_slot place rng in
+      P.swap_slots place a b;
+      P.swap_slots place a b;
+      Array.for_all2 ( = ) before (Array.init (Nl.n_cells nl) (fun c -> P.slot_of place c)))
+
+let test_random_swaps_keep_invariants =
+  QCheck.Test.make ~name:"legal random swaps keep placement valid" ~count:50 QCheck.small_int
+    (fun seed ->
+      let place, _, _ = make_place ~seed:(seed mod 13) () in
+      let rng = Rng.create (seed + 100) in
+      for _ = 1 to 200 do
+        let a = P.random_occupied_slot place rng in
+        let b = P.random_slot place rng in
+        if P.swap_legal place a b then P.swap_slots place a b
+      done;
+      match P.check place with Ok () -> true | Error _ -> false)
+
+let test_swap_legal_io () =
+  let place, nl, arch = make_place () in
+  (* moving a pad to an interior slot must be illegal *)
+  let pad =
+    Array.to_list (Nl.cells nl)
+    |> List.find (fun c -> Ck.is_io c.Nl.kind)
+  in
+  let interior = { P.row = arch.Arch.rows / 2; col = arch.Arch.cols / 2 } in
+  Alcotest.(check bool) "interior slot not perimeter" false
+    (Arch.is_perimeter arch ~row:interior.P.row ~col:interior.P.col);
+  Alcotest.(check bool) "pad cannot move inside" false
+    (P.swap_legal place (P.slot_of place pad.Nl.id) interior)
+
+let test_pinmap_assignment () =
+  let place, nl, _ = make_place () in
+  let cell = 0 in
+  Alcotest.(check int) "default pinmap 0" 0 (P.pinmap_index place cell);
+  let size = P.palette_size place cell in
+  Alcotest.(check bool) "palette nonempty" true (size >= 1);
+  if size > 1 then begin
+    P.set_pinmap place ~cell ~index:1;
+    Alcotest.(check int) "pinmap set" 1 (P.pinmap_index place cell)
+  end;
+  ignore nl
+
+let test_pin_channel_sides () =
+  let place, nl, _ = make_place () in
+  (* find a cell with at least 2 pins so both sides appear in some
+     palette entry; verify pin_channel is row or row+1 *)
+  for c = 0 to Nl.n_cells nl - 1 do
+    let s = P.slot_of place c in
+    for pin = 0 to Nl.n_pins nl c - 1 do
+      let ch = P.pin_channel place ~cell:c ~pin in
+      Alcotest.(check bool) "channel adjacent to row" true (ch = s.P.row || ch = s.P.row + 1);
+      Alcotest.(check int) "pin col = cell col" s.P.col (P.pin_col place ~cell:c ~pin)
+    done
+  done
+
+let test_pinmap_flips_channel () =
+  let place, _, _ = make_place () in
+  let cell = 0 in
+  if P.palette_size place cell >= 2 then begin
+    let s = P.slot_of place cell in
+    P.set_pinmap place ~cell ~index:0;
+    let ch0 = P.pin_channel place ~cell ~pin:0 in
+    P.set_pinmap place ~cell ~index:1;
+    let ch1 = P.pin_channel place ~cell ~pin:0 in
+    (* palette entry 0 is all-bottom, entry 1 all-top *)
+    Alcotest.(check int) "bottom = row" s.P.row ch0;
+    Alcotest.(check int) "top = row+1" (s.P.row + 1) ch1
+  end
+
+let test_net_spans () =
+  let place, nl, _ = make_place () in
+  for net = 0 to Nl.n_nets nl - 1 do
+    let pins = P.net_pin_positions place net in
+    let expected_n =
+      1 + Array.length (Nl.net nl net).Nl.sinks
+    in
+    Alcotest.(check int) "pin count = 1 + sinks" expected_n (List.length pins);
+    match P.net_channel_span place net, P.net_col_span place net with
+    | Some (clo, chi), Some (xlo, xhi) ->
+      List.iter
+        (fun (ch, col) ->
+          Alcotest.(check bool) "pin inside channel span" true (clo <= ch && ch <= chi);
+          Alcotest.(check bool) "pin inside col span" true (xlo <= col && col <= xhi))
+        pins;
+      Alcotest.(check int) "half perimeter" ((chi - clo) + (xhi - xlo)) (P.half_perimeter place net)
+    | _, _ -> Alcotest.fail "net with pins lacks spans"
+  done
+
+let test_random_occupied () =
+  let place, _, _ = make_place () in
+  let rng = Rng.create 123 in
+  for _ = 1 to 100 do
+    let s = P.random_occupied_slot place rng in
+    Alcotest.(check bool) "occupied" true (P.cell_at place s <> None)
+  done
+
+let () =
+  Alcotest.run "spr_layout"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "create is legal" `Quick test_create_legal;
+          Alcotest.test_case "create fails when too small" `Quick test_create_fails_when_too_small;
+          Alcotest.test_case "bijection" `Quick test_bijection;
+          Alcotest.test_case "swap legality for pads" `Quick test_swap_legal_io;
+          Alcotest.test_case "random occupied slot" `Quick test_random_occupied;
+          qtest test_swap_involutive;
+          qtest test_random_swaps_keep_invariants;
+        ] );
+      ( "pins",
+        [
+          Alcotest.test_case "pinmap assignment" `Quick test_pinmap_assignment;
+          Alcotest.test_case "pin channels adjacent" `Quick test_pin_channel_sides;
+          Alcotest.test_case "pinmap flips channel" `Quick test_pinmap_flips_channel;
+          Alcotest.test_case "net spans" `Quick test_net_spans;
+        ] );
+    ]

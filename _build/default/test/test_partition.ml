@@ -1,0 +1,183 @@
+module Fm = Spr_partition.Fm
+module Mc = Spr_partition.Multi_chip
+module Nl = Spr_netlist.Netlist
+module Gen = Spr_netlist.Generator
+module Rng = Spr_util.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let circuit ?(n_cells = 120) ?(seed = 3) () = Gen.generate (Gen.default ~n_cells) ~seed
+
+(* --- Fm --- *)
+
+let random_balanced_cut nl rng =
+  let n = Nl.n_cells nl in
+  let order = Array.init n Fun.id in
+  Rng.shuffle_in_place rng order;
+  let side = Array.make n false in
+  for i = 0 to (n / 2) - 1 do
+    side.(order.(i)) <- true
+  done;
+  Fm.cut_size nl side
+
+let test_fm_beats_random () =
+  let nl = circuit () in
+  let rng = Rng.create 7 in
+  let random_cut = random_balanced_cut nl (Rng.create 99) in
+  let r = Fm.bipartition ~rng nl in
+  Alcotest.(check bool)
+    (Printf.sprintf "fm cut %d < random cut %d" r.Fm.cut_nets random_cut)
+    true
+    (r.Fm.cut_nets < random_cut);
+  Alcotest.(check int) "cut agrees with census" r.Fm.cut_nets (Fm.cut_size nl r.Fm.side)
+
+let test_fm_balance =
+  QCheck.Test.make ~name:"fm respects the balance constraint" ~count:15 QCheck.small_int
+    (fun seed ->
+      let nl = circuit ~seed:(seed mod 11) () in
+      let n = Nl.n_cells nl in
+      let balance = 0.10 in
+      let r = Fm.bipartition ~balance ~rng:(Rng.create seed) nl in
+      let b = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 r.Fm.side in
+      let a = n - b in
+      let slack = int_of_float (balance *. float_of_int n) + 1 in
+      abs (a - b) <= 2 * slack)
+
+let test_fm_deterministic () =
+  let nl = circuit () in
+  let a = Fm.bipartition ~rng:(Rng.create 5) nl in
+  let b = Fm.bipartition ~rng:(Rng.create 5) nl in
+  Alcotest.(check int) "same cut" a.Fm.cut_nets b.Fm.cut_nets;
+  Alcotest.(check bool) "same assignment" true (a.Fm.side = b.Fm.side)
+
+let test_fm_tiny () =
+  (* 0/1-cell netlists are handled without crashing *)
+  let b = Nl.Builder.create () in
+  let _pi = Nl.Builder.add_cell b ~name:"pi" ~kind:Spr_netlist.Cell_kind.Input ~n_inputs:0 in
+  let nl = Nl.Builder.finish_exn b in
+  let r = Fm.bipartition ~rng:(Rng.create 1) nl in
+  Alcotest.(check int) "no cut" 0 r.Fm.cut_nets
+
+(* --- Multi_chip --- *)
+
+let test_split_structure () =
+  let nl = circuit () in
+  let split, fm = Mc.bipartition_and_split ~rng:(Rng.create 3) nl in
+  Alcotest.(check int) "two pieces" 2 (Array.length split.Mc.pieces);
+  Alcotest.(check int) "cut matches fm" fm.Fm.cut_nets split.Mc.cut_nets;
+  (* each piece is a valid netlist that levelizes *)
+  Array.iter
+    (fun piece ->
+      match Spr_netlist.Levelize.run piece.Mc.netlist with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "piece does not levelize: %s" e)
+    split.Mc.pieces;
+  (* every original cell appears in exactly one piece *)
+  let seen = Array.make (Nl.n_cells nl) 0 in
+  Array.iter
+    (fun piece ->
+      Array.iter (fun orig -> if orig >= 0 then seen.(orig) <- seen.(orig) + 1) piece.Mc.orig_cell)
+    split.Mc.pieces;
+  Array.iteri
+    (fun c count -> Alcotest.(check int) (Printf.sprintf "cell %d once" c) 1 count)
+    seen;
+  (* piece cell totals = original cells + pads *)
+  let total =
+    Array.fold_left (fun acc p -> acc + Nl.n_cells p.Mc.netlist) 0 split.Mc.pieces
+  in
+  Alcotest.(check int) "totals add up" (Nl.n_cells nl + split.Mc.pads_added) total
+
+let test_split_preserves_kinds () =
+  let nl = circuit () in
+  let split, _ = Mc.bipartition_and_split ~rng:(Rng.create 3) nl in
+  Array.iter
+    (fun piece ->
+      Array.iteri
+        (fun local orig ->
+          if orig >= 0 then begin
+            let pk = (Nl.cell piece.Mc.netlist local).Nl.kind in
+            let ok = (Nl.cell nl orig).Nl.kind in
+            Alcotest.(check bool) "kind preserved" true (Spr_netlist.Cell_kind.equal pk ok)
+          end)
+        piece.Mc.orig_cell)
+    split.Mc.pieces
+
+let test_split_pad_count () =
+  let nl = circuit () in
+  let split, _ = Mc.bipartition_and_split ~rng:(Rng.create 3) nl in
+  (* a 2-way cut net creates exactly one xout and one xin *)
+  Alcotest.(check int) "pads = 2 * cut for a bipartition" (2 * split.Mc.cut_nets)
+    split.Mc.pads_added
+
+let test_pieces_route_independently () =
+  let nl = circuit ~n_cells:100 () in
+  let split, _ = Mc.bipartition_and_split ~rng:(Rng.create 3) nl in
+  Array.iter
+    (fun piece ->
+      let arch = Spr_arch.Arch.size_for ~tracks:24 piece.Mc.netlist in
+      let place =
+        Spr_layout.Placement.create_exn arch piece.Mc.netlist ~rng:(Rng.create 2)
+      in
+      let st = Spr_route.Route_state.create place in
+      Spr_route.Router.route_all st;
+      (* most nets route on a fresh random placement of a half-size
+         piece; full routing is the anneal's job, not route_all's *)
+      Alcotest.(check bool) "piece mostly routable" true
+        (Spr_route.Route_state.d_count st
+        < max 3 (Spr_route.Route_state.n_routable st / 4)))
+    split.Mc.pieces
+
+let test_kway () =
+  let nl = circuit ~n_cells:160 () in
+  let parts = Mc.kway ~rng:(Rng.create 5) ~k:4 nl in
+  let counts = Array.make 4 0 in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "part in range" true (p >= 0 && p < 4);
+      counts.(p) <- counts.(p) + 1)
+    parts;
+  Array.iteri
+    (fun p c ->
+      Alcotest.(check bool) (Printf.sprintf "part %d nonempty and bounded" p) true
+        (c > 0 && c < Nl.n_cells nl))
+    counts;
+  (* the 4-way split materializes *)
+  let split = Mc.split nl ~parts ~n_parts:4 in
+  Alcotest.(check int) "four pieces" 4 (Array.length split.Mc.pieces);
+  Array.iter
+    (fun piece ->
+      match Spr_netlist.Levelize.run piece.Mc.netlist with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "4-way piece does not levelize: %s" e)
+    split.Mc.pieces
+
+let test_split_identity () =
+  (* everything in one part: no pads, no cut *)
+  let nl = circuit () in
+  let parts = Array.make (Nl.n_cells nl) 0 in
+  let split = Mc.split nl ~parts ~n_parts:1 in
+  Alcotest.(check int) "no cut" 0 split.Mc.cut_nets;
+  Alcotest.(check int) "no pads" 0 split.Mc.pads_added;
+  Alcotest.(check int) "same cell count" (Nl.n_cells nl)
+    (Nl.n_cells split.Mc.pieces.(0).Mc.netlist)
+
+let () =
+  Alcotest.run "spr_partition"
+    [
+      ( "fm",
+        [
+          Alcotest.test_case "beats a random cut" `Quick test_fm_beats_random;
+          Alcotest.test_case "deterministic" `Quick test_fm_deterministic;
+          Alcotest.test_case "tiny netlists" `Quick test_fm_tiny;
+          qtest test_fm_balance;
+        ] );
+      ( "multi_chip",
+        [
+          Alcotest.test_case "split structure" `Quick test_split_structure;
+          Alcotest.test_case "kinds preserved" `Quick test_split_preserves_kinds;
+          Alcotest.test_case "pad counts" `Quick test_split_pad_count;
+          Alcotest.test_case "pieces route independently" `Quick test_pieces_route_independently;
+          Alcotest.test_case "4-way" `Quick test_kway;
+          Alcotest.test_case "identity split" `Quick test_split_identity;
+        ] );
+    ]

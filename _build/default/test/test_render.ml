@@ -1,0 +1,135 @@
+module Svg = Spr_render.Svg
+module Die = Spr_render.Die_plot
+module Rs = Spr_route.Route_state
+module Router = Spr_route.Router
+module Arch = Spr_arch.Arch
+module Gen = Spr_netlist.Generator
+module Nl = Spr_netlist.Netlist
+module Rng = Spr_util.Rng
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec loop i = i + n <= m && (String.sub s i n = sub || loop (i + 1)) in
+  n = 0 || loop 0
+
+let routed_state ?(n_cells = 60) ?(seed = 5) () =
+  let nl = Gen.generate (Gen.default ~n_cells) ~seed in
+  let arch = Arch.size_for ~tracks:24 nl in
+  let place = Spr_layout.Placement.create_exn arch nl ~rng:(Rng.create (seed + 1)) in
+  let st = Rs.create place in
+  Router.route_all st;
+  (st, nl)
+
+(* --- Svg --- *)
+
+let test_svg_document () =
+  let svg = Svg.create ~width:100.0 ~height:50.0 in
+  Svg.rect svg ~x:1.0 ~y:2.0 ~w:10.0 ~h:5.0 ~fill:"red" ();
+  Svg.line svg ~x1:0.0 ~y1:0.0 ~x2:9.0 ~y2:9.0 ();
+  Svg.circle svg ~cx:5.0 ~cy:5.0 ~r:2.0 ();
+  Svg.text svg ~x:3.0 ~y:4.0 "hello <world> & \"you\"";
+  Svg.comment svg "a comment";
+  let doc = Svg.to_string svg in
+  Alcotest.(check bool) "xml header" true (contains_sub ~sub:"<?xml" doc);
+  Alcotest.(check bool) "svg open tag" true (contains_sub ~sub:"<svg" doc);
+  Alcotest.(check bool) "svg close tag" true (contains_sub ~sub:"</svg>" doc);
+  Alcotest.(check bool) "rect present" true (contains_sub ~sub:"<rect" doc);
+  Alcotest.(check bool) "line present" true (contains_sub ~sub:"<line" doc);
+  Alcotest.(check bool) "circle present" true (contains_sub ~sub:"<circle" doc);
+  Alcotest.(check bool) "text escaped lt" true (contains_sub ~sub:"&lt;world&gt;" doc);
+  Alcotest.(check bool) "text escaped amp" true (contains_sub ~sub:"&amp;" doc);
+  Alcotest.(check bool) "no raw angle in text" false (contains_sub ~sub:"<world>" doc)
+
+let test_svg_save () =
+  let svg = Svg.create ~width:10.0 ~height:10.0 in
+  Svg.rect svg ~x:0.0 ~y:0.0 ~w:1.0 ~h:1.0 ();
+  let path = Filename.temp_file "spr_test" ".svg" in
+  Svg.save svg path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "file contents" (Svg.to_string svg) text
+
+(* --- Die_plot --- *)
+
+let test_die_plot_svg () =
+  let st, nl = routed_state () in
+  let doc = Svg.to_string (Die.to_svg st) in
+  Alcotest.(check bool) "valid document" true (contains_sub ~sub:"</svg>" doc);
+  (* one rect per cell plus channel backgrounds and the frame *)
+  let count sub =
+    let rec loop i acc =
+      if i >= String.length doc then acc
+      else if i + String.length sub <= String.length doc && String.sub doc i (String.length sub) = sub
+      then loop (i + 1) (acc + 1)
+      else loop (i + 1) acc
+    in
+    loop 0 0
+  in
+  let arch = Rs.arch st in
+  Alcotest.(check bool) "a rect per cell at least" true
+    (count "<rect" >= Nl.n_cells nl + arch.Arch.n_channels);
+  Alcotest.(check bool) "claimed/free segments drawn" true (count "<line" > 50)
+
+let test_die_plot_highlight () =
+  let st, _ = routed_state () in
+  let doc = Svg.to_string (Die.to_svg ~highlight:[ 0; 1 ] st) in
+  Alcotest.(check bool) "highlight color present" true (contains_sub ~sub:"#d62728" doc)
+
+let test_die_plot_no_free_segments () =
+  let st, _ = routed_state () in
+  let with_free = String.length (Svg.to_string (Die.to_svg ~show_free_segments:true st)) in
+  let without = String.length (Svg.to_string (Die.to_svg ~show_free_segments:false st)) in
+  Alcotest.(check bool) "free segments add bulk" true (with_free > without)
+
+let test_ascii () =
+  let st, nl = routed_state () in
+  let text = Die.to_ascii st in
+  let arch = Rs.arch st in
+  let lines = String.split_on_char '\n' text in
+  (* channels + rows + summary + trailing empty *)
+  Alcotest.(check int) "line count"
+    (arch.Arch.n_channels + arch.Arch.rows + 2)
+    (List.length lines);
+  Alcotest.(check bool) "mentions routed counts" true (contains_sub ~sub:"nets routed" text);
+  (* cell characters appear *)
+  let body = String.concat "\n" lines in
+  Alcotest.(check bool) "comb cells shown" true (contains_sub ~sub:"c" body);
+  ignore nl
+
+let test_critical_nets () =
+  let st, nl = routed_state () in
+  let sta = Spr_timing.Sta.create Spr_timing.Delay_model.default st in
+  let nets = Die.critical_nets sta st in
+  Alcotest.(check bool) "nonempty for a real design" true (nets <> []);
+  List.iter
+    (fun net ->
+      Alcotest.(check bool) "valid net ids" true (net >= 0 && net < Nl.n_nets nl))
+    nets;
+  (* every reported net connects consecutive cells of the critical path *)
+  let path = Spr_timing.Sta.critical_path sta in
+  List.iter
+    (fun net ->
+      let driver = (Nl.net nl net).Nl.driver in
+      Alcotest.(check bool) "net driver on path" true (List.mem driver path))
+    nets
+
+let () =
+  Alcotest.run "spr_render"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "document structure" `Quick test_svg_document;
+          Alcotest.test_case "save" `Quick test_svg_save;
+        ] );
+      ( "die_plot",
+        [
+          Alcotest.test_case "svg plot" `Quick test_die_plot_svg;
+          Alcotest.test_case "highlight" `Quick test_die_plot_highlight;
+          Alcotest.test_case "free segments toggle" `Quick test_die_plot_no_free_segments;
+          Alcotest.test_case "ascii" `Quick test_ascii;
+          Alcotest.test_case "critical nets" `Quick test_critical_nets;
+        ] );
+    ]
