@@ -136,7 +136,7 @@ let post_layout nl (r : Spr_core.Tool.result) ~svg ~checkpoint ~ascii ~stats ~re
     in
     Printf.printf "\nworst %d endpoints:\n%s" k (Spr_timing.Path_report.render nl paths)
 
-let route file circuit tracks scheme seed effort flow svg checkpoint ascii stats report_k clock =
+let route file circuit tracks scheme seed effort flow selfcheck svg checkpoint ascii stats report_k clock =
   match load_netlist ~file ~circuit with
   | Error e -> `Error (false, e)
   | Ok nl ->
@@ -144,12 +144,22 @@ let route file circuit tracks scheme seed effort flow svg checkpoint ascii stats
     Format.printf "circuit: %a@." Spr_netlist.Netlist.pp_summary nl;
     let arch = Spr_arch.Arch.size_for ~tracks ~hscheme:scheme nl in
     Format.printf "fabric:  %a@." Spr_arch.Arch.pp arch;
+    let audit_failed = ref false in
     let run_sim () =
-      match
-        Spr_core.Tool.run ~config:(Spr_experiments.Profiles.tool_config ~seed effort ~n) arch nl
-      with
+      let config =
+        let base = Spr_experiments.Profiles.tool_config ~seed effort ~n in
+        if selfcheck then { base with Spr_core.Tool.validate = true } else base
+      in
+      match Spr_core.Tool.run ~config arch nl with
       | Ok r ->
         report_sim nl r;
+        if selfcheck then begin
+          match Spr_core.Tool.audit_result r with
+          | [] -> Printf.printf "selfcheck: zero audit findings\n"
+          | findings ->
+            audit_failed := true;
+            Printf.printf "selfcheck FAILED:\n%s\n" (Spr_check.Finding.summarize findings)
+        end;
         post_layout nl r ~svg ~checkpoint ~ascii ~stats ~report_k ~clock
       | Error e -> Printf.printf "simultaneous flow failed: %s\n" e
     in
@@ -167,7 +177,7 @@ let route file circuit tracks scheme seed effort flow svg checkpoint ascii stats
       run_seq ();
       run_sim ()
     | other -> Printf.printf "unknown flow %s (sim|seq|both)\n" other);
-    `Ok ()
+    if !audit_failed then `Error (false, "selfcheck reported audit findings") else `Ok ()
 
 let route_cmd =
   let flow =
@@ -196,12 +206,55 @@ let route_cmd =
     Arg.(value & opt (some float) None
          & info [ "clock" ] ~docv:"NS" ~doc:"Clock period for slack in the timing report.")
   in
+  let selfcheck =
+    Arg.(value & flag
+         & info [ "selfcheck" ]
+             ~doc:"Audit the incremental state against from-scratch recomputation during and \
+                   after the run (placement bijection, routing mirrors, STA diff).")
+  in
   Cmd.v
     (Cmd.info "route" ~doc:"Place and route a circuit on a row-based fabric.")
     Term.(
       ret
         (const route $ file_arg $ circuit_arg $ tracks_arg $ scheme_arg $ seed_arg $ effort_arg
-        $ flow $ svg $ checkpoint $ ascii $ stats $ report_k $ clock))
+        $ flow $ selfcheck $ svg $ checkpoint $ ascii $ stats $ report_k $ clock))
+
+(* --- selfcheck (property-based differential testing) --- *)
+
+let selfcheck seeds n_ops cells tracks =
+  if n_ops < 0 then `Error (false, "--ops must be >= 0")
+  else if cells < 2 || tracks < 1 then `Error (false, "--cells must be >= 2 and --tracks >= 1")
+  else begin
+  let spec = Spr_check.Spr_ops.spec ~n_cells:cells ~tracks () in
+  let seeds = if seeds = [] then [ 1; 2; 3; 4; 5 ] else seeds in
+  Printf.printf "property: %d seed(s) x %d random ops on a %d-cell circuit (%d tracks)\n%!"
+    (List.length seeds) n_ops cells tracks;
+  match Spr_check.Prop.run ~seeds ~n_ops spec with
+  | Ok () ->
+    Printf.printf "selfcheck passed: every audit clean after every op\n";
+    `Ok ()
+  | Error f -> `Error (false, Spr_check.Prop.failure_to_string spec f)
+  end
+
+let selfcheck_cmd =
+  let seeds =
+    Arg.(value & opt_all int []
+         & info [ "seed" ] ~docv:"N" ~doc:"Seed to test (repeatable; default 1-5).")
+  in
+  let ops =
+    Arg.(value & opt int 60 & info [ "ops" ] ~docv:"N" ~doc:"Random operations per seed.")
+  in
+  let cells =
+    Arg.(value & opt int 44 & info [ "cells" ] ~docv:"N" ~doc:"Synthetic circuit size.")
+  in
+  let tracks =
+    Arg.(value & opt int 14 & info [ "tracks" ] ~docv:"N" ~doc:"Horizontal tracks per channel.")
+  in
+  Cmd.v
+    (Cmd.info "selfcheck"
+       ~doc:"Property-based differential test: random op sequences against the full-state \
+             auditors, with automatic shrinking of failures.")
+    Term.(ret (const selfcheck $ seeds $ ops $ cells $ tracks))
 
 (* --- min-tracks --- *)
 
@@ -291,4 +344,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; route_cmd; min_tracks_cmd; dynamics_cmd; partition_cmd; stats_cmd ]))
+          [
+            generate_cmd;
+            route_cmd;
+            min_tracks_cmd;
+            dynamics_cmd;
+            partition_cmd;
+            stats_cmd;
+            selfcheck_cmd;
+          ]))

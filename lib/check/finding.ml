@@ -1,0 +1,16 @@
+type t = {
+  auditor : string;
+  subject : string;
+  detail : string;
+}
+
+let v ~auditor ~subject fmt =
+  Printf.ksprintf (fun detail -> { auditor; subject; detail }) fmt
+
+let to_string f = Printf.sprintf "[%s] %s: %s" f.auditor f.subject f.detail
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)
+
+let summarize = function
+  | [] -> "zero findings"
+  | fs -> String.concat "\n" (List.map to_string fs)

@@ -1,0 +1,23 @@
+(** One discrepancy reported by an auditor.
+
+    Auditors never raise on a broken invariant — they collect every
+    finding they can see, so a single audit pass paints the whole
+    picture of a corruption (one stale mirror usually trips several
+    checks at once). *)
+
+type t = {
+  auditor : string;  (** ["place"], ["route"] or ["sta"]. *)
+  subject : string;  (** The entity at fault, e.g. ["net 17"]. *)
+  detail : string;
+}
+
+val v : auditor:string -> subject:string -> ('a, unit, string, t) format4 -> 'a
+(** [v ~auditor ~subject fmt ...] builds a finding with a printf-style
+    detail message. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val summarize : t list -> string
+(** ["zero findings"] or one line per finding. *)

@@ -1,0 +1,66 @@
+module P = Spr_layout.Placement
+module Arch = Spr_arch.Arch
+module Nl = Spr_netlist.Netlist
+module Kind = Spr_netlist.Cell_kind
+
+let run place =
+  let arch = P.arch place in
+  let nl = P.netlist place in
+  let findings = ref [] in
+  let report ~subject fmt =
+    Printf.ksprintf
+      (fun detail -> findings := { Finding.auditor = "place"; subject; detail } :: !findings)
+      fmt
+  in
+  let rows = arch.Arch.rows and cols = arch.Arch.cols in
+  let n_cells = Nl.n_cells nl in
+  (* Forward direction: every cell sits on a distinct in-range slot that
+     is legal for its kind and points back to it. *)
+  let seen = Hashtbl.create 64 in
+  for c = 0 to n_cells - 1 do
+    let subject = Printf.sprintf "cell %d" c in
+    let s = P.slot_of place c in
+    if s.P.row < 0 || s.P.row >= rows || s.P.col < 0 || s.P.col >= cols then
+      report ~subject "slot (%d,%d) outside the %dx%d fabric" s.P.row s.P.col rows cols
+    else begin
+      (match Hashtbl.find_opt seen (s.P.row, s.P.col) with
+      | Some other -> report ~subject "shares slot (%d,%d) with cell %d" s.P.row s.P.col other
+      | None -> Hashtbl.replace seen (s.P.row, s.P.col) c);
+      (match P.cell_at place s with
+      | Some c' when c' = c -> ()
+      | Some c' -> report ~subject "slot (%d,%d) maps back to cell %d" s.P.row s.P.col c'
+      | None -> report ~subject "slot (%d,%d) maps back to nobody" s.P.row s.P.col);
+      let kind = (Nl.cell nl c).Nl.kind in
+      if Kind.is_io kind && not (Arch.is_perimeter arch ~row:s.P.row ~col:s.P.col) then
+        report ~subject "%s pad off the perimeter at (%d,%d)" (Kind.to_string kind) s.P.row
+          s.P.col
+    end;
+    (* Pinmap assignment stays inside the cell's palette. *)
+    let idx = P.pinmap_index place c in
+    let size = P.palette_size place c in
+    if idx < 0 || idx >= size then
+      report ~subject "pinmap index %d outside palette of size %d" idx size
+  done;
+  (* Reverse direction: occupied slots census must equal the cell count
+     and every occupant must claim that slot. *)
+  let occupied = ref 0 in
+  for row = 0 to rows - 1 do
+    for col = 0 to cols - 1 do
+      match P.cell_at place { P.row; col } with
+      | None -> ()
+      | Some c ->
+        incr occupied;
+        if c < 0 || c >= n_cells then
+          report ~subject:(Printf.sprintf "slot (%d,%d)" row col) "holds unknown cell %d" c
+        else begin
+          let s = P.slot_of place c in
+          if s.P.row <> row || s.P.col <> col then
+            report
+              ~subject:(Printf.sprintf "slot (%d,%d)" row col)
+              "occupant %d claims slot (%d,%d)" c s.P.row s.P.col
+        end
+    done
+  done;
+  if !occupied <> n_cells then
+    report ~subject:"occupancy" "%d occupied slots for %d cells" !occupied n_cells;
+  List.rev !findings

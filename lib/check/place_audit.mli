@@ -1,0 +1,10 @@
+(** Full-state placement auditor.
+
+    Recomputes, from the public placement accessors alone, everything the
+    placement promises structurally and diffs it against the state's own
+    answers: the cell/slot occupancy bijection, I/O perimeter legality,
+    and pinmap palette membership. Independent of
+    {!Spr_layout.Placement.check} — this is the external oracle. *)
+
+val run : Spr_layout.Placement.t -> Finding.t list
+(** Empty when the placement is sound. O(slots + cells). *)

@@ -1,0 +1,74 @@
+type ('st, 'op) spec = {
+  name : string;
+  init : int -> 'st;
+  gen : Spr_util.Rng.t -> 'op;
+  apply : 'st -> 'op -> unit;
+  check : 'st -> (unit, string) result;
+  show : 'op -> string;
+}
+
+type 'op failure = {
+  seed : int;
+  error : string;
+  ops : 'op list;
+  shrunk_from : int;
+}
+
+(* Replay a sequence from a fresh state; [Some error] as soon as a step
+   breaks the invariant (or raises), [None] when the whole run passes. *)
+let replay spec seed ops =
+  match
+    let st = spec.init seed in
+    let rec go = function
+      | [] -> None
+      | op :: rest -> (
+        spec.apply st op;
+        match spec.check st with Error e -> Some e | Ok () -> go rest)
+    in
+    go ops
+  with
+  | verdict -> verdict
+  | exception e -> Some (Printexc.to_string e)
+
+(* Delta-debugging lite: try deleting contiguous chunks, halving the
+   chunk size after each full scan; every candidate replays from
+   scratch. Deletion-only shrinking is sound because generation is
+   state-independent and apply skips inapplicable ops. *)
+let shrink spec seed ops error =
+  let rec scan chunk i ops error =
+    if i >= List.length ops then (ops, error)
+    else begin
+      let candidate = List.filteri (fun k _ -> k < i || k >= i + chunk) ops in
+      match replay spec seed candidate with
+      | Some e -> scan chunk i candidate e
+      | None -> scan chunk (i + chunk) ops error
+    end
+  in
+  let rec passes chunk ops error =
+    if chunk < 1 then (ops, error)
+    else begin
+      let ops, error = scan chunk 0 ops error in
+      passes (chunk / 2) ops error
+    end
+  in
+  passes (max 1 (List.length ops / 2)) ops error
+
+let run ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(n_ops = 60) spec =
+  let rec each = function
+    | [] -> Ok ()
+    | seed :: rest -> (
+      let rng = Spr_util.Rng.create seed in
+      let ops = List.init n_ops (fun _ -> spec.gen rng) in
+      match replay spec seed ops with
+      | None -> each rest
+      | Some error ->
+        let ops, error = shrink spec seed ops error in
+        Error { seed; error; ops; shrunk_from = n_ops })
+  in
+  each seeds
+
+let failure_to_string spec f =
+  Printf.sprintf
+    "property %S failed\n  seed: %d\n  error: %s\n  %d op(s) (shrunk from %d):\n%s"
+    spec.name f.seed f.error (List.length f.ops) f.shrunk_from
+    (String.concat "\n" (List.map (fun op -> "    " ^ spec.show op) f.ops))

@@ -1,0 +1,40 @@
+(** Seeded property-based testing harness (QuickCheck-lite on
+    {!Spr_util.Rng}).
+
+    A property is specified as: build a fresh system state from a seed,
+    generate a sequence of random operations (plain data, so failures are
+    printable and replayable), apply them one by one, and check an
+    invariant after every step. Generation is independent of the state —
+    [apply] must tolerate operations that do not apply (treat them as
+    no-ops) — which is what makes sequences shrinkable by simple
+    deletion.
+
+    On failure the harness shrinks the operation list by bisection
+    (delta-debugging with halving chunk sizes, replaying each candidate
+    from a fresh state) and reports the seed plus the shrunk sequence, so
+    a failure is reproducible from two integers and a short op list. *)
+
+type ('st, 'op) spec = {
+  name : string;
+  init : int -> 'st;  (** Fresh state from a seed. *)
+  gen : Spr_util.Rng.t -> 'op;  (** One random operation. *)
+  apply : 'st -> 'op -> unit;  (** Must treat inapplicable ops as no-ops. *)
+  check : 'st -> (unit, string) Stdlib.result;  (** Invariant, run after every op. *)
+  show : 'op -> string;
+}
+
+type 'op failure = {
+  seed : int;
+  error : string;  (** From [check], or the exception [apply] raised. *)
+  ops : 'op list;  (** The shrunk failing sequence. *)
+  shrunk_from : int;  (** Original sequence length. *)
+}
+
+val run : ?seeds:int list -> ?n_ops:int -> ('st, 'op) spec -> (unit, 'op failure) Stdlib.result
+(** Defaults: seeds [1..5], 60 ops per seed. Stops at the first failing
+    seed, after shrinking. Exceptions raised by [apply] or [check] count
+    as failures; the harness itself never raises. *)
+
+val failure_to_string : ('st, 'op) spec -> 'op failure -> string
+(** Multi-line report: property name, seed, error, and the shrunk
+    operation sequence (one op per line). *)

@@ -1,0 +1,24 @@
+(** Full-state routing auditor: the from-scratch oracle for the
+    incremental {!Spr_route.Route_state} bookkeeping.
+
+    Every annealing move is evaluated through O(1) mirrors ([in_ug],
+    [missing], [d_flag], the U{_G}/U{_D,R} tables and the G/D counters) —
+    one stale mirror silently corrupts every subsequent cost decision.
+    This auditor recomputes the whole picture from first principles
+    (the segment owner arrays, the recorded per-net routes, and the
+    current placement's pin positions) and diffs it against the mirrors.
+    Free-epoch stamps are deliberately ignored: they memoize failures and
+    a stale stamp only costs a redundant attempt, never correctness.
+
+    Checks performed:
+    - segment ownership is conflict-free and agrees, in both directions,
+      with the routes recorded per net;
+    - every recorded route fits its channel/track segmentation (indices
+      in range, claimed runs contiguous, covered span covers the demand);
+    - per-net demands equal an independent recomputation from the current
+      pin positions and spine column;
+    - the [needs_v]/[in_ug]/[missing]/[d_flag] mirrors, both queue
+      tables, and the G/D counters all match the recomputation. *)
+
+val run : Spr_route.Route_state.t -> Finding.t list
+(** Empty when the routing state is sound. O(fabric + nets). *)

@@ -21,6 +21,7 @@ type config = {
   anneal : Spr_anneal.Engine.config option;
   max_swap_tries : int;
   validate : bool;
+  validate_every : int;
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     anneal = None;
     max_swap_tries = 8;
     validate = false;
+    validate_every = 50;
   }
 
 type result = {
@@ -65,6 +67,7 @@ type session = {
   journal : J.t;
   dyn : Dynamics.t;
   mutable last_cells : int list;
+  mutable accepted_since_audit : int;
 }
 
 let session_cost s =
@@ -124,13 +127,15 @@ let propose s rng =
     propose_pinmap s rng
   else propose_swap s rng
 
+(* The full audit subsystem: placement bijection/legality, the routing
+   mirror oracle, and a from-scratch STA diff. Failing fast here turns a
+   silently corrupted cost function into an immediate, attributable
+   crash. *)
 let validate_now s =
-  (match P.check s.place with
-  | Ok () -> ()
-  | Error e -> failwith ("Tool: placement invariant broken: " ^ e));
-  match Rs.check s.rs with
-  | Ok () -> ()
-  | Error e -> failwith ("Tool: routing invariant broken: " ^ e)
+  match Spr_check.Audit.run_all ~sta:s.sta s.rs with
+  | [] -> ()
+  | findings ->
+    failwith ("Tool: invariant audit failed:\n" ^ Spr_check.Finding.summarize findings)
 
 let run ?(config = default_config) arch nl =
   match Spr_netlist.Levelize.run nl with
@@ -171,6 +176,7 @@ let run ?(config = default_config) arch nl =
           journal = J.create ();
           dyn = Dynamics.create ~n_cells:(Spr_netlist.Netlist.n_cells nl);
           last_cells = [];
+          accepted_since_audit = 0;
         }
       in
       let n_routable = max 1 (Rs.n_routable rs) in
@@ -201,7 +207,14 @@ let run ?(config = default_config) arch nl =
           ~propose:(fun rng -> propose s rng)
           ~accept:(fun () ->
             Dynamics.note_accepted_cells s.dyn s.last_cells;
-            J.commit s.journal)
+            J.commit s.journal;
+            if config.validate then begin
+              s.accepted_since_audit <- s.accepted_since_audit + 1;
+              if s.accepted_since_audit >= max 1 config.validate_every then begin
+                s.accepted_since_audit <- 0;
+                validate_now s
+              end
+            end)
           ~reject:(fun () -> J.rollback s.journal)
           ~n:(Spr_netlist.Netlist.n_cells nl)
           ()
@@ -229,3 +242,5 @@ let run_exn ?config arch nl =
   match run ?config arch nl with
   | Ok r -> r
   | Error e -> invalid_arg ("Tool.run: " ^ e)
+
+let audit_result (r : result) = Spr_check.Audit.run_all ~sta:r.sta r.route

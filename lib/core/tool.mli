@@ -32,13 +32,20 @@ type config = {
   t_emphasis : float;
   anneal : Spr_anneal.Engine.config option;  (** [None]: sized to the netlist. *)
   max_swap_tries : int;  (** Attempts to find a legal swap per move. *)
-  validate : bool;  (** Run full invariant checks every temperature. *)
+  validate : bool;
+      (** Run the full {!Spr_check.Audit} subsystem (placement bijection,
+          routing-mirror oracle, from-scratch STA diff) every temperature,
+          every [validate_every] accepted moves, and on the final state;
+          any finding raises [Failure]. *)
+  validate_every : int;
+      (** Accepted moves between audits when [validate] is on (clamped to
+          >= 1). *)
 }
 
 val default_config : config
 (** [seed = 1], [pinmap_move_prob = 0.15], pinmap moves on, default
     router/delay/weight parameters, auto-sized annealing, no
-    validation. *)
+    validation ([validate_every = 50]). *)
 
 type result = {
   place : Spr_layout.Placement.t;
@@ -58,3 +65,8 @@ val run : ?config:config -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> (result,
     cycles. *)
 
 val run_exn : ?config:config -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> result
+
+val audit_result : result -> Spr_check.Finding.t list
+(** Run the full audit subsystem over a finished layout (placement,
+    routing mirrors, STA) — what [spr route --selfcheck] prints. Empty
+    means the incremental state matches the from-scratch oracles. *)

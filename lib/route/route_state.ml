@@ -80,6 +80,14 @@ let h_demands t net = t.nstats.(net).demands
 
 let h_routes t net = t.nstats.(net).hroutes
 
+let routable t net = t.routable.(net)
+
+let in_ug_flag t net = t.nstats.(net).in_ug
+
+let missing_channels t net = t.nstats.(net).missing
+
+let d_flag t net = t.nstats.(net).d_flag
+
 let is_fully_routed t net =
   let ns = t.nstats.(net) in
   t.routable.(net) && not ns.in_ug && ns.missing = [] && ns.demands <> []
@@ -536,6 +544,24 @@ let check t =
         tbl)
     t.ud_tbl;
   match !error with Some e -> Error e | None -> Ok ()
+
+module Debug = struct
+  let flip_d_flag t net =
+    let ns = t.nstats.(net) in
+    ns.d_flag <- not ns.d_flag
+
+  let flip_in_ug_flag t net =
+    let ns = t.nstats.(net) in
+    ns.in_ug <- not ns.in_ug
+
+  let clear_missing t net = t.nstats.(net).missing <- []
+
+  let set_hseg_owner t ~channel ~track ~seg owner = t.h_owner.(channel).(track).(seg) <- owner
+
+  let set_vseg_owner t ~col ~vtrack ~seg owner = t.v_owner.(col).(vtrack).(seg) <- owner
+
+  let bump_d_total t delta = t.d_total <- t.d_total + delta
+end
 
 let snapshot t =
   let buf = Buffer.create 4096 in

@@ -71,6 +71,27 @@ val h_routes : t -> int -> (int * hroute) list
 
 val is_fully_routed : t -> int -> bool
 
+(** {2 Mirror inspection}
+
+    Read-only views of the O(1) bookkeeping mirrors, exposed so an
+    external auditor ({!Spr_check.Route_audit}) can diff them against a
+    from-scratch recomputation. Not needed by routers. *)
+
+val routable : t -> int -> bool
+(** Whether the net has at least one sink (fixed by the netlist). *)
+
+val in_ug_flag : t -> int -> bool
+(** The net's [in_ug] mirror flag (the U{_G} membership cache), as
+    distinct from actual membership in the U{_G} table reported by
+    {!u_g}. *)
+
+val missing_channels : t -> int -> int list
+(** Channels where the net still awaits a detailed route (the per-net
+    mirror of the U{_D,R} tables). *)
+
+val d_flag : t -> int -> bool
+(** The net's cached contribution to the [D] count. *)
+
 (** {1 Queues} *)
 
 val u_g : t -> int list
@@ -152,6 +173,28 @@ val check : t -> (unit, string) result
 (** Exhaustive invariant check (ownership consistency, coverage,
     contiguity, demand/queue/counter agreement with the current
     placement). Used by tests; O(fabric + nets). *)
+
+module Debug : sig
+  (** Deliberate state corruption, for tests only: each setter desyncs
+      exactly one mirror or owner entry {e without} touching anything
+      else, so the mutation smoke tests can verify that every auditor
+      actually detects the fault it claims to cover. Never call these
+      outside tests. *)
+
+  val flip_d_flag : t -> int -> unit
+
+  val flip_in_ug_flag : t -> int -> unit
+
+  val clear_missing : t -> int -> unit
+  (** Empty the net's missing-channel mirror, leaving the U{_D,R} tables
+      and the D count stale. *)
+
+  val set_hseg_owner : t -> channel:int -> track:int -> seg:int -> int -> unit
+
+  val set_vseg_owner : t -> col:int -> vtrack:int -> seg:int -> int -> unit
+
+  val bump_d_total : t -> int -> unit
+end
 
 val snapshot : t -> string
 (** Deterministic serialization of the observable routing state (segment

@@ -1,0 +1,346 @@
+(* Tests for the spr_check invariant-audit subsystem: the property
+   harness over the real incremental state, auditor mutation coverage
+   (an auditor that can't fail is worthless), the BLIF round-trip and
+   seeded-determinism guarantees. *)
+
+module Check = Spr_check
+module Prop = Spr_check.Prop
+module Ops = Spr_check.Spr_ops
+module Audit = Spr_check.Audit
+module Finding = Spr_check.Finding
+module Rs = Spr_route.Route_state
+module P = Spr_layout.Placement
+module Arch = Spr_arch.Arch
+module Nl = Spr_netlist.Netlist
+module Gen = Spr_netlist.Generator
+module Blif = Spr_netlist.Blif
+module Levelize = Spr_netlist.Levelize
+module Kind = Spr_netlist.Cell_kind
+module Sta = Spr_timing.Sta
+module J = Spr_util.Journal
+module Tool = Spr_core.Tool
+module Engine = Spr_anneal.Engine
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_findings label = function
+  | [] -> ()
+  | fs -> Alcotest.failf "%s:\n%s" label (Finding.summarize fs)
+
+let expect_findings label auditor = function
+  | [] -> Alcotest.failf "%s: auditor %s reported nothing for a seeded corruption" label auditor
+  | fs ->
+    if not (List.for_all (fun f -> f.Finding.auditor = auditor) fs) then
+      Alcotest.failf "%s: expected only %s findings, got:\n%s" label auditor
+        (Finding.summarize fs)
+
+(* --- property-based differential testing --- *)
+
+let test_prop_op_sequences () =
+  let spec = Ops.spec ~n_cells:40 ~tracks:12 () in
+  match Prop.run ~seeds:[ 1; 2; 3 ] ~n_ops:45 spec with
+  | Ok () -> ()
+  | Error f -> Alcotest.fail (Prop.failure_to_string spec f)
+
+let test_prop_shrinker_reports () =
+  (* A deliberately broken system: a counter that must stay below 3,
+     and only Incr ops matter. The harness must find the failure and
+     shrink the sequence to exactly 3 Incrs. *)
+  let spec =
+    {
+      Prop.name = "counter stays under 3";
+      init = (fun _ -> ref 0);
+      gen = (fun rng -> if Spr_util.Rng.int rng 2 = 0 then `Incr else `Noise);
+      apply = (fun st op -> match op with `Incr -> incr st | `Noise -> ());
+      check = (fun st -> if !st >= 3 then Error "counter reached 3" else Ok ());
+      show = (function `Incr -> "Incr" | `Noise -> "Noise");
+    }
+  in
+  match Prop.run ~seeds:[ 1 ] ~n_ops:40 spec with
+  | Ok () -> Alcotest.fail "broken property passed"
+  | Error f ->
+    Alcotest.(check int) "shrunk to the minimal sequence" 3 (List.length f.Prop.ops);
+    Alcotest.(check bool) "all survivors are Incr" true
+      (List.for_all (fun op -> op = `Incr) f.Prop.ops);
+    let report = Prop.failure_to_string spec f in
+    Alcotest.(check bool) "report names the seed" true (contains report "seed: 1");
+    Alcotest.(check bool) "report lists the ops" true (contains report "Incr")
+
+let test_undo_roundtrip_deterministic () =
+  let st = Ops.make ~n_cells:40 ~tracks:12 ~seed:11 () in
+  check_findings "fresh state" (Audit.run_all (Ops.route_state st));
+  List.iter (Ops.apply st)
+    [
+      Ops.Begin;
+      Ops.Rip_cell 5;
+      Ops.Route_pass;
+      Ops.Unroute 7;
+      Ops.Route_net 3;
+      Ops.Pinmap_move (9, 1);
+      Ops.Swap (123, 4567);
+      Ops.Rollback;
+    ];
+  match Ops.check st with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "undo round-trip violated: %s" e
+
+(* --- mutation smoke tests: every auditor must detect its own fault --- *)
+
+let routed_state seed =
+  let st = Ops.make ~n_cells:40 ~tracks:14 ~seed () in
+  let rs = Ops.route_state st in
+  check_findings "pre-corruption state" (Audit.run_all rs);
+  rs
+
+let first_net p rs =
+  let n = Nl.n_nets (Rs.netlist rs) in
+  let rec go i = if i >= n then None else if p i then Some i else go (i + 1) in
+  go 0
+
+let test_mutation_d_flag () =
+  let rs = routed_state 2 in
+  match first_net (fun n -> Rs.routable rs n) rs with
+  | None -> Alcotest.fail "no routable net"
+  | Some net ->
+    Rs.Debug.flip_d_flag rs net;
+    expect_findings "flipped d_flag" "route" (Check.Route_audit.run rs)
+
+let test_mutation_d_total () =
+  let rs = routed_state 3 in
+  Rs.Debug.bump_d_total rs 1;
+  expect_findings "bumped d_total" "route" (Check.Route_audit.run rs)
+
+let test_mutation_in_ug () =
+  let rs = routed_state 4 in
+  match first_net (fun n -> Rs.routable rs n) rs with
+  | None -> Alcotest.fail "no routable net"
+  | Some net ->
+    Rs.Debug.flip_in_ug_flag rs net;
+    expect_findings "flipped in_ug" "route" (Check.Route_audit.run rs)
+
+let test_mutation_missing () =
+  let rs = routed_state 5 in
+  (* Rip everything so single-channel nets sit queued with a non-empty
+     missing list, then drop one list on the floor. *)
+  let j = J.create () in
+  for net = 0 to Nl.n_nets (Rs.netlist rs) - 1 do
+    Rs.rip_up rs j net
+  done;
+  J.commit j;
+  check_findings "after mass rip-up" (Check.Route_audit.run rs);
+  match first_net (fun n -> Rs.missing_channels rs n <> []) rs with
+  | None -> Alcotest.fail "no net with queued detail demands"
+  | Some net ->
+    Rs.Debug.clear_missing rs net;
+    expect_findings "cleared missing" "route" (Check.Route_audit.run rs)
+
+let test_mutation_owner () =
+  let rs = routed_state 6 in
+  let arch = Rs.arch rs in
+  (* Free one claimed horizontal segment behind the bookkeeping's back. *)
+  let corrupted = ref false in
+  (try
+     for ch = 0 to arch.Arch.n_channels - 1 do
+       for tr = 0 to arch.Arch.tracks - 1 do
+         let segs = Arch.hsegments arch ~channel:ch ~track:tr in
+         for s = 0 to Array.length segs - 1 do
+           if Rs.hseg_owner rs ~channel:ch ~track:tr ~seg:s <> -1 then begin
+             Rs.Debug.set_hseg_owner rs ~channel:ch ~track:tr ~seg:s (-1);
+             corrupted := true;
+             raise Exit
+           end
+         done
+       done
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "found a claimed segment" true !corrupted;
+  expect_findings "freed owned segment" "route" (Check.Route_audit.run rs)
+
+let test_mutation_pad_off_perimeter () =
+  let rs = routed_state 7 in
+  let place = Rs.place rs in
+  let nl = Rs.netlist rs in
+  let arch = P.arch place in
+  check_findings "pre-corruption placement" (Check.Place_audit.run place);
+  let pad =
+    let rec go c =
+      if c >= Nl.n_cells nl then None
+      else if Kind.is_io (Nl.cell nl c).Nl.kind then Some c
+      else go (c + 1)
+    in
+    go 0
+  in
+  let interior =
+    let found = ref None in
+    for row = 0 to arch.Arch.rows - 1 do
+      for col = 0 to arch.Arch.cols - 1 do
+        if !found = None && not (Arch.is_perimeter arch ~row ~col) then
+          found := Some { P.row; col }
+      done
+    done;
+    !found
+  in
+  match (pad, interior) with
+  | Some pad, Some interior ->
+    (* swap_slots deliberately skips legality; this is the corruption. *)
+    P.swap_slots place (P.slot_of place pad) interior;
+    expect_findings "pad off perimeter" "place" (Check.Place_audit.run place)
+  | _ -> Alcotest.fail "fabric too small to stage the corruption"
+
+let test_mutation_stale_sta () =
+  let st = Ops.make ~n_cells:40 ~tracks:14 ~seed:8 () in
+  let rs = Ops.route_state st in
+  let sta = Sta.create Spr_timing.Delay_model.default rs in
+  check_findings "fresh sta" (Check.Sta_audit.run sta rs);
+  (* Change the routing without telling the analyzer — the classic
+     missed-invalidation bug. *)
+  let j = J.create () in
+  for net = 0 to Nl.n_nets (Rs.netlist rs) - 1 do
+    Rs.rip_up rs j net
+  done;
+  J.commit j;
+  expect_findings "stale arrivals" "sta" (Check.Sta_audit.run sta rs)
+
+(* --- BLIF writer -> parser round trip --- *)
+
+(* Both conversion directions preserve signal (net) names, so the
+   isomorphism is keyed on them: for each net, its driver's shape and
+   the multiset of sink descriptions must survive the trip. Sinks are
+   described by the net they drive in turn (or "po" for output pads). *)
+let net_signature nl =
+  let sink_key (cell, pin) =
+    let c = Nl.cell nl cell in
+    let ident =
+      match Nl.out_net nl cell with
+      | Some out -> "drives:" ^ (Nl.net nl out).Nl.net_name
+      | None -> "po"
+    in
+    Printf.sprintf "%s/%s/pin%d/fanin%d" ident (Kind.to_string c.Nl.kind) pin c.Nl.n_inputs
+  in
+  List.sort compare
+    (Array.to_list
+       (Array.map
+          (fun net ->
+            let driver = Nl.cell nl net.Nl.driver in
+            ( net.Nl.net_name,
+              Kind.to_string driver.Nl.kind,
+              driver.Nl.n_inputs,
+              List.sort compare (Array.to_list (Array.map sink_key net.Nl.sinks)) ))
+          (Nl.nets nl)))
+
+let levels_by_net nl =
+  let lev = Levelize.run_exn nl in
+  List.sort compare
+    (Array.to_list
+       (Array.map
+          (fun net -> (net.Nl.net_name, lev.Levelize.levels.(net.Nl.driver)))
+          (Nl.nets nl)))
+
+let blif_roundtrip_seed seed =
+  let nl = Gen.generate (Gen.default ~n_cells:60) ~seed in
+  let text = Blif.to_string ~model_name:"rt" nl in
+  match Blif.parse_string text with
+  | Error e -> Alcotest.failf "seed %d: reparse failed: %s" seed e
+  | Ok nl2 ->
+    let c1 = Nl.counts nl and c2 = Nl.counts nl2 in
+    if c1 <> c2 then Alcotest.failf "seed %d: cell counts differ after round trip" seed;
+    if Nl.n_nets nl <> Nl.n_nets nl2 then
+      Alcotest.failf "seed %d: net counts differ (%d vs %d)" seed (Nl.n_nets nl)
+        (Nl.n_nets nl2);
+    if net_signature nl <> net_signature nl2 then
+      Alcotest.failf "seed %d: netlists not isomorphic after round trip" seed;
+    if levels_by_net nl <> levels_by_net nl2 then
+      Alcotest.failf "seed %d: levelization disagrees after round trip" seed;
+    let text2 = Blif.to_string ~model_name:"rt" nl2 in
+    if text <> text2 then Alcotest.failf "seed %d: serialization is not a fixpoint" seed
+
+let test_blif_roundtrip () = List.iter blif_roundtrip_seed [ 1; 2; 3; 4; 5; 6 ]
+
+(* --- seeded determinism of the whole tool --- *)
+
+let quick_config ?(seed = 5) n =
+  {
+    Tool.default_config with
+    Tool.seed;
+    anneal =
+      Some
+        {
+          (Engine.default_config ~n) with
+          Engine.moves_per_temp = max 150 (2 * n);
+          warmup_moves = 150;
+          max_temperatures = 12;
+        };
+  }
+
+let test_run_deterministic_state () =
+  let nl = Gen.generate (Gen.default ~n_cells:60) ~seed:9 in
+  let arch = Arch.size_for ~tracks:20 nl in
+  let cfg = quick_config (Nl.n_cells nl) in
+  let a = Tool.run_exn ~config:cfg arch nl in
+  let b = Tool.run_exn ~config:cfg arch nl in
+  Alcotest.(check bool) "identical final cost (delay)" true
+    (a.Tool.critical_delay = b.Tool.critical_delay);
+  Alcotest.(check int) "identical G" a.Tool.g b.Tool.g;
+  Alcotest.(check int) "identical D" a.Tool.d b.Tool.d;
+  Alcotest.(check int) "identical move count" a.Tool.anneal_report.Engine.n_moves
+    b.Tool.anneal_report.Engine.n_moves;
+  (* Track usage: the full routing snapshot (segment ownership, routes,
+     queues) must be byte-identical. *)
+  Alcotest.(check bool) "identical track usage" true
+    (Rs.snapshot a.Tool.route = Rs.snapshot b.Tool.route);
+  Alcotest.(check (list int)) "identical critical path" (Sta.critical_path a.Tool.sta)
+    (Sta.critical_path b.Tool.sta)
+
+(* --- the tool under continuous audit --- *)
+
+let test_tool_validated_200_cells () =
+  let nl = Gen.generate (Gen.default ~n_cells:200) ~seed:3 in
+  let arch = Arch.size_for ~tracks:24 nl in
+  let cfg =
+    { (quick_config ~seed:3 (Nl.n_cells nl)) with Tool.validate = true; validate_every = 40 }
+  in
+  (* validate=true fail-fasts on any finding mid-anneal; reaching the
+     result at all means every periodic audit passed. *)
+  let r = Tool.run_exn ~config:cfg arch nl in
+  check_findings "final 200-cell layout" (Tool.audit_result r);
+  Alcotest.(check bool) "made routing progress" true (r.Tool.d < Rs.n_routable r.Tool.route)
+
+let () =
+  Alcotest.run "spr_check"
+    [
+      ( "prop",
+        [
+          Alcotest.test_case "random op sequences pass the audits" `Slow
+            test_prop_op_sequences;
+          Alcotest.test_case "shrinker minimizes a failing sequence" `Quick
+            test_prop_shrinker_reports;
+          Alcotest.test_case "undo round-trip (deterministic)" `Quick
+            test_undo_roundtrip_deterministic;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "route audit sees flipped d_flag" `Quick test_mutation_d_flag;
+          Alcotest.test_case "route audit sees bumped d_total" `Quick test_mutation_d_total;
+          Alcotest.test_case "route audit sees flipped in_ug" `Quick test_mutation_in_ug;
+          Alcotest.test_case "route audit sees dropped missing list" `Quick
+            test_mutation_missing;
+          Alcotest.test_case "route audit sees corrupted owner array" `Quick
+            test_mutation_owner;
+          Alcotest.test_case "place audit sees pad off perimeter" `Quick
+            test_mutation_pad_off_perimeter;
+          Alcotest.test_case "sta audit sees missed invalidation" `Quick
+            test_mutation_stale_sta;
+        ] );
+      ("blif", [ Alcotest.test_case "writer -> parser round trip" `Quick test_blif_roundtrip ]);
+      ( "determinism",
+        [ Alcotest.test_case "same seed, identical layout" `Slow test_run_deterministic_state ]
+      );
+      ( "tool",
+        [
+          Alcotest.test_case "200-cell run under continuous audit" `Slow
+            test_tool_validated_200_cells;
+        ] );
+    ]
