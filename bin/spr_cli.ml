@@ -12,10 +12,7 @@ open Cmdliner
 
 let load_netlist ~file ~circuit =
   match file, circuit with
-  | Some path, _ -> (
-    match Spr_netlist.Blif.parse_file path with
-    | Ok nl -> Ok nl
-    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | Some path, _ -> Spr_netlist.Blif.parse_file path
   | None, Some name -> (
     match Spr_netlist.Circuits.find name with
     | Some spec -> Ok (Spr_netlist.Circuits.make spec)
@@ -136,48 +133,202 @@ let post_layout nl (r : Spr_core.Tool.result) ~svg ~checkpoint ~ascii ~stats ~re
     in
     Printf.printf "\nworst %d endpoints:\n%s" k (Spr_timing.Path_report.render nl paths)
 
-let route file circuit tracks scheme seed effort flow selfcheck svg checkpoint ascii stats report_k clock =
-  match load_netlist ~file ~circuit with
-  | Error e -> `Error (false, e)
-  | Ok nl ->
-    let n = Spr_netlist.Netlist.n_cells nl in
-    Format.printf "circuit: %a@." Spr_netlist.Netlist.pp_summary nl;
-    let arch = Spr_arch.Arch.size_for ~tracks ~hscheme:scheme nl in
-    Format.printf "fabric:  %a@." Spr_arch.Arch.pp arch;
-    let audit_failed = ref false in
-    let run_sim () =
-      let config =
-        let base = Spr_experiments.Profiles.tool_config ~seed effort ~n in
-        if selfcheck then { base with Spr_core.Tool.validate = true } else base
+(* A run directory holds everything needed to continue an interrupted
+   run: the design itself, the fabric/config parameters, and the rotated
+   v2 snapshots the tool writes as it goes. *)
+
+let meta_file dir = Filename.concat dir "meta"
+
+let design_file dir = Filename.concat dir "design.blif"
+
+(* Snapshots reference nets by id, and net ids come from netlist
+   construction order, so resuming must rebuild the exact same netlist.
+   A BLIF input is copied into the run dir byte-for-byte (re-parsing
+   identical bytes is deterministic); a built-in circuit is recorded by
+   name and rebuilt from its spec, because re-parsing a re-serialization
+   can permute net ids. *)
+let write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~source nl =
+  Spr_util.Persist.ensure_dir dir;
+  (match source with
+  | `File path ->
+    (match Spr_util.Persist.read_file path with
+    | Ok text -> Spr_util.Persist.atomic_write (design_file dir) text
+    | Error _ ->
+      Spr_util.Persist.atomic_write (design_file dir)
+        (Spr_netlist.Blif.to_string ~model_name:"run" nl))
+  | `Circuit _ ->
+    Spr_util.Persist.atomic_write (design_file dir)
+      (Spr_netlist.Blif.to_string ~model_name:"run" nl));
+  let circuit_line = match source with `Circuit name -> "circuit " ^ name ^ "\n" | `File _ -> "" in
+  Spr_util.Persist.atomic_write (meta_file dir)
+    (Printf.sprintf "spr-run-meta 1\ntracks %d\nscheme %s\nseed %d\neffort %s\n%s" tracks
+       (Spr_arch.Segmentation.scheme_to_string scheme)
+       seed
+       (Spr_experiments.Profiles.effort_to_string effort)
+       circuit_line)
+
+let read_run_meta dir =
+  match Spr_util.Persist.read_file (meta_file dir) with
+  | Error e -> Error (Printf.sprintf "%s: %s" (meta_file dir) e)
+  | Ok text ->
+    let fail fmt = Printf.ksprintf (fun m -> Error (meta_file dir ^ ": " ^ m)) fmt in
+    let lines =
+      String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+      |> List.map (fun l -> String.split_on_char ' ' (String.trim l))
+    in
+    (match lines with
+    | [ "spr-run-meta"; "1" ] :: fields ->
+      let find key =
+        List.find_map (function [ k; v ] when k = key -> Some v | _ -> None) fields
       in
-      match Spr_core.Tool.run ~config arch nl with
-      | Ok r ->
-        report_sim nl r;
-        if selfcheck then begin
-          match Spr_core.Tool.audit_result r with
-          | [] -> Printf.printf "selfcheck: zero audit findings\n"
-          | findings ->
-            audit_failed := true;
-            Printf.printf "selfcheck FAILED:\n%s\n" (Spr_check.Finding.summarize findings)
-        end;
-        post_layout nl r ~svg ~checkpoint ~ascii ~stats ~report_k ~clock
-      | Error e -> Printf.printf "simultaneous flow failed: %s\n" e
+      (match find "tracks", find "scheme", find "seed", find "effort" with
+      | Some tracks, Some scheme, Some seed, Some effort -> (
+        match
+          ( int_of_string_opt tracks,
+            Spr_arch.Segmentation.scheme_of_string scheme,
+            int_of_string_opt seed,
+            Spr_experiments.Profiles.effort_of_string effort )
+        with
+        | Some tracks, Some scheme, Some seed, Some effort ->
+          Ok (tracks, scheme, seed, effort, find "circuit")
+        | _ -> fail "malformed field value")
+      | _ -> fail "missing tracks/scheme/seed/effort field")
+    | _ -> fail "not a version-1 spr run-meta file")
+
+let run_sim ~config ?resume ~selfcheck arch nl ~run_dir ~svg ~checkpoint ~ascii ~stats ~report_k
+    ~clock =
+  Spr_core.Tool.install_signal_handlers ();
+  match Spr_core.Tool.run ~config ?resume arch nl with
+  | Error e -> Error ("simultaneous flow failed: " ^ Spr_core.Tool.error_to_string e)
+  | Ok r ->
+    (match r.Spr_core.Tool.status with
+    | Spr_core.Tool.Completed -> ()
+    | Spr_core.Tool.Interrupted reason ->
+      Printf.printf "interrupted (%s): best-so-far layout follows%s\n"
+        (Spr_core.Tool.stop_reason_to_string reason)
+        (match run_dir with
+        | Some dir -> Printf.sprintf "; continue with: spr route --resume %s" dir
+        | None -> ""));
+    report_sim nl r;
+    let audit_ok =
+      if not selfcheck then true
+      else begin
+        match Spr_core.Tool.audit_result r with
+        | [] ->
+          Printf.printf "selfcheck: zero audit findings\n";
+          true
+        | findings ->
+          Printf.printf "selfcheck FAILED:\n%s\n" (Spr_check.Finding.summarize findings);
+          false
+      end
     in
-    let run_seq () =
-      match
-        Spr_seq.Flow.run ~config:(Spr_experiments.Profiles.flow_config ~seed effort ~n) arch nl
-      with
-      | Ok r -> report_seq r
-      | Error e -> Printf.printf "sequential flow failed: %s\n" e
-    in
-    (match flow with
-    | "sim" -> run_sim ()
-    | "seq" -> run_seq ()
-    | "both" ->
-      run_seq ();
-      run_sim ()
-    | other -> Printf.printf "unknown flow %s (sim|seq|both)\n" other);
-    if !audit_failed then `Error (false, "selfcheck reported audit findings") else `Ok ()
+    post_layout nl r ~svg ~checkpoint ~ascii ~stats ~report_k ~clock;
+    if audit_ok then Ok () else Error "selfcheck reported audit findings"
+
+let budget_config config ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep
+    ~selfcheck =
+  {
+    config with
+    Spr_core.Tool.validate = (if selfcheck then true else config.Spr_core.Tool.validate);
+    time_budget;
+    max_moves;
+    run_dir;
+    snapshot_every;
+    snapshot_keep;
+  }
+
+let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck ~svg
+    ~checkpoint ~ascii ~stats ~report_k ~clock =
+  match read_run_meta dir with
+  | Error e -> `Error (false, "resume failed: " ^ e)
+  | Ok (tracks, scheme, seed, effort, circuit) -> (
+    match
+      match circuit with
+      | Some name -> load_netlist ~file:None ~circuit:(Some name)
+      | None -> Spr_netlist.Blif.parse_file (design_file dir)
+    with
+    | Error e -> `Error (false, "resume failed: " ^ e)
+    | Ok nl -> (
+      match Spr_core.Checkpoint.V2.load_latest nl ~dir with
+      | Error e ->
+        `Error (false, Spr_core.Tool.(error_to_string (Resume_failed e)))
+      | Ok loaded ->
+        let n = Spr_netlist.Netlist.n_cells nl in
+        Format.printf "circuit: %a@." Spr_netlist.Netlist.pp_summary nl;
+        let arch = Spr_arch.Arch.size_for ~tracks ~hscheme:scheme nl in
+        Format.printf "fabric:  %a@." Spr_arch.Arch.pp arch;
+        Printf.printf "resuming from %s (snapshot %d)\n%!" loaded.Spr_core.Checkpoint.V2.path
+          loaded.Spr_core.Checkpoint.V2.seq;
+        let config =
+          budget_config
+            (Spr_experiments.Profiles.tool_config ~seed effort ~n)
+            ~time_budget ~max_moves ~run_dir:(Some dir) ~snapshot_every ~snapshot_keep
+            ~selfcheck
+        in
+        (match
+           run_sim ~config ~resume:loaded ~selfcheck arch nl ~run_dir:(Some dir) ~svg
+             ~checkpoint ~ascii ~stats ~report_k ~clock
+         with
+        | Ok () -> `Ok ()
+        | Error e -> `Error (false, e))))
+
+let route file circuit tracks scheme seed effort flow selfcheck svg checkpoint ascii stats
+    report_k clock run_dir resume time_budget max_moves snapshot_every snapshot_keep =
+  match resume with
+  | Some dir ->
+    if file <> None || circuit <> None then
+      `Error (false, "--resume continues a saved run; do not also give a design")
+    else
+      resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck ~svg
+        ~checkpoint ~ascii ~stats ~report_k ~clock
+  | None -> (
+    match load_netlist ~file ~circuit with
+    | Error e -> `Error (false, e)
+    | Ok nl ->
+      let n = Spr_netlist.Netlist.n_cells nl in
+      Format.printf "circuit: %a@." Spr_netlist.Netlist.pp_summary nl;
+      let arch = Spr_arch.Arch.size_for ~tracks ~hscheme:scheme nl in
+      Format.printf "fabric:  %a@." Spr_arch.Arch.pp arch;
+      (match run_dir with
+      | Some dir ->
+        let source =
+          match file, circuit with
+          | Some path, _ -> `File path
+          | None, Some name -> `Circuit name
+          | None, None -> assert false (* load_netlist succeeded *)
+        in
+        write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~source nl
+      | None -> ());
+      let errors = ref [] in
+      let note = function Ok () -> () | Error e -> errors := e :: !errors in
+      let sim () =
+        let config =
+          budget_config
+            (Spr_experiments.Profiles.tool_config ~seed effort ~n)
+            ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep ~selfcheck
+        in
+        note
+          (run_sim ~config ~selfcheck arch nl ~run_dir ~svg ~checkpoint ~ascii ~stats
+             ~report_k ~clock)
+      in
+      let seq () =
+        match
+          Spr_seq.Flow.run ~config:(Spr_experiments.Profiles.flow_config ~seed effort ~n) arch
+            nl
+        with
+        | Ok r -> report_seq r
+        | Error e -> note (Error ("sequential flow failed: " ^ e))
+      in
+      (match flow with
+      | "sim" -> sim ()
+      | "seq" -> seq ()
+      | "both" ->
+        seq ();
+        sim ()
+      | other -> note (Error (Printf.sprintf "unknown flow %s (sim|seq|both)" other)));
+      (match !errors with
+      | [] -> `Ok ()
+      | errs -> `Error (false, String.concat "\n" (List.rev errs))))
 
 let route_cmd =
   let flow =
@@ -212,12 +363,44 @@ let route_cmd =
              ~doc:"Audit the incremental state against from-scratch recomputation during and \
                    after the run (placement bijection, routing mirrors, STA diff).")
   in
+  let run_dir =
+    Arg.(value & opt (some string) None
+         & info [ "run-dir" ] ~docv:"DIR"
+             ~doc:"Write crash-safe resumable snapshots (and the design) into $(docv) as the \
+                   run progresses.")
+  in
+  let resume =
+    Arg.(value & opt (some dir) None
+         & info [ "resume" ] ~docv:"DIR"
+             ~doc:"Continue an interrupted run from the newest good snapshot in $(docv).")
+  in
+  let time_budget =
+    Arg.(value & opt (some float) None
+         & info [ "time-budget" ] ~docv:"SECS"
+             ~doc:"Stop gracefully after $(docv) wall seconds and keep the best layout so far.")
+  in
+  let max_moves =
+    Arg.(value & opt (some int) None
+         & info [ "max-moves" ] ~docv:"N"
+             ~doc:"Stop gracefully after $(docv) annealing moves (cumulative across resumes).")
+  in
+  let snapshot_every =
+    Arg.(value & opt int 1
+         & info [ "snapshot-every" ] ~docv:"N"
+             ~doc:"With --run-dir, snapshot every $(docv) temperature boundaries.")
+  in
+  let snapshot_keep =
+    Arg.(value & opt int 3
+         & info [ "snapshot-keep" ] ~docv:"K"
+             ~doc:"With --run-dir, keep the newest $(docv) snapshots.")
+  in
   Cmd.v
     (Cmd.info "route" ~doc:"Place and route a circuit on a row-based fabric.")
     Term.(
       ret
         (const route $ file_arg $ circuit_arg $ tracks_arg $ scheme_arg $ seed_arg $ effort_arg
-        $ flow $ selfcheck $ svg $ checkpoint $ ascii $ stats $ report_k $ clock))
+        $ flow $ selfcheck $ svg $ checkpoint $ ascii $ stats $ report_k $ clock $ run_dir
+        $ resume $ time_budget $ max_moves $ snapshot_every $ snapshot_keep))
 
 (* --- selfcheck (property-based differential testing) --- *)
 

@@ -37,128 +37,252 @@ type temp_stats = {
   sigma_cost : float;
 }
 
+type phase = Warmup | Cool | Quench of int
+
+type snapshot = {
+  s_config : config;
+  s_phase : phase;
+  s_temperature : float;
+  s_temp_index : int;
+  s_last_index : int;
+  s_stagnant : int;
+  s_prev_mean : float;
+  s_batch_done : int;
+  s_batch_attempted : int;
+  s_batch_accepted : int;
+  s_batch_samples : Spr_util.Stats.dump;
+  s_uphill : Spr_util.Stats.dump;
+  s_total_moves : int;
+  s_total_accepted : int;
+  s_initial_cost : float;
+}
+
 type report = {
   initial_cost : float;
   final_cost : float;
   n_temperatures : int;
   n_moves : int;
   n_accepted : int;
+  completed : bool;
 }
 
-let run ?config ?(on_temperature = fun _ -> ()) ~rng ~cost ~propose ~accept ~reject ~n () =
-  let cfg = match config with Some c -> c | None -> default_config ~n in
-  let initial_cost = cost () in
-  let total_moves = ref 0 and total_accepted = ref 0 in
-  (* One batch of moves at a given temperature; [infinity] accepts all
-     (warmup), [0.] accepts only improvement (quench). *)
-  let run_batch ~temperature ~moves ~uphill_stats =
-    let samples = Spr_util.Stats.create () in
-    let attempted = ref 0 and accepted_n = ref 0 in
-    for _ = 1 to moves do
-      let before = cost () in
-      if propose rng then begin
-        incr attempted;
-        let after = cost () in
-        let delta = after -. before in
-        (match uphill_stats with
-        | Some s when delta > 0.0 -> Spr_util.Stats.add s delta
-        | Some _ | None -> ());
-        let take =
-          if delta <= 0.0 then true
-          else if temperature <= 0.0 then false
-          else if temperature = infinity then true
-          else Spr_util.Rng.float rng 1.0 < exp (-.delta /. temperature)
-        in
-        if take then begin
-          accept ();
-          incr accepted_n;
-          Spr_util.Stats.add samples after
-        end
-        else begin
-          reject ();
-          Spr_util.Stats.add samples before
-        end
-      end
-    done;
-    total_moves := !total_moves + !attempted;
-    total_accepted := !total_accepted + !accepted_n;
-    (!attempted, !accepted_n, samples)
+(* The complete schedule position as mutable working state. Everything
+   here round-trips through [snapshot] so a run can be frozen between
+   any two moves and continued bit-identically. *)
+type live = {
+  cfg : config;
+  mutable phase : phase;
+  mutable temperature : float;
+  mutable temp_index : int;
+  mutable last_index : int;  (* final cooling index, fixed on entering the quench *)
+  mutable stagnant : int;
+  mutable prev_mean : float;
+  mutable batch_done : int;  (* loop iterations in the current batch, counting failed proposes *)
+  mutable batch_attempted : int;
+  mutable batch_accepted : int;
+  batch_samples : Spr_util.Stats.t;
+  uphill : Spr_util.Stats.t;
+  mutable total_moves : int;
+  mutable total_accepted : int;
+  mutable initial_cost : float;
+}
+
+let fresh cfg ~initial_cost =
+  {
+    cfg;
+    phase = Warmup;
+    temperature = infinity;
+    temp_index = 0;
+    last_index = 0;
+    stagnant = 0;
+    prev_mean = 0.0;
+    batch_done = 0;
+    batch_attempted = 0;
+    batch_accepted = 0;
+    batch_samples = Spr_util.Stats.create ();
+    uphill = Spr_util.Stats.create ();
+    total_moves = 0;
+    total_accepted = 0;
+    initial_cost;
+  }
+
+let run ?config ?resume ?(on_temperature = fun _ -> ())
+    ?(on_checkpoint = fun ~at:_ _ -> ())
+    ?(should_stop = fun ~moves:_ ~accepted:_ -> false) ~rng ~cost ~propose ~accept ~reject ~n
+    () =
+  let l =
+    match resume with
+    | Some s ->
+      {
+        cfg = s.s_config;
+        phase = s.s_phase;
+        temperature = s.s_temperature;
+        temp_index = s.s_temp_index;
+        last_index = s.s_last_index;
+        stagnant = s.s_stagnant;
+        prev_mean = s.s_prev_mean;
+        batch_done = s.s_batch_done;
+        batch_attempted = s.s_batch_attempted;
+        batch_accepted = s.s_batch_accepted;
+        batch_samples = Spr_util.Stats.restore s.s_batch_samples;
+        uphill = Spr_util.Stats.restore s.s_uphill;
+        total_moves = s.s_total_moves;
+        total_accepted = s.s_total_accepted;
+        initial_cost = s.s_initial_cost;
+      }
+    | None ->
+      let cfg = match config with Some c -> c | None -> default_config ~n in
+      fresh cfg ~initial_cost:(cost ())
   in
-  (* Warmup: random walk to measure the uphill-delta scale. *)
-  let uphill = Spr_util.Stats.create () in
-  let w_att, w_acc, w_samples =
-    run_batch ~temperature:infinity ~moves:cfg.warmup_moves ~uphill_stats:(Some uphill)
-  in
-  on_temperature
+  let cfg = l.cfg in
+  let running = ref true and stopped = ref false in
+  let capture () =
     {
-      temp_index = 0;
-      temperature = infinity;
-      attempted = w_att;
-      accepted = w_acc;
-      mean_cost = Spr_util.Stats.mean w_samples;
-      sigma_cost = Spr_util.Stats.stddev w_samples;
-    };
-  let avg_uphill =
-    if Spr_util.Stats.count uphill > 0 then Spr_util.Stats.mean uphill
-    else Float.max 1e-9 (initial_cost *. 0.05)
+      s_config = l.cfg;
+      s_phase = l.phase;
+      s_temperature = l.temperature;
+      s_temp_index = l.temp_index;
+      s_last_index = l.last_index;
+      s_stagnant = l.stagnant;
+      s_prev_mean = l.prev_mean;
+      s_batch_done = l.batch_done;
+      s_batch_attempted = l.batch_attempted;
+      s_batch_accepted = l.batch_accepted;
+      s_batch_samples = Spr_util.Stats.dump l.batch_samples;
+      s_uphill = Spr_util.Stats.dump l.uphill;
+      s_total_moves = l.total_moves;
+      s_total_accepted = l.total_accepted;
+      s_initial_cost = l.initial_cost;
+    }
   in
-  let t0 = -.avg_uphill /. log cfg.initial_acceptance in
-  (* Main cooling loop. A temperature is stagnant when almost nothing is
-     accepted, or when (already in the low-acceptance regime) the mean
-     cost has stopped moving. *)
-  let rec cool temp index stagnant prev_mean =
-    if index > cfg.max_temperatures then index - 1
-    else begin
-      let att, acc, samples =
-        run_batch ~temperature:temp ~moves:cfg.moves_per_temp ~uphill_stats:None
+  let batch_target () =
+    match l.phase with Warmup -> cfg.warmup_moves | Cool | Quench _ -> cfg.moves_per_temp
+  in
+  (* One annealing move, exactly as in the batched formulation:
+     [infinity] accepts every move (warmup), [0.] only improvement
+     (quench). *)
+  let step_move () =
+    let before = cost () in
+    if propose rng then begin
+      l.batch_attempted <- l.batch_attempted + 1;
+      l.total_moves <- l.total_moves + 1;
+      let after = cost () in
+      let delta = after -. before in
+      (match l.phase with
+      | Warmup when delta > 0.0 -> Spr_util.Stats.add l.uphill delta
+      | Warmup | Cool | Quench _ -> ());
+      let take =
+        if delta <= 0.0 then true
+        else if l.temperature <= 0.0 then false
+        else if l.temperature = infinity then true
+        else Spr_util.Rng.float rng 1.0 < exp (-.delta /. l.temperature)
       in
-      let mean = Spr_util.Stats.mean samples in
-      on_temperature
-        {
-          temp_index = index;
-          temperature = temp;
-          attempted = att;
-          accepted = acc;
-          mean_cost = mean;
-          sigma_cost = Spr_util.Stats.stddev samples;
-        };
-      let ratio = if att = 0 then 0.0 else float_of_int acc /. float_of_int att in
-      let cost_flat =
-        ratio < 0.5 && prev_mean > 0.0
-        && Float.abs (mean -. prev_mean) /. Float.max 1e-12 prev_mean < cfg.stop_cost_tolerance
-      in
-      let stagnant = if ratio < cfg.stop_acceptance || cost_flat then stagnant + 1 else 0 in
-      if stagnant >= cfg.stop_patience then index
-      else begin
-        let sigma = Spr_util.Stats.stddev samples in
-        let alpha =
-          if sigma <= 0.0 then cfg.min_alpha
-          else Float.min cfg.max_alpha (Float.max cfg.min_alpha (exp (-.cfg.lambda *. temp /. sigma)))
-        in
-        cool (temp *. alpha) (index + 1) stagnant mean
+      if take then begin
+        accept ();
+        l.batch_accepted <- l.batch_accepted + 1;
+        l.total_accepted <- l.total_accepted + 1;
+        Spr_util.Stats.add l.batch_samples after
       end
+      else begin
+        reject ();
+        Spr_util.Stats.add l.batch_samples before
+      end
+    end;
+    l.batch_done <- l.batch_done + 1
+  in
+  let enter_quench last_index =
+    l.last_index <- last_index;
+    if cfg.quench_temperatures = 0 then running := false
+    else begin
+      l.phase <- Quench 1;
+      l.temperature <- 0.0;
+      l.temp_index <- last_index + 1
     end
   in
-  let last_index = cool t0 1 0 0.0 in
-  (* Greedy quench. *)
-  for q = 1 to cfg.quench_temperatures do
-    let att, acc, samples =
-      run_batch ~temperature:0.0 ~moves:cfg.moves_per_temp ~uphill_stats:None
-    in
+  (* Close the batch in progress: report its statistics, then advance the
+     schedule. A temperature is stagnant when almost nothing is accepted,
+     or when (already in the low-acceptance regime) the mean cost has
+     stopped moving. *)
+  let close_batch () =
     on_temperature
       {
-        temp_index = last_index + q;
-        temperature = 0.0;
-        attempted = att;
-        accepted = acc;
-        mean_cost = Spr_util.Stats.mean samples;
-        sigma_cost = Spr_util.Stats.stddev samples;
-      }
+        temp_index = l.temp_index;
+        temperature = l.temperature;
+        attempted = l.batch_attempted;
+        accepted = l.batch_accepted;
+        mean_cost = Spr_util.Stats.mean l.batch_samples;
+        sigma_cost = Spr_util.Stats.stddev l.batch_samples;
+      };
+    (match l.phase with
+    | Warmup ->
+      (* Warmup measured the uphill-delta scale; derive T0 from it. *)
+      let avg_uphill =
+        if Spr_util.Stats.count l.uphill > 0 then Spr_util.Stats.mean l.uphill
+        else Float.max 1e-9 (l.initial_cost *. 0.05)
+      in
+      l.phase <- Cool;
+      l.temperature <- -.avg_uphill /. log cfg.initial_acceptance;
+      l.temp_index <- 1
+    | Cool ->
+      let mean = Spr_util.Stats.mean l.batch_samples in
+      let ratio =
+        if l.batch_attempted = 0 then 0.0
+        else float_of_int l.batch_accepted /. float_of_int l.batch_attempted
+      in
+      let cost_flat =
+        ratio < 0.5 && l.prev_mean > 0.0
+        && Float.abs (mean -. l.prev_mean) /. Float.max 1e-12 l.prev_mean
+           < cfg.stop_cost_tolerance
+      in
+      let stagnant = if ratio < cfg.stop_acceptance || cost_flat then l.stagnant + 1 else 0 in
+      l.stagnant <- stagnant;
+      if stagnant >= cfg.stop_patience then enter_quench l.temp_index
+      else begin
+        let sigma = Spr_util.Stats.stddev l.batch_samples in
+        let alpha =
+          if sigma <= 0.0 then cfg.min_alpha
+          else
+            Float.min cfg.max_alpha
+              (Float.max cfg.min_alpha (exp (-.cfg.lambda *. l.temperature /. sigma)))
+        in
+        l.temperature <- l.temperature *. alpha;
+        l.prev_mean <- mean;
+        l.temp_index <- l.temp_index + 1
+      end
+    | Quench q ->
+      if q < cfg.quench_temperatures then begin
+        l.phase <- Quench (q + 1);
+        l.temp_index <- l.temp_index + 1
+      end
+      else running := false);
+    l.batch_done <- 0;
+    l.batch_attempted <- 0;
+    l.batch_accepted <- 0;
+    Spr_util.Stats.reset l.batch_samples;
+    if !running then on_checkpoint ~at:`Boundary (capture ())
+  in
+  while !running && not !stopped do
+    (* The cooling loop gives up after [max_temperatures]; checked at
+       batch starts, mirroring the original head-recursive guard. *)
+    (match l.phase with
+    | Cool when l.batch_done = 0 && l.temp_index > cfg.max_temperatures ->
+      enter_quench (l.temp_index - 1)
+    | Warmup | Cool | Quench _ -> ());
+    if !running then begin
+      if l.batch_done >= batch_target () then close_batch ()
+      else begin
+        step_move ();
+        if should_stop ~moves:l.total_moves ~accepted:l.total_accepted then stopped := true
+      end
+    end
   done;
+  if !stopped then on_checkpoint ~at:`Stop (capture ());
   {
-    initial_cost;
+    initial_cost = l.initial_cost;
     final_cost = cost ();
-    n_temperatures = last_index + cfg.quench_temperatures;
-    n_moves = !total_moves;
-    n_accepted = !total_accepted;
+    n_temperatures =
+      (if !stopped then l.temp_index else l.last_index + cfg.quench_temperatures);
+    n_moves = l.total_moves;
+    n_accepted = l.total_accepted;
+    completed = not !stopped;
   }

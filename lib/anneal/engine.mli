@@ -16,7 +16,15 @@
     through phase transitions. Annealing stops when the acceptance ratio
     stays below [stop_acceptance] for [stop_patience] consecutive
     temperatures, then a zero-temperature quench keeps only improving
-    moves. *)
+    moves.
+
+    {b Interruption and resume.} The schedule position is an explicit
+    state machine: between any two moves the engine can be asked to stop
+    (budgets, signals) and its complete position captured as a
+    {!snapshot} — plain data a checkpoint can serialize. Feeding that
+    snapshot back via [?resume] continues the run as if it had never
+    stopped: given the same client state and the same RNG position, the
+    continuation is bit-identical to the uninterrupted run. *)
 
 type config = {
   moves_per_temp : int;
@@ -47,17 +55,52 @@ type temp_stats = {
   sigma_cost : float;
 }
 
+type phase =
+  | Warmup  (** Infinite-temperature walk measuring the uphill scale. *)
+  | Cool  (** The adaptive cooling loop. *)
+  | Quench of int  (** [q]-th zero-temperature quench batch, from 1. *)
+
+type snapshot = {
+  s_config : config;  (** Resume always uses the snapshotted config. *)
+  s_phase : phase;
+  s_temperature : float;
+  s_temp_index : int;  (** Index of the batch in progress. *)
+  s_last_index : int;  (** Final cooling index (meaningful in quench). *)
+  s_stagnant : int;
+  s_prev_mean : float;
+  s_batch_done : int;
+      (** Move-loop iterations completed in the current batch, counting
+          failed proposes. *)
+  s_batch_attempted : int;
+  s_batch_accepted : int;
+  s_batch_samples : Spr_util.Stats.dump;
+  s_uphill : Spr_util.Stats.dump;
+  s_total_moves : int;
+  s_total_accepted : int;
+  s_initial_cost : float;
+}
+(** The engine's complete schedule position. All floats must be
+    persisted bit-exactly ({!Spr_util.Persist.float_to_hex}) for resumed
+    runs to replay identically; note [s_temperature] is [infinity]
+    during warmup. *)
+
 type report = {
   initial_cost : float;
   final_cost : float;
   n_temperatures : int;
   n_moves : int;
   n_accepted : int;
+  completed : bool;
+      (** [false] when [should_stop] ended the run early; the final
+          [`Stop] checkpoint then resumes it. *)
 }
 
 val run :
   ?config:config ->
+  ?resume:snapshot ->
   ?on_temperature:(temp_stats -> unit) ->
+  ?on_checkpoint:(at:[ `Boundary | `Stop ] -> snapshot -> unit) ->
+  ?should_stop:(moves:int -> accepted:int -> bool) ->
   rng:Spr_util.Rng.t ->
   cost:(unit -> float) ->
   propose:(Spr_util.Rng.t -> bool) ->
@@ -70,4 +113,20 @@ val run :
     applied in that case); otherwise the tentative move is already
     applied when the engine evaluates [cost]. Exactly one of [accept] or
     [reject] is then called. [on_temperature] fires after every
-    temperature including the warmup (index 0) and the quenches. *)
+    temperature including the warmup (index 0) and the quenches.
+
+    [should_stop] is polled after every completed move (the in-flight
+    move always finishes, so client state is between transactions when
+    the engine stops). When it returns [true] the engine calls
+    [on_checkpoint ~at:`Stop] with the mid-batch position and returns
+    with [completed = false].
+
+    [on_checkpoint ~at:`Boundary] fires after every temperature
+    boundary (after [on_temperature] and the schedule transition, except
+    the final one) — the natural place to write a periodic checkpoint.
+
+    [?resume] continues from a snapshot: [config] is ignored in favor of
+    the snapshot's, already-closed temperatures do not re-fire
+    [on_temperature], and counters continue rather than restart. The
+    client must restore its own state (cost landscape, RNG position) to
+    the values at capture time. *)

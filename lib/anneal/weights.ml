@@ -33,3 +33,29 @@ let adapt t =
     if m > 0.0 then t.t_base <- m;
     Spr_util.Stats.reset t.samples
   end
+
+type dump = {
+  w_g_per_net : float;
+  w_d_per_net : float;
+  w_t_emphasis : float;
+  w_t_base : float;
+  w_samples : Spr_util.Stats.dump;
+}
+
+let dump t =
+  {
+    w_g_per_net = t.g_per_net;
+    w_d_per_net = t.d_per_net;
+    w_t_emphasis = t.t_emphasis;
+    w_t_base = t.t_base;
+    w_samples = Spr_util.Stats.dump t.samples;
+  }
+
+let restore d =
+  {
+    g_per_net = d.w_g_per_net;
+    d_per_net = d.w_d_per_net;
+    t_emphasis = d.w_t_emphasis;
+    t_base = d.w_t_base;
+    samples = Spr_util.Stats.restore d.w_samples;
+  }

@@ -36,3 +36,23 @@ val wg : t -> float
 val wd : t -> float
 
 val wt : t -> float
+
+(** {1 Persistence}
+
+    The complete normalization state (static weights, adaptive baseline,
+    in-flight delay samples) as plain data, so a resumable checkpoint
+    can freeze and continue it bit-exactly mid-run. *)
+
+type dump = {
+  w_g_per_net : float;
+  w_d_per_net : float;
+  w_t_emphasis : float;
+  w_t_base : float;
+  w_samples : Spr_util.Stats.dump;
+}
+
+val dump : t -> dump
+
+val restore : dump -> t
+(** Bypasses {!create}'s validation — only feed it values produced by
+    {!dump}. *)

@@ -25,18 +25,20 @@ let to_string st =
     | None -> ()
     | Some vr ->
       add "vroute %d %d %d %d %d\n" net vr.Rs.v_col vr.Rs.v_vtrack vr.Rs.v_slo vr.Rs.v_shi);
+    (* Oldest claim first: restore prepends as it replays (the normal
+       claiming path), so emitting in reverse rebuilds the live list
+       order exactly — consumers that fold over a net's hroutes see
+       identical iteration order before and after a round-trip. *)
     List.iter
       (fun (ch, (hr : Rs.hroute)) ->
         add "hroute %d %d %d %d %d\n" net ch hr.Rs.h_track hr.Rs.h_slo hr.Rs.h_shi)
-      (Rs.h_routes st net)
+      (List.rev (Rs.h_routes st net))
   done;
   add "end\n";
   Buffer.contents buf
 
-let save st path =
-  let oc = open_out path in
-  output_string oc (to_string st);
-  close_out oc
+(* Atomic: a crash mid-save can never leave a torn checkpoint behind. *)
+let save st path = Spr_util.Persist.atomic_write path (to_string st)
 
 type parsed = {
   mutable p_arch : Arch.t option;
@@ -60,9 +62,10 @@ let parse text =
         let words = String.split_on_char ' ' (String.trim line) in
         match words with
         | [ "" ] | [] -> ()
-        | [ "spr-checkpoint"; v ] ->
+        | "spr-checkpoint" :: v :: _ ->
           if int_of_string_opt v <> Some format_version then
-            fail "line %d: unsupported checkpoint version %s" (lineno + 1) v
+            fail "line %d: unsupported checkpoint version %s (this loader reads version %d)"
+              (lineno + 1) v format_version
         | [ "arch"; rows; cols; tracks; vtracks; scheme ] -> (
           match
             ( int_of_string_opt rows,
@@ -226,8 +229,478 @@ let of_string nl text =
       end)
 
 let load nl path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  of_string nl text
+  match Spr_util.Persist.read_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok text -> of_string nl text
+
+(* --- Checkpoint format v2: complete mid-run annealer state --- *)
+
+module V2 = struct
+  module Pe = Spr_util.Persist
+  module E = Spr_anneal.Engine
+  module W = Spr_anneal.Weights
+  module St = Spr_util.Stats
+
+  let format_version = 2
+
+  type payload = {
+    engine : E.snapshot;
+    rng_state : int64;
+    weights : W.dump;
+    dyn_flags : bool array;
+    dyn_samples : Dynamics.sample list;
+    accepted_since_audit : int;
+    memo : Rs.memo;
+    best_cost : float;
+    best_layout : string;
+  }
+
+  type loaded = { data : payload; route : Rs.t; path : string; seq : int }
+
+  let f2h = Pe.float_to_hex
+
+  let stats_line tag (d : St.dump) =
+    Printf.sprintf "stats %s %d %s %s %s %s" tag d.St.d_n (f2h d.St.d_mean) (f2h d.St.d_m2)
+      (f2h d.St.d_min) (f2h d.St.d_max)
+
+  let ints_line tag a =
+    String.concat " "
+      (tag :: string_of_int (Array.length a) :: (Array.to_list a |> List.map string_of_int))
+
+  let ints2_line tag m =
+    let rows = Array.length m in
+    let cols = if rows = 0 then 0 else Array.length m.(0) in
+    String.concat " "
+      (tag :: string_of_int rows :: string_of_int cols
+      :: (Array.to_list m |> List.concat_map (fun row -> Array.to_list row |> List.map string_of_int)))
+
+  let encode_payload p ~current =
+    let buf = Buffer.create 8192 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let e = p.engine in
+    let c = e.E.s_config in
+    add "config %d %d %s %s %s %s %s %s %d %d %d\n" c.E.moves_per_temp c.E.warmup_moves
+      (f2h c.E.initial_acceptance) (f2h c.E.lambda) (f2h c.E.min_alpha) (f2h c.E.max_alpha)
+      (f2h c.E.stop_acceptance) (f2h c.E.stop_cost_tolerance) c.E.stop_patience
+      c.E.max_temperatures c.E.quench_temperatures;
+    let phase_tag, quench_idx =
+      match e.E.s_phase with E.Warmup -> ("w", 0) | E.Cool -> ("c", 0) | E.Quench q -> ("q", q)
+    in
+    add "engine %s %d %s %d %d %d %s %d %d %d %d %d %s\n" phase_tag quench_idx
+      (f2h e.E.s_temperature) e.E.s_temp_index e.E.s_last_index e.E.s_stagnant
+      (f2h e.E.s_prev_mean) e.E.s_batch_done e.E.s_batch_attempted e.E.s_batch_accepted
+      e.E.s_total_moves e.E.s_total_accepted (f2h e.E.s_initial_cost);
+    add "%s\n" (stats_line "batch" e.E.s_batch_samples);
+    add "%s\n" (stats_line "uphill" e.E.s_uphill);
+    add "rng %s\n" (Pe.int64_to_hex p.rng_state);
+    add "weights %s %s %s %s\n" (f2h p.weights.W.w_g_per_net) (f2h p.weights.W.w_d_per_net)
+      (f2h p.weights.W.w_t_emphasis) (f2h p.weights.W.w_t_base);
+    add "%s\n" (stats_line "weights" p.weights.W.w_samples);
+    add "session %d\n" p.accepted_since_audit;
+    (* Failure-memoization stamps: they never change which routes are
+       legal, but they gate which queued nets the retry pass attempts,
+       so a resume without them picks different candidates and drifts
+       off the interrupted run's trajectory. *)
+    add "%s\n" (ints_line "gstamp" p.memo.Rs.m_g_stamp);
+    add "%s\n" (ints2_line "dstamp" p.memo.Rs.m_d_stamp);
+    add "%s\n" (ints2_line "hepoch" p.memo.Rs.m_h_epoch);
+    add "%s\n" (ints_line "vepoch" p.memo.Rs.m_v_epoch);
+    add "dynflags %s\n"
+      (String.init (Array.length p.dyn_flags) (fun i -> if p.dyn_flags.(i) then '1' else '0'));
+    add "dynsamples %d\n" (List.length p.dyn_samples);
+    List.iter
+      (fun (s : Dynamics.sample) ->
+        add "dynsample %d %s %s %s %s %s %s %s\n" s.Dynamics.dyn_temp_index
+          (f2h s.Dynamics.dyn_temperature) (f2h s.Dynamics.pct_cells_perturbed)
+          (f2h s.Dynamics.pct_nets_globally_unrouted) (f2h s.Dynamics.pct_nets_unrouted)
+          (f2h s.Dynamics.acceptance) (f2h s.Dynamics.cost) (f2h s.Dynamics.critical_delay))
+      p.dyn_samples;
+    add "best %s\n" (f2h p.best_cost);
+    add "layout best %d\n" (String.length p.best_layout);
+    Buffer.add_string buf p.best_layout;
+    let current_text = to_string current in
+    add "layout current %d\n" (String.length current_text);
+    Buffer.add_string buf current_text;
+    Buffer.contents buf
+
+  let encode p ~current =
+    let payload = encode_payload p ~current in
+    Printf.sprintf "spr-checkpoint %d %s %d\n%s" format_version (Pe.checksum_hex payload)
+      (String.length payload) payload
+
+  (* Sequential cursor over the payload; every reader returns [Error]
+     with a position rather than raising. *)
+  type cursor = { text : string; mutable pos : int }
+
+  let next_line cur =
+    if cur.pos >= String.length cur.text then Error "unexpected end of payload"
+    else begin
+      match String.index_from_opt cur.text cur.pos '\n' with
+      | None ->
+        let line = String.sub cur.text cur.pos (String.length cur.text - cur.pos) in
+        cur.pos <- String.length cur.text;
+        Ok line
+      | Some i ->
+        let line = String.sub cur.text cur.pos (i - cur.pos) in
+        cur.pos <- i + 1;
+        Ok line
+    end
+
+  let take_bytes cur n =
+    if n < 0 || cur.pos + n > String.length cur.text then Error "embedded block overruns payload"
+    else begin
+      let s = String.sub cur.text cur.pos n in
+      cur.pos <- cur.pos + n;
+      Ok s
+    end
+
+  let ( let* ) r f = match r with Error e -> Error e | Ok v -> f v
+
+  let words line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+  let int_ s = match int_of_string_opt s with Some i -> Ok i | None -> Error ("bad int " ^ s)
+
+  let float_ s =
+    match Pe.float_of_hex s with Some f -> Ok f | None -> Error ("bad float bits " ^ s)
+
+  let expect_tag tag line f =
+    match words line with
+    | t :: rest when t = tag -> f rest
+    | _ -> Error (Printf.sprintf "expected %s record, got %S" tag line)
+
+  let parse_stats tag cur =
+    let* line = next_line cur in
+    expect_tag "stats" line (function
+      | [ t; n; mean; m2; min_v; max_v ] when t = tag ->
+        let* n = int_ n in
+        let* d_mean = float_ mean in
+        let* d_m2 = float_ m2 in
+        let* d_min = float_ min_v in
+        let* d_max = float_ max_v in
+        Ok { St.d_n = n; d_mean; d_m2; d_min; d_max }
+      | _ -> Error (Printf.sprintf "bad stats %s record" tag))
+
+  let ints_of rest =
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | s :: tl ->
+        let* i = int_ s in
+        go (i :: acc) tl
+    in
+    go [] rest
+
+  let parse_ints tag cur =
+    let* line = next_line cur in
+    expect_tag tag line (function
+      | n :: rest ->
+        let* n = int_ n in
+        let* a = ints_of rest in
+        if Array.length a <> n then Error (Printf.sprintf "bad %s record: length mismatch" tag)
+        else Ok a
+      | [] -> Error (Printf.sprintf "bad %s record" tag))
+
+  let parse_ints2 tag cur =
+    let* line = next_line cur in
+    expect_tag tag line (function
+      | rows :: cols :: rest ->
+        let* rows = int_ rows in
+        let* cols = int_ cols in
+        let* flat = ints_of rest in
+        if rows < 0 || cols < 0 || Array.length flat <> rows * cols then
+          Error (Printf.sprintf "bad %s record: shape mismatch" tag)
+        else Ok (Array.init rows (fun r -> Array.sub flat (r * cols) cols))
+      | _ -> Error (Printf.sprintf "bad %s record" tag))
+
+  let parse_layout tag cur =
+    let* line = next_line cur in
+    expect_tag "layout" line (function
+      | [ t; len ] when t = tag ->
+        let* len = int_ len in
+        take_bytes cur len
+      | _ -> Error (Printf.sprintf "bad layout %s record" tag))
+
+  let decode_payload nl payload =
+    let cur = { text = payload; pos = 0 } in
+    let* config_line = next_line cur in
+    let* config =
+      expect_tag "config" config_line (function
+        | [ mpt; wm; ia; la; mina; maxa; sa; sct; sp; mt; qt ] ->
+          let* moves_per_temp = int_ mpt in
+          let* warmup_moves = int_ wm in
+          let* initial_acceptance = float_ ia in
+          let* lambda = float_ la in
+          let* min_alpha = float_ mina in
+          let* max_alpha = float_ maxa in
+          let* stop_acceptance = float_ sa in
+          let* stop_cost_tolerance = float_ sct in
+          let* stop_patience = int_ sp in
+          let* max_temperatures = int_ mt in
+          let* quench_temperatures = int_ qt in
+          Ok
+            {
+              E.moves_per_temp;
+              warmup_moves;
+              initial_acceptance;
+              lambda;
+              min_alpha;
+              max_alpha;
+              stop_acceptance;
+              stop_cost_tolerance;
+              stop_patience;
+              max_temperatures;
+              quench_temperatures;
+            }
+        | _ -> Error "bad config record")
+    in
+    let* engine_line = next_line cur in
+    let* engine0 =
+      expect_tag "engine" engine_line (function
+        | [ ph; q; temp; ti; li; stag; pm; bd; ba; bacc; tm; ta; ic ] ->
+          let* q = int_ q in
+          let* s_phase =
+            match ph with
+            | "w" -> Ok E.Warmup
+            | "c" -> Ok E.Cool
+            | "q" -> Ok (E.Quench q)
+            | other -> Error ("unknown engine phase " ^ other)
+          in
+          let* s_temperature = float_ temp in
+          let* s_temp_index = int_ ti in
+          let* s_last_index = int_ li in
+          let* s_stagnant = int_ stag in
+          let* s_prev_mean = float_ pm in
+          let* s_batch_done = int_ bd in
+          let* s_batch_attempted = int_ ba in
+          let* s_batch_accepted = int_ bacc in
+          let* s_total_moves = int_ tm in
+          let* s_total_accepted = int_ ta in
+          let* s_initial_cost = float_ ic in
+          Ok
+            (fun s_batch_samples s_uphill ->
+              {
+                E.s_config = config;
+                s_phase;
+                s_temperature;
+                s_temp_index;
+                s_last_index;
+                s_stagnant;
+                s_prev_mean;
+                s_batch_done;
+                s_batch_attempted;
+                s_batch_accepted;
+                s_batch_samples;
+                s_uphill;
+                s_total_moves;
+                s_total_accepted;
+                s_initial_cost;
+              })
+        | _ -> Error "bad engine record")
+    in
+    let* batch_samples = parse_stats "batch" cur in
+    let* uphill = parse_stats "uphill" cur in
+    let engine = engine0 batch_samples uphill in
+    let* rng_line = next_line cur in
+    let* rng_state =
+      expect_tag "rng" rng_line (function
+        | [ hex ] -> (
+          match Pe.int64_of_hex hex with
+          | Some s -> Ok s
+          | None -> Error ("bad rng state " ^ hex))
+        | _ -> Error "bad rng record")
+    in
+    let* weights_line = next_line cur in
+    let* weights0 =
+      expect_tag "weights" weights_line (function
+        | [ g; d; e; base ] ->
+          let* w_g_per_net = float_ g in
+          let* w_d_per_net = float_ d in
+          let* w_t_emphasis = float_ e in
+          let* w_t_base = float_ base in
+          Ok (fun w_samples -> { W.w_g_per_net; w_d_per_net; w_t_emphasis; w_t_base; w_samples })
+        | _ -> Error "bad weights record")
+    in
+    let* weights_samples = parse_stats "weights" cur in
+    let weights = weights0 weights_samples in
+    let* session_line = next_line cur in
+    let* accepted_since_audit =
+      expect_tag "session" session_line (function
+        | [ n ] -> int_ n
+        | _ -> Error "bad session record")
+    in
+    let* m_g_stamp = parse_ints "gstamp" cur in
+    let* m_d_stamp = parse_ints2 "dstamp" cur in
+    let* m_h_epoch = parse_ints2 "hepoch" cur in
+    let* m_v_epoch = parse_ints "vepoch" cur in
+    let memo = { Rs.m_g_stamp; m_d_stamp; m_h_epoch; m_v_epoch } in
+    let* flags_line = next_line cur in
+    let* dyn_flags =
+      expect_tag "dynflags" flags_line (function
+        | [] -> Ok [||]  (* zero cells *)
+        | [ bits ] ->
+          if String.for_all (fun c -> c = '0' || c = '1') bits then
+            Ok (Array.init (String.length bits) (fun i -> bits.[i] = '1'))
+          else Error "bad dynflags bits"
+        | _ -> Error "bad dynflags record")
+    in
+    let* count_line = next_line cur in
+    let* n_samples =
+      expect_tag "dynsamples" count_line (function
+        | [ n ] -> int_ n
+        | _ -> Error "bad dynsamples record")
+    in
+    let rec read_samples k acc =
+      if k = 0 then Ok (List.rev acc)
+      else
+        let* line = next_line cur in
+        let* s =
+          expect_tag "dynsample" line (function
+            | [ ti; temp; pc; pg; pu; a; c; cd ] ->
+              let* dyn_temp_index = int_ ti in
+              let* dyn_temperature = float_ temp in
+              let* pct_cells_perturbed = float_ pc in
+              let* pct_nets_globally_unrouted = float_ pg in
+              let* pct_nets_unrouted = float_ pu in
+              let* acceptance = float_ a in
+              let* cost = float_ c in
+              let* critical_delay = float_ cd in
+              Ok
+                {
+                  Dynamics.dyn_temp_index;
+                  dyn_temperature;
+                  pct_cells_perturbed;
+                  pct_nets_globally_unrouted;
+                  pct_nets_unrouted;
+                  acceptance;
+                  cost;
+                  critical_delay;
+                }
+            | _ -> Error "bad dynsample record")
+        in
+        read_samples (k - 1) (s :: acc)
+    in
+    let* dyn_samples = read_samples n_samples [] in
+    let* best_line = next_line cur in
+    let* best_cost =
+      expect_tag "best" best_line (function [ c ] -> float_ c | _ -> Error "bad best record")
+    in
+    let* best_layout = parse_layout "best" cur in
+    let* current_text = parse_layout "current" cur in
+    let* route =
+      match of_string nl current_text with
+      | Ok rs -> Ok rs
+      | Error e -> Error ("embedded current layout: " ^ e)
+    in
+    let* () =
+      match Rs.set_memo route memo with
+      | Ok () -> Ok ()
+      | Error e -> Error ("failure-memoization state: " ^ e)
+    in
+    Ok
+      ( {
+          engine;
+          rng_state;
+          weights;
+          dyn_flags;
+          dyn_samples;
+          accepted_since_audit;
+          memo;
+          best_cost;
+          best_layout;
+        },
+        route )
+
+  let decode nl text =
+    match String.index_opt text '\n' with
+    | None -> Error "empty or headerless checkpoint"
+    | Some i -> (
+      let header = String.sub text 0 i in
+      let body = String.sub text (i + 1) (String.length text - i - 1) in
+      match words header with
+      | [ "spr-checkpoint"; version; crc; len ] -> (
+        match int_of_string_opt version, int_of_string_opt len with
+        | Some v, _ when v <> format_version ->
+          Error
+            (Printf.sprintf "unsupported checkpoint version %d (this loader reads version %d)" v
+               format_version)
+        | _, None | None, _ -> Error "malformed v2 header"
+        | Some _, Some len ->
+          if String.length body < len then
+            Error
+              (Printf.sprintf "truncated checkpoint: %d of %d payload bytes" (String.length body)
+                 len)
+          else begin
+            let payload = String.sub body 0 len in
+            let actual = Pe.checksum_hex payload in
+            if not (String.equal actual crc) then
+              Error (Printf.sprintf "checksum mismatch: header %s, payload %s" crc actual)
+            else decode_payload nl payload
+          end)
+      | "spr-checkpoint" :: v :: _ ->
+        Error
+          (Printf.sprintf "unsupported checkpoint version %s (this loader reads version %d)" v
+             format_version)
+      | _ -> Error "not a spr checkpoint")
+
+  (* --- run-directory rotation --- *)
+
+  let snapshot_re_prefix = "snap-"
+
+  let snapshot_path dir seq = Filename.concat dir (Printf.sprintf "%s%08d.ckpt" snapshot_re_prefix seq)
+
+  let snapshot_files ~dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun name ->
+             if
+               String.length name = String.length (Printf.sprintf "%s%08d.ckpt" snapshot_re_prefix 0)
+               && String.length name > 13
+               && String.sub name 0 5 = snapshot_re_prefix
+               && Filename.check_suffix name ".ckpt"
+             then
+               match int_of_string_opt (String.sub name 5 8) with
+               | Some seq -> Some (seq, Filename.concat dir name)
+               | None -> None
+             else None)
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+  let next_seq ~dir =
+    match snapshot_files ~dir with [] -> 1 | (seq, _) :: _ -> seq + 1
+
+  let write ~dir ~seq ~keep p ~current =
+    Spr_util.Persist.ensure_dir dir;
+    let path = snapshot_path dir seq in
+    Spr_util.Persist.atomic_write path (encode p ~current);
+    (* Drop rotation entries beyond the newest [keep]. *)
+    let keep = max 1 keep in
+    List.iteri
+      (fun i (_, p) -> if i >= keep then try Sys.remove p with Sys_error _ -> ())
+      (snapshot_files ~dir);
+    path
+
+  let load_file nl path =
+    match Spr_util.Persist.read_file path with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok text -> (
+      match decode nl text with
+      | Ok v -> Ok v
+      | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
+  let load_latest nl ~dir =
+    let files = snapshot_files ~dir in
+    if files = [] then Error (Printf.sprintf "%s: no snapshots found" dir)
+    else begin
+      let rec try_each errs = function
+        | [] ->
+          Error
+            (Printf.sprintf "no loadable snapshot in %s:\n%s" dir
+               (String.concat "\n" (List.rev_map (fun e -> "  " ^ e) errs)))
+        | (seq, path) :: rest -> (
+          match load_file nl path with
+          | Ok (data, route) -> Ok { data; route; path; seq }
+          | Error e -> try_each (e :: errs) rest)
+      in
+      try_each [] files
+    end
+end

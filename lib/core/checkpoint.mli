@@ -21,3 +21,84 @@ val of_string :
     (checked by cell/net counts and per-net terminal counts). *)
 
 val load : Spr_netlist.Netlist.t -> string -> (Spr_route.Route_state.t, string) Stdlib.result
+
+(** {1 Format v2: resumable mid-run snapshots}
+
+    Version 2 wraps a complete annealer state — current layout, best
+    layout so far, schedule position, RNG stream, adaptive weights,
+    dynamics recorder — behind a checksummed header, so an interrupted
+    run can continue bit-identically and a torn or corrupted file is
+    detected rather than trusted.
+
+    On-disk shape: one header line
+    [spr-checkpoint 2 <fnv1a64-hex> <payload-bytes>] followed by exactly
+    that many payload bytes. The checksum covers the payload; a length
+    short of the header's count means truncation. Floats are serialized
+    as IEEE-754 bit patterns so every value round-trips exactly. *)
+
+module V2 : sig
+  val format_version : int
+
+  type payload = {
+    engine : Spr_anneal.Engine.snapshot;
+    rng_state : int64;
+    weights : Spr_anneal.Weights.dump;
+    dyn_flags : bool array;
+    dyn_samples : Dynamics.sample list;
+    accepted_since_audit : int;
+    memo : Spr_route.Route_state.memo;
+        (** Failure-memoization stamps of the current layout. They gate
+            which queued nets the retry pass attempts, so a resume
+            without them drifts off the interrupted run's trajectory. *)
+    best_cost : float;
+    best_layout : string;
+        (** v1 layout text of the best-so-far state, decoded lazily —
+            only when an interrupted run must fall back to it. *)
+  }
+
+  type loaded = {
+    data : payload;
+    route : Spr_route.Route_state.t;
+        (** The current (in-flight) layout, with [memo] already
+            applied. *)
+    path : string;
+    seq : int;
+  }
+
+  val encode : payload -> current:Spr_route.Route_state.t -> string
+
+  val decode :
+    Spr_netlist.Netlist.t ->
+    string ->
+    (payload * Spr_route.Route_state.t, string) Stdlib.result
+  (** Never raises on malformed input: truncation, checksum mismatch,
+      bad records, and overrunning embedded blocks all return [Error]. *)
+
+  (** {2 Run-directory rotation}
+
+      Snapshots live in a run directory as [snap-NNNNNNNN.ckpt] with a
+      monotonically increasing sequence number; writers keep the newest
+      [keep] files and loaders fall back to older ones when the newest
+      is damaged. *)
+
+  val snapshot_path : string -> int -> string
+
+  val snapshot_files : dir:string -> (int * string) list
+  (** Newest first; empty if the directory is unreadable. *)
+
+  val next_seq : dir:string -> int
+
+  val write :
+    dir:string -> seq:int -> keep:int -> payload -> current:Spr_route.Route_state.t -> string
+  (** Atomic (temp file + rename); prunes rotation entries beyond
+      [keep]; returns the path written. *)
+
+  val load_file :
+    Spr_netlist.Netlist.t ->
+    string ->
+    (payload * Spr_route.Route_state.t, string) Stdlib.result
+
+  val load_latest : Spr_netlist.Netlist.t -> dir:string -> (loaded, string) Stdlib.result
+  (** Try snapshots newest-first, skipping damaged ones; [Error] lists
+      every per-file failure when none loads. *)
+end

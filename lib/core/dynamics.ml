@@ -46,6 +46,16 @@ let flush t ~temp_index ~temperature ~g_frac ~d_frac ~acceptance ~cost ~critical
 
 let samples t = List.rev t.acc
 
+let perturbed_flags t = Array.copy t.perturbed
+
+let restore ~n_cells ~flags ~samples =
+  if Array.length flags <> n_cells then invalid_arg "Dynamics.restore: flag count mismatch";
+  let t = create ~n_cells in
+  Array.blit flags 0 t.perturbed 0 n_cells;
+  t.n_perturbed <- Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 flags;
+  t.acc <- List.rev samples;
+  t
+
 let pp_series ppf samples =
   Format.fprintf ppf "%4s  %12s  %8s  %8s  %8s  %6s  %10s@."
     "temp" "T" "%cells" "%G-unrt" "%unrt" "acc" "delay(ns)";

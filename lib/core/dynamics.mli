@@ -40,5 +40,15 @@ val flush :
 val samples : t -> sample list
 (** In temperature order. *)
 
+val perturbed_flags : t -> bool array
+(** Copy of the per-cell perturbation marks accumulated since the last
+    {!flush} — the mid-temperature state a resumable checkpoint must
+    carry. *)
+
+val restore : n_cells:int -> flags:bool array -> samples:sample list -> t
+(** Recorder continuing exactly from a {!perturbed_flags} /
+    {!samples} capture. Raises [Invalid_argument] if [flags] is not
+    [n_cells] long. *)
+
 val pp_series : Format.formatter -> sample list -> unit
 (** The Figure 6 series as an aligned text table. *)

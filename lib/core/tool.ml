@@ -22,6 +22,13 @@ type config = {
   max_swap_tries : int;
   validate : bool;
   validate_every : int;
+  time_budget : float option;
+  max_moves : int option;
+  run_dir : string option;
+  snapshot_every : int;
+  snapshot_keep : int;
+  final_checkpoint : bool;
+  stop_after_accepted : int option;
 }
 
 let default_config =
@@ -39,7 +46,51 @@ let default_config =
     max_swap_tries = 8;
     validate = false;
     validate_every = 50;
+    time_budget = None;
+    max_moves = None;
+    run_dir = None;
+    snapshot_every = 1;
+    snapshot_keep = 3;
+    final_checkpoint = true;
+    stop_after_accepted = None;
   }
+
+type stop_reason = Time_budget | Move_budget | Interrupt
+
+type status = Completed | Interrupted of stop_reason
+
+let stop_reason_to_string = function
+  | Time_budget -> "time budget"
+  | Move_budget -> "move budget"
+  | Interrupt -> "interrupt"
+
+type error =
+  | Invalid_design of string
+  | Audit_failed of Spr_check.Finding.t list
+  | Resume_failed of string
+
+exception Tool_error of error
+
+let error_to_string = function
+  | Invalid_design msg -> "invalid design: " ^ msg
+  | Audit_failed findings ->
+    "invariant audit failed:\n" ^ Spr_check.Finding.summarize findings
+  | Resume_failed msg -> "resume failed: " ^ msg
+
+(* --- graceful interruption --- *)
+
+let interrupt_flag = ref false
+
+let request_interrupt () = interrupt_flag := true
+
+let reset_interrupt () = interrupt_flag := false
+
+let interrupt_requested () = !interrupt_flag
+
+let install_signal_handlers () =
+  let handle _ = interrupt_flag := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
 
 type result = {
   place : P.t;
@@ -52,6 +103,8 @@ type result = {
   anneal_report : Spr_anneal.Engine.report;
   dynamics : Dynamics.sample list;
   cpu_seconds : float;
+  status : status;
+  best_cost : float;
 }
 
 (* One move = one transaction. [propose] applies everything (placement
@@ -73,6 +126,13 @@ type session = {
 let session_cost s =
   Spr_anneal.Weights.cost s.weights ~g:(Rs.g_count s.rs) ~d:(Rs.d_count s.rs)
     ~delay:(Sta.critical_delay s.sta)
+
+(* Best-so-far comparisons need a metric that is stable across the whole
+   run, so it cannot use the adaptive weights (their normalization
+   drifts between temperatures): unrouted nets dominate, critical delay
+   breaks ties. *)
+let best_metric ~rs ~sta =
+  (float_of_int (Rs.g_count rs + Rs.d_count rs) *. 1e9) +. Sta.critical_delay sta
 
 let finish_move s ripped =
   let routed = Router.reroute ~config:s.router s.rs s.journal in
@@ -128,119 +188,287 @@ let propose s rng =
   else propose_swap s rng
 
 (* The full audit subsystem: placement bijection/legality, the routing
-   mirror oracle, and a from-scratch STA diff. Failing fast here turns a
+   mirror oracle, and a from-scratch STA diff. Failing here turns a
    silently corrupted cost function into an immediate, attributable
-   crash. *)
+   structured error. *)
+exception Audit_failure of Spr_check.Finding.t list
+
 let validate_now s =
   match Spr_check.Audit.run_all ~sta:s.sta s.rs with
   | [] -> ()
-  | findings ->
-    failwith ("Tool: invariant audit failed:\n" ^ Spr_check.Finding.summarize findings)
+  | findings -> raise (Audit_failure findings)
 
-let run ?(config = default_config) arch nl =
-  match Spr_netlist.Levelize.run nl with
-  | Error e -> Error e
-  | Ok _ -> (
-    let rng = Spr_util.Rng.create config.seed in
-    match P.create arch nl ~rng with
-    | Error e -> Error e
-    | Ok place ->
-      let t_start = Sys.time () in
-      let rs = Rs.create place in
-      (* Start-up transient: give every net a first chance at a (poor)
-         route in the random placement. *)
-      Router.route_all ~config:config.router ~passes:2 rs;
-      let sta = Sta.create config.delay_model rs in
-      let initial_delay = Float.max 1e-6 (Sta.critical_delay sta) in
-      let weights =
-        Spr_anneal.Weights.create ~g_per_net:config.g_per_net ~d_per_net:config.d_per_net
-          ~t_emphasis:config.t_emphasis ~initial_delay ()
-      in
-      let router =
-        if not config.timing_driven_routing then config.router
-        else begin
-          let crit net =
-            Sta.arrival_out sta (Spr_netlist.Netlist.net nl net).Spr_netlist.Netlist.driver
-          in
-          { config.router with Router.criticality = Some crit }
-        end
-      in
-      let s =
-        {
-          cfg = config;
-          router;
-          place;
-          rs;
-          sta;
-          weights;
-          journal = J.create ();
-          dyn = Dynamics.create ~n_cells:(Spr_netlist.Netlist.n_cells nl);
-          last_cells = [];
-          accepted_since_audit = 0;
-        }
-      in
-      let n_routable = max 1 (Rs.n_routable rs) in
-      let on_temperature (ts : Spr_anneal.Engine.temp_stats) =
-        Spr_anneal.Weights.adapt s.weights;
-        if config.validate then validate_now s;
-        Log.debug (fun m ->
-            m "temp %d T=%.4g acc=%d/%d G=%d D=%d delay=%.2fns"
-              ts.Spr_anneal.Engine.temp_index ts.Spr_anneal.Engine.temperature
-              ts.Spr_anneal.Engine.accepted ts.Spr_anneal.Engine.attempted (Rs.g_count rs)
-              (Rs.d_count rs) (Sta.critical_delay sta));
-        let acceptance =
-          if ts.Spr_anneal.Engine.attempted = 0 then 0.0
-          else
-            float_of_int ts.Spr_anneal.Engine.accepted
-            /. float_of_int ts.Spr_anneal.Engine.attempted
+type resume = Checkpoint.V2.loaded
+
+(* The annealing loop shared by fresh and resumed runs. [s] is a fully
+   initialized session whose STA is canonical (freshly built or
+   [full_update]d); [resume] carries the engine schedule position when
+   continuing from a snapshot. *)
+let anneal_session ?resume ~config ~rng ~best s =
+  let nl = P.netlist s.place in
+  let n_routable = max 1 (Rs.n_routable s.rs) in
+  let on_temperature (ts : Spr_anneal.Engine.temp_stats) =
+    Spr_anneal.Weights.adapt s.weights;
+    if config.validate then validate_now s;
+    Log.debug (fun m ->
+        m "temp %d T=%.4g acc=%d/%d G=%d D=%d delay=%.2fns"
+          ts.Spr_anneal.Engine.temp_index ts.Spr_anneal.Engine.temperature
+          ts.Spr_anneal.Engine.accepted ts.Spr_anneal.Engine.attempted (Rs.g_count s.rs)
+          (Rs.d_count s.rs) (Sta.critical_delay s.sta));
+    let acceptance =
+      if ts.Spr_anneal.Engine.attempted = 0 then 0.0
+      else
+        float_of_int ts.Spr_anneal.Engine.accepted
+        /. float_of_int ts.Spr_anneal.Engine.attempted
+    in
+    Dynamics.flush s.dyn ~temp_index:ts.Spr_anneal.Engine.temp_index
+      ~temperature:ts.Spr_anneal.Engine.temperature
+      ~g_frac:(float_of_int (Rs.g_count s.rs) /. float_of_int n_routable)
+      ~d_frac:(float_of_int (Rs.d_count s.rs) /. float_of_int n_routable)
+      ~acceptance ~cost:(session_cost s)
+      ~critical_delay:(Sta.critical_delay s.sta)
+  in
+  (* Budgets and interruption. The engine polls between moves, so the
+     in-flight move always completes; the first tripped condition
+     sticks. *)
+  let watch = Spr_util.Clock.start () in
+  let stop_reason = ref None in
+  let should_stop ~moves ~accepted =
+    (match !stop_reason with
+    | Some _ -> ()
+    | None ->
+      stop_reason :=
+        (if !interrupt_flag then Some Interrupt
+         else
+           match config.max_moves with
+           | Some m when moves >= m -> Some Move_budget
+           | _ -> (
+             match config.time_budget with
+             | Some b when Spr_util.Clock.elapsed watch >= b -> Some Time_budget
+             | _ -> (
+               match config.stop_after_accepted with
+               | Some k when accepted >= k -> Some Interrupt
+               | _ -> None))));
+    !stop_reason <> None
+  in
+  let track_best =
+    config.run_dir <> None || config.time_budget <> None || config.max_moves <> None
+    || config.stop_after_accepted <> None
+  in
+  let ckpt_dir =
+    match config.run_dir with
+    | None -> None
+    | Some dir ->
+      Spr_util.Persist.ensure_dir dir;
+      Some (dir, ref (Checkpoint.V2.next_seq ~dir))
+  in
+  let on_checkpoint ~at (snap : Spr_anneal.Engine.snapshot) =
+    if track_best then begin
+      (* Canonicalize the incremental STA so the snapshot, the continued
+         run, and any resumed run all proceed from the same timing
+         state. *)
+      Sta.full_update s.sta;
+      let metric = best_metric ~rs:s.rs ~sta:s.sta in
+      if metric < fst !best then best := (metric, Some (Checkpoint.to_string s.rs));
+      match ckpt_dir with
+      | None -> ()
+      | Some (dir, seq) ->
+        let due =
+          match at with
+          | `Boundary -> snap.Spr_anneal.Engine.s_temp_index mod max 1 config.snapshot_every = 0
+          | `Stop -> config.final_checkpoint
         in
-        Dynamics.flush s.dyn ~temp_index:ts.Spr_anneal.Engine.temp_index
-          ~temperature:ts.Spr_anneal.Engine.temperature
-          ~g_frac:(float_of_int (Rs.g_count rs) /. float_of_int n_routable)
-          ~d_frac:(float_of_int (Rs.d_count rs) /. float_of_int n_routable)
-          ~acceptance ~cost:(session_cost s)
-          ~critical_delay:(Sta.critical_delay sta)
-      in
-      let anneal_report =
-        Spr_anneal.Engine.run ?config:config.anneal ~on_temperature ~rng
-          ~cost:(fun () -> session_cost s)
-          ~propose:(fun rng -> propose s rng)
-          ~accept:(fun () ->
-            Dynamics.note_accepted_cells s.dyn s.last_cells;
-            J.commit s.journal;
-            if config.validate then begin
-              s.accepted_since_audit <- s.accepted_since_audit + 1;
-              if s.accepted_since_audit >= max 1 config.validate_every then begin
-                s.accepted_since_audit <- 0;
-                validate_now s
-              end
-            end)
-          ~reject:(fun () -> J.rollback s.journal)
-          ~n:(Spr_netlist.Netlist.n_cells nl)
-          ()
-      in
-      (* Final cleanup pass: any still-queued nets get a last chance with
-         unbounded retries, then refresh the timing picture. *)
-      Router.route_all ~config:config.router ~passes:3 rs;
-      Sta.full_update sta;
-      if config.validate then validate_now s;
-      Ok
-        {
-          place;
-          route = rs;
-          sta;
-          critical_delay = Sta.critical_delay sta;
-          g = Rs.g_count rs;
-          d = Rs.d_count rs;
-          fully_routed = Rs.fully_routed rs;
-          anneal_report;
-          dynamics = Dynamics.samples s.dyn;
-          cpu_seconds = Sys.time () -. t_start;
-        })
+        if due then begin
+          let best_cost, best_layout = !best in
+          let payload =
+            {
+              Checkpoint.V2.engine = snap;
+              rng_state = Spr_util.Rng.state rng;
+              weights = Spr_anneal.Weights.dump s.weights;
+              dyn_flags = Dynamics.perturbed_flags s.dyn;
+              dyn_samples = Dynamics.samples s.dyn;
+              accepted_since_audit = s.accepted_since_audit;
+              memo = Rs.memo s.rs;
+              best_cost;
+              best_layout =
+                (match best_layout with Some t -> t | None -> Checkpoint.to_string s.rs);
+            }
+          in
+          let path =
+            Checkpoint.V2.write ~dir ~seq:!seq ~keep:config.snapshot_keep payload ~current:s.rs
+          in
+          incr seq;
+          Log.debug (fun m -> m "checkpoint %s" path)
+        end
+    end
+  in
+  let resume = Option.map (fun (r : resume) -> r.Checkpoint.V2.data.Checkpoint.V2.engine) resume in
+  let anneal_report =
+    Spr_anneal.Engine.run ?config:config.anneal ?resume ~on_temperature ~on_checkpoint
+      ~should_stop ~rng
+      ~cost:(fun () -> session_cost s)
+      ~propose:(fun rng -> propose s rng)
+      ~accept:(fun () ->
+        Dynamics.note_accepted_cells s.dyn s.last_cells;
+        J.commit s.journal;
+        if config.validate then begin
+          s.accepted_since_audit <- s.accepted_since_audit + 1;
+          if s.accepted_since_audit >= max 1 config.validate_every then begin
+            s.accepted_since_audit <- 0;
+            validate_now s
+          end
+        end)
+      ~reject:(fun () -> J.rollback s.journal)
+      ~n:(Spr_netlist.Netlist.n_cells nl)
+      ()
+  in
+  (anneal_report, !stop_reason)
 
-let run_exn ?config arch nl =
-  match run ?config arch nl with
-  | Ok r -> r
-  | Error e -> invalid_arg ("Tool.run: " ^ e)
+(* Close out a layout for delivery: route whatever is still queued with
+   unbounded retries, then refresh the timing picture from scratch. *)
+let finalize ~(config : config) rs sta =
+  Router.route_all ~config:config.router ~passes:3 rs;
+  Sta.full_update sta
+
+let run_session ?resume ~config ~rng ~t_start s =
+  let nl = P.netlist s.place in
+  let best =
+    ref
+      (match resume with
+      | Some (r : resume) ->
+        ( r.Checkpoint.V2.data.Checkpoint.V2.best_cost,
+          Some r.Checkpoint.V2.data.Checkpoint.V2.best_layout )
+      | None -> (infinity, None))
+  in
+  let anneal_report, stop_reason = anneal_session ?resume ~config ~rng ~best s in
+  let status =
+    match stop_reason with None -> Completed | Some reason -> Interrupted reason
+  in
+  (* For interrupted runs, deliver the best-so-far layout; the final
+     checkpoint (already written) still holds the in-flight one, so a
+     resume continues mid-schedule regardless. *)
+  let place, rs, sta =
+    match status with
+    | Completed -> (s.place, s.rs, s.sta)
+    | Interrupted reason -> (
+      Log.info (fun m -> m "run interrupted (%s)" (stop_reason_to_string reason));
+      let live = best_metric ~rs:s.rs ~sta:s.sta in
+      match !best with
+      | best_cost, Some text when best_cost < live -> (
+        match Checkpoint.of_string nl text with
+        | Ok best_rs -> (Rs.place best_rs, best_rs, Sta.create config.delay_model best_rs)
+        | Error e ->
+          Log.warn (fun m -> m "best-so-far layout failed to decode (%s); using current" e);
+          (s.place, s.rs, s.sta))
+      | _ -> (s.place, s.rs, s.sta))
+  in
+  finalize ~config rs sta;
+  if config.validate && rs == s.rs then validate_now s;
+  {
+    place;
+    route = rs;
+    sta;
+    critical_delay = Sta.critical_delay sta;
+    g = Rs.g_count rs;
+    d = Rs.d_count rs;
+    fully_routed = Rs.fully_routed rs;
+    anneal_report;
+    dynamics = Dynamics.samples s.dyn;
+    cpu_seconds = Sys.time () -. t_start;
+    status;
+    best_cost = best_metric ~rs ~sta;
+  }
+
+let timing_router ~config ~sta nl =
+  if not config.timing_driven_routing then config.router
+  else begin
+    let crit net =
+      Sta.arrival_out sta (Spr_netlist.Netlist.net nl net).Spr_netlist.Netlist.driver
+    in
+    { config.router with Router.criticality = Some crit }
+  end
+
+let run_fresh ~config arch nl =
+  let rng = Spr_util.Rng.create config.seed in
+  match P.create arch nl ~rng with
+  | Error e -> Error (Invalid_design e)
+  | Ok place ->
+    let t_start = Sys.time () in
+    let rs = Rs.create place in
+    (* Start-up transient: give every net a first chance at a (poor)
+       route in the random placement. *)
+    Router.route_all ~config:config.router ~passes:2 rs;
+    let sta = Sta.create config.delay_model rs in
+    let initial_delay = Float.max 1e-6 (Sta.critical_delay sta) in
+    let weights =
+      Spr_anneal.Weights.create ~g_per_net:config.g_per_net ~d_per_net:config.d_per_net
+        ~t_emphasis:config.t_emphasis ~initial_delay ()
+    in
+    let s =
+      {
+        cfg = config;
+        router = timing_router ~config ~sta nl;
+        place;
+        rs;
+        sta;
+        weights;
+        journal = J.create ();
+        dyn = Dynamics.create ~n_cells:(Spr_netlist.Netlist.n_cells nl);
+        last_cells = [];
+        accepted_since_audit = 0;
+      }
+    in
+    Ok (run_session ~config ~rng ~t_start s)
+
+let run_resumed ~config ~(resume : resume) nl =
+  let t_start = Sys.time () in
+  let data = resume.Checkpoint.V2.data in
+  let rs = resume.Checkpoint.V2.route in
+  let place = Rs.place rs in
+  let n_cells = Spr_netlist.Netlist.n_cells nl in
+  if Array.length data.Checkpoint.V2.dyn_flags <> n_cells then
+    Error
+      (Resume_failed
+         (Printf.sprintf "%s: snapshot is for a %d-cell design, netlist has %d"
+            resume.Checkpoint.V2.path
+            (Array.length data.Checkpoint.V2.dyn_flags)
+            n_cells))
+  else begin
+    (* The snapshot was written from a canonical ([full_update]d) STA, so
+       rebuilding from scratch reproduces the exact timing state the
+       interrupted run carried. *)
+    let sta = Sta.create config.delay_model rs in
+    let rng = Spr_util.Rng.of_state data.Checkpoint.V2.rng_state in
+    let s =
+      {
+        cfg = config;
+        router = timing_router ~config ~sta nl;
+        place;
+        rs;
+        sta;
+        weights = Spr_anneal.Weights.restore data.Checkpoint.V2.weights;
+        journal = J.create ();
+        dyn =
+          Dynamics.restore ~n_cells ~flags:data.Checkpoint.V2.dyn_flags
+            ~samples:data.Checkpoint.V2.dyn_samples;
+        last_cells = [];
+        accepted_since_audit = data.Checkpoint.V2.accepted_since_audit;
+      }
+    in
+    Ok (run_session ~resume ~config ~rng ~t_start s)
+  end
+
+let run ?(config = default_config) ?resume arch nl =
+  match Spr_netlist.Levelize.run nl with
+  | Error e -> Error (Invalid_design e)
+  | Ok _ -> (
+    try
+      match resume with
+      | Some resume -> run_resumed ~config ~resume nl
+      | None -> run_fresh ~config arch nl
+    with Audit_failure findings -> Error (Audit_failed findings))
+
+let run_exn ?config ?resume arch nl =
+  match run ?config ?resume arch nl with Ok r -> r | Error e -> raise (Tool_error e)
 
 let audit_result (r : result) = Spr_check.Audit.run_all ~sta:r.sta r.route

@@ -12,7 +12,18 @@
     with no wirelength term — wirelength minimization happens
     constructively inside the routers. Intermediate layouts are
     deliberately incomplete: unroutable nets simply stay queued and
-    penalized until the placement becomes compliant. *)
+    penalized until the placement becomes compliant.
+
+    {b Crash safety.} With [run_dir] set, the run writes an atomic,
+    checksummed {!Checkpoint.V2} snapshot at temperature boundaries and
+    on interruption, rotating the last [snapshot_keep] files. Feeding
+    the newest loadable snapshot back through [?resume] continues the
+    run mid-schedule, bit-identically to the uninterrupted run. Budgets
+    ([time_budget], [max_moves]) and {!request_interrupt} (or the
+    SIGINT/SIGTERM handlers from {!install_signal_handlers}) stop the
+    run between moves — the in-flight move always completes — write a
+    final checkpoint, and return the best layout seen so far tagged
+    {!Interrupted}. *)
 
 type config = {
   seed : int;
@@ -36,16 +47,62 @@ type config = {
       (** Run the full {!Spr_check.Audit} subsystem (placement bijection,
           routing-mirror oracle, from-scratch STA diff) every temperature,
           every [validate_every] accepted moves, and on the final state;
-          any finding raises [Failure]. *)
+          any finding makes the run return [Error (Audit_failed _)]. *)
   validate_every : int;
       (** Accepted moves between audits when [validate] is on (clamped to
           >= 1). *)
+  time_budget : float option;
+      (** Wall seconds for this invocation; the run stops gracefully once
+          exceeded (checked between moves). *)
+  max_moves : int option;
+      (** Total annealing moves (cumulative across resumes). *)
+  run_dir : string option;
+      (** Directory for {!Checkpoint.V2} snapshots; [None] disables
+          checkpointing entirely. *)
+  snapshot_every : int;
+      (** Write a snapshot every this many temperature boundaries
+          (clamped to >= 1). *)
+  snapshot_keep : int;  (** Rotation depth (clamped to >= 1). *)
+  final_checkpoint : bool;
+      (** Write a snapshot when the run is interrupted (default). The
+          crash-fault-injection harness turns this off so an injected
+          "crash" leaves only the periodic snapshots behind, exactly
+          like a real [kill -9]. *)
+  stop_after_accepted : int option;
+      (** Fault injection: stop (as {!Interrupt}) once this many moves
+          have been accepted, cumulative across resumes. *)
 }
 
 val default_config : config
 (** [seed = 1], [pinmap_move_prob = 0.15], pinmap moves on, default
     router/delay/weight parameters, auto-sized annealing, no
-    validation ([validate_every = 50]). *)
+    validation ([validate_every = 50]), no budgets, no checkpointing
+    ([snapshot_every = 1], [snapshot_keep = 3], [final_checkpoint =
+    true]). *)
+
+type stop_reason = Time_budget | Move_budget | Interrupt
+
+type status =
+  | Completed
+  | Interrupted of stop_reason
+      (** The run stopped early; the result holds the best-so-far
+          layout, and [run_dir] (if set) holds a resumable
+          checkpoint. *)
+
+val stop_reason_to_string : stop_reason -> string
+
+type error =
+  | Invalid_design of string
+      (** The netlist does not fit the fabric or has combinational
+          cycles. *)
+  | Audit_failed of Spr_check.Finding.t list
+      (** [config.validate] caught an invariant violation mid-run. *)
+  | Resume_failed of string  (** The snapshot does not match the design. *)
+
+exception Tool_error of error
+(** Raised only by {!run_exn}. *)
+
+val error_to_string : error -> string
 
 type result = {
   place : Spr_layout.Placement.t;
@@ -57,16 +114,46 @@ type result = {
   fully_routed : bool;
   anneal_report : Spr_anneal.Engine.report;
   dynamics : Dynamics.sample list;
-  cpu_seconds : float;
+  cpu_seconds : float;  (** This invocation only, not cumulative across resumes. *)
+  status : status;
+  best_cost : float;
+      (** The delivered layout under the weight-independent best-so-far
+          metric (unrouted nets dominate, critical delay breaks
+          ties). *)
 }
 
-val run : ?config:config -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> (result, string) Stdlib.result
-(** Errors when the netlist does not fit the fabric or has combinational
-    cycles. *)
+type resume = Checkpoint.V2.loaded
 
-val run_exn : ?config:config -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> result
+val run :
+  ?config:config ->
+  ?resume:resume ->
+  Spr_arch.Arch.t ->
+  Spr_netlist.Netlist.t ->
+  (result, error) Stdlib.result
+(** With [?resume] the initial placement and routing are skipped and the
+    run continues from the snapshot's exact mid-schedule state ([arch]
+    is ignored — the restored layout carries its fabric). [config]
+    should match the interrupted run's; the annealing schedule itself
+    always comes from the snapshot. *)
+
+val run_exn : ?config:config -> ?resume:resume -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> result
 
 val audit_result : result -> Spr_check.Finding.t list
 (** Run the full audit subsystem over a finished layout (placement,
     routing mirrors, STA) — what [spr route --selfcheck] prints. Empty
     means the incremental state matches the from-scratch oracles. *)
+
+(** {1 Graceful interruption}
+
+    A module-level flag polled between moves. The CLI installs handlers
+    so Ctrl-C finishes the in-flight move, writes a final checkpoint and
+    returns the best-so-far result instead of dying mid-update. *)
+
+val request_interrupt : unit -> unit
+
+val reset_interrupt : unit -> unit
+
+val interrupt_requested : unit -> bool
+
+val install_signal_handlers : unit -> unit
+(** Route SIGINT and SIGTERM to {!request_interrupt}. *)

@@ -6,6 +6,8 @@ let effort_of_string = function
   | "thorough" -> Some Thorough
   | _ -> None
 
+let effort_to_string = function Quick -> "quick" | Standard -> "standard" | Thorough -> "thorough"
+
 let anneal effort ~n =
   let base = Spr_anneal.Engine.default_config ~n in
   match effort with

@@ -8,6 +8,8 @@ type effort =
 
 val effort_of_string : string -> effort option
 
+val effort_to_string : effort -> string
+
 val anneal : effort -> n:int -> Spr_anneal.Engine.config
 
 val tool_config : ?seed:int -> effort -> n:int -> Spr_core.Tool.config

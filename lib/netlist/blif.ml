@@ -2,7 +2,9 @@ let is_cover_line line =
   line <> ""
   && String.for_all (fun ch -> ch = '0' || ch = '1' || ch = '-' || ch = ' ' || ch = '\t') line
 
-(* Logical lines: strip comments, join continuations, drop blanks. *)
+(* Logical lines: strip comments, join continuations, drop blanks. Each
+   logical line carries the 1-based physical line number it started on,
+   so parse errors can point into the actual file. *)
 let logical_lines text =
   let raw = String.split_on_char '\n' text in
   let strip_comment line =
@@ -10,17 +12,23 @@ let logical_lines text =
     | Some i -> String.sub line 0 i
     | None -> line
   in
-  let rec join acc pending = function
-    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+  let rec join acc pending lineno = function
+    | [] -> List.rev (match pending with None -> acc | Some p -> p :: acc)
     | line :: rest ->
+      let lineno = lineno + 1 in
       let line = strip_comment line in
       let line = String.trim line in
-      if line = "" then join acc pending rest
-      else if String.length line > 0 && line.[String.length line - 1] = '\\' then
-        join acc (pending ^ String.sub line 0 (String.length line - 1) ^ " ") rest
-      else join ((pending ^ line) :: acc) "" rest
+      if line = "" then join acc pending lineno rest
+      else begin
+        let start, prefix = match pending with None -> (lineno, "") | Some (n, p) -> (n, p) in
+        if line.[String.length line - 1] = '\\' then
+          join acc
+            (Some (start, prefix ^ String.sub line 0 (String.length line - 1) ^ " "))
+            lineno rest
+        else join ((start, prefix ^ line) :: acc) None lineno rest
+      end
   in
-  join [] "" raw
+  join [] None 0 raw
 
 let tokens line =
   String.split_on_char ' ' line
@@ -38,27 +46,30 @@ type statement =
 let parse_statements text =
   let rec loop acc = function
     | [] -> Ok (List.rev acc)
-    | line :: rest -> (
+    | (lineno, line) :: rest -> (
+      let err fmt = Printf.ksprintf (fun m -> Error (lineno, m)) fmt in
       match tokens line with
       | [] -> loop acc rest
-      | ".model" :: name :: _ -> loop (Model name :: acc) rest
-      | [ ".model" ] -> loop (Model "top" :: acc) rest
-      | ".inputs" :: names -> loop (Inputs names :: acc) rest
-      | ".outputs" :: names -> loop (Outputs names :: acc) rest
+      | ".model" :: name :: _ -> loop ((lineno, Model name) :: acc) rest
+      | [ ".model" ] -> loop ((lineno, Model "top") :: acc) rest
+      | ".inputs" :: names -> loop ((lineno, Inputs names) :: acc) rest
+      | ".outputs" :: names -> loop ((lineno, Outputs names) :: acc) rest
       | ".names" :: signals ->
-        if signals = [] then Error "empty .names"
-        else loop (Names signals :: acc) rest
-      | ".latch" :: input :: output :: _ -> loop (Latch (input, output) :: acc) rest
-      | [ ".latch" ] | [ ".latch"; _ ] -> Error "malformed .latch"
-      | ".end" :: _ -> loop (End :: acc) rest
+        if signals = [] then err "empty .names"
+        else loop ((lineno, Names signals) :: acc) rest
+      | ".latch" :: input :: output :: _ -> loop ((lineno, Latch (input, output)) :: acc) rest
+      | [ ".latch" ] | [ ".latch"; _ ] -> err "malformed .latch: %s" line
+      | ".end" :: _ -> loop ((lineno, End) :: acc) rest
       | first :: _ when String.length first > 0 && first.[0] = '.' ->
-        Error (Printf.sprintf "unsupported BLIF construct: %s" first)
+        err "unsupported BLIF construct: %s" first
       | _ when is_cover_line line -> loop acc rest  (* .names cover row *)
-      | _ -> Error (Printf.sprintf "unparseable line: %s" line))
+      | _ -> err "unparseable line: %s" line)
   in
   loop [] (logical_lines text)
 
-let parse_string ?model_name:_ text =
+(* Errors as [(line, message)]; line 0 marks whole-file problems
+   (unreadable file, netlist construction failures). *)
+let parse ?model_name:_ text =
   match parse_statements text with
   | Error e -> Error e
   | Ok stmts ->
@@ -66,26 +77,27 @@ let parse_string ?model_name:_ text =
     let driver_of : (string, int) Hashtbl.t = Hashtbl.create 64 in
     (* First pass: create cells and record which cell drives each signal. *)
     let gates = ref [] in
-    (* (cell id, fanin signal names) *)
+    (* (cell id, declaring line, fanin signal names) *)
     let outputs = ref [] in
+    (* (declaring line, signal name) *)
     let error = ref None in
-    let fail msg = if !error = None then error := Some msg in
-    let declare_driver signal cell =
+    let fail lineno msg = if !error = None then error := Some (lineno, msg) in
+    let declare_driver lineno signal cell =
       if Hashtbl.mem driver_of signal then
-        fail (Printf.sprintf "signal %s has multiple drivers" signal)
+        fail lineno (Printf.sprintf "signal %s has multiple drivers" signal)
       else Hashtbl.add driver_of signal cell
     in
     List.iter
-      (fun stmt ->
+      (fun (lineno, stmt) ->
         match stmt with
         | Model _ | End -> ()
         | Inputs names ->
           List.iter
             (fun s ->
               let id = Netlist.Builder.add_cell b ~name:s ~kind:Cell_kind.Input ~n_inputs:0 in
-              declare_driver s id)
+              declare_driver lineno s id)
             names
-        | Outputs names -> outputs := !outputs @ names
+        | Outputs names -> outputs := !outputs @ List.map (fun s -> (lineno, s)) names
         | Names signals ->
           let rec split_last acc = function
             | [] -> assert false
@@ -97,18 +109,18 @@ let parse_string ?model_name:_ text =
             Netlist.Builder.add_cell b ~name:out ~kind:Cell_kind.Comb
               ~n_inputs:(List.length fanins)
           in
-          declare_driver out id;
-          gates := (id, fanins) :: !gates
+          declare_driver lineno out id;
+          gates := (id, lineno, fanins) :: !gates
         | Latch (input, output) ->
           let id = Netlist.Builder.add_cell b ~name:output ~kind:Cell_kind.Seq ~n_inputs:1 in
-          declare_driver output id;
-          gates := (id, [ input ]) :: !gates)
+          declare_driver lineno output id;
+          gates := (id, lineno, [ input ]) :: !gates)
       stmts;
     (* Primary-output pad cells. *)
     List.iter
-      (fun s ->
+      (fun (lineno, s) ->
         let id = Netlist.Builder.add_cell b ~name:(s ^ "_pad") ~kind:Cell_kind.Output ~n_inputs:1 in
-        gates := (id, [ s ]) :: !gates)
+        gates := (id, lineno, [ s ]) :: !gates)
       !outputs;
     (* Second pass: one net per driven signal, then connect sinks. *)
     let net_of : (string, int) Hashtbl.t = Hashtbl.create 64 in
@@ -117,24 +129,34 @@ let parse_string ?model_name:_ text =
         Hashtbl.add net_of signal (Netlist.Builder.add_net b ~name:signal ~driver:cell))
       driver_of;
     List.iter
-      (fun (cell, fanins) ->
+      (fun (cell, lineno, fanins) ->
         List.iteri
           (fun pin signal ->
             match Hashtbl.find_opt net_of signal with
             | Some net -> Netlist.Builder.add_sink b ~net ~cell ~pin
-            | None -> fail (Printf.sprintf "signal %s is never driven" signal))
+            | None -> fail lineno (Printf.sprintf "signal %s is never driven" signal))
           fanins)
       (List.rev !gates);
     (match !error with
     | Some e -> Error e
-    | None -> Netlist.Builder.finish b)
+    | None -> (
+      match Netlist.Builder.finish b with Ok nl -> Ok nl | Error e -> Error (0, e)))
+
+let format_error ?path (lineno, msg) =
+  match path, lineno with
+  | None, 0 -> msg
+  | None, n -> Printf.sprintf "line %d: %s" n msg
+  | Some p, 0 -> Printf.sprintf "%s: %s" p msg
+  | Some p, n -> Printf.sprintf "%s:%d: %s" p n msg
+
+let parse_string ?model_name text =
+  match parse ?model_name text with Ok nl -> Ok nl | Error e -> Error (format_error e)
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse_string text
+  match Spr_util.Persist.read_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok text -> (
+    match parse text with Ok nl -> Ok nl | Error e -> Error (format_error ~path e))
 
 let to_string ?(model_name = "top") nl =
   let buf = Buffer.create 1024 in

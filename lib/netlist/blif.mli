@@ -11,8 +11,13 @@
     one sequential cell; each declared input/output becomes a pad cell. *)
 
 val parse_string : ?model_name:string -> string -> (Netlist.t, string) result
+(** Parse errors carry the 1-based physical line number of the offending
+    (logical) line plus the offending token or line, e.g.
+    ["line 12: unsupported BLIF construct: .gate"]. *)
 
 val parse_file : string -> (Netlist.t, string) result
+(** Like {!parse_string}, with errors prefixed [file:line:]; an
+    unreadable file is an [Error], not an exception. *)
 
 val to_string : ?model_name:string -> Netlist.t -> string
 (** Serializes connectivity back to BLIF. Combinational cells are emitted

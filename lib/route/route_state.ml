@@ -286,6 +286,44 @@ let reset_stamps t net =
 
 let force_retry = reset_stamps
 
+(* Memoization snapshot: stamps and epochs gate which queued nets the
+   router retries, so a resumed run must carry them to stay on the
+   interrupted run's exact trajectory. *)
+type memo = {
+  m_g_stamp : int array;
+  m_d_stamp : int array array;
+  m_h_epoch : int array array;
+  m_v_epoch : int array;
+}
+
+let memo t =
+  {
+    m_g_stamp = Array.copy t.g_stamp;
+    m_d_stamp = Array.map Array.copy t.d_stamp;
+    m_h_epoch = Array.map Array.copy t.h_epoch;
+    m_v_epoch = Array.copy t.v_epoch;
+  }
+
+let set_memo t m =
+  let same_shape a b = Array.length a = Array.length b in
+  let same_shape2 a b =
+    same_shape a b && Array.for_all2 (fun x y -> same_shape x y) a b
+  in
+  if
+    not
+      (same_shape t.g_stamp m.m_g_stamp
+      && same_shape2 t.d_stamp m.m_d_stamp
+      && same_shape2 t.h_epoch m.m_h_epoch
+      && same_shape t.v_epoch m.m_v_epoch)
+  then Error "memoization state does not match the design/fabric shape"
+  else begin
+    Array.blit m.m_g_stamp 0 t.g_stamp 0 (Array.length t.g_stamp);
+    Array.iteri (fun i row -> Array.blit row 0 t.d_stamp.(i) 0 (Array.length row)) m.m_d_stamp;
+    Array.iteri (fun i row -> Array.blit row 0 t.h_epoch.(i) 0 (Array.length row)) m.m_h_epoch;
+    Array.blit m.m_v_epoch 0 t.v_epoch 0 (Array.length t.v_epoch);
+    Ok ()
+  end
+
 (* --- public mutations --- *)
 
 let queue_detail_demands t j net demands =

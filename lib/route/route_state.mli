@@ -124,6 +124,26 @@ val force_retry : t -> int -> unit
     (used when a router is about to search with different parameters,
     e.g. a widened spine margin). *)
 
+type memo = {
+  m_g_stamp : int array;  (** per net *)
+  m_d_stamp : int array array;  (** per net, per channel *)
+  m_h_epoch : int array array;  (** per channel, per column bucket *)
+  m_v_epoch : int array;  (** per column bucket *)
+}
+(** Snapshot of the failure-memoization state. The stamps gate which
+    queued nets the routers retry, so although the memo never affects
+    which routes are {e legal}, it does affect which candidate the
+    retry pass picks next — a checkpoint that wants a bit-identical
+    resume must carry it. *)
+
+val memo : t -> memo
+(** Deep copy of the current stamps and epochs. *)
+
+val set_memo : t -> memo -> (unit, string) result
+(** Overwrite the stamps and epochs from a snapshot. [Error] (and no
+    mutation) if the snapshot's dimensions do not match this state's
+    design and fabric. *)
+
 (** {1 Segment availability} *)
 
 val hseg_owner : t -> channel:int -> track:int -> seg:int -> int

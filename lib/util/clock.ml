@@ -1,0 +1,18 @@
+(* Wall clock guarded against going backwards (NTP steps, VM pauses):
+   good enough to meter run budgets without a true CLOCK_MONOTONIC
+   binding. *)
+
+let last = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let cpu = Sys.time
+
+type stopwatch = { started : float }
+
+let start () = { started = now () }
+
+let elapsed sw = now () -. sw.started

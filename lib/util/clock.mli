@@ -1,0 +1,18 @@
+(** Monotonic-ish time for run budgets and progress metering.
+
+    [now] is wall-clock time clamped to never decrease within the
+    process, so elapsed-time computations stay non-negative even if the
+    system clock steps backwards mid-run. *)
+
+val now : unit -> float
+(** Seconds since the epoch, guaranteed non-decreasing across calls. *)
+
+val cpu : unit -> float
+(** Process CPU seconds ([Sys.time]). *)
+
+type stopwatch
+
+val start : unit -> stopwatch
+
+val elapsed : stopwatch -> float
+(** Wall seconds since [start], non-negative. *)

@@ -12,6 +12,14 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy sharing the current position. *)
 
+val state : t -> int64
+(** The complete internal state (splitmix64 is a single 64-bit counter).
+    Persist it with {!of_state} to continue the exact stream after a
+    checkpoint/resume cycle. *)
+
+val of_state : int64 -> t
+(** Generator positioned exactly where {!state} was captured. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)

@@ -35,6 +35,25 @@ let reset t =
   t.min_v <- infinity;
   t.max_v <- neg_infinity
 
+type dump = {
+  d_n : int;
+  d_mean : float;
+  d_m2 : float;
+  d_min : float;
+  d_max : float;
+}
+
+let dump t = { d_n = t.n; d_mean = t.mean; d_m2 = t.m2; d_min = t.min_v; d_max = t.max_v }
+
+let restore d = { n = d.d_n; mean = d.d_mean; m2 = d.d_m2; min_v = d.d_min; max_v = d.d_max }
+
+let copy_into ~src ~dst =
+  dst.n <- src.n;
+  dst.mean <- src.mean;
+  dst.m2 <- src.m2;
+  dst.min_v <- src.min_v;
+  dst.max_v <- src.max_v
+
 let mean_of xs =
   match xs with
   | [] -> 0.0

@@ -29,4 +29,27 @@ val max_value : t -> float
 
 val reset : t -> unit
 
+(** {1 Persistence}
+
+    An accumulator's complete internal state as plain data, so resumable
+    checkpoints can serialize it (all floats must round-trip bit-exactly
+    — see {!Persist.float_to_hex}) and restore an accumulator that
+    continues the stream as if never interrupted. *)
+
+type dump = {
+  d_n : int;
+  d_mean : float;
+  d_m2 : float;
+  d_min : float;
+  d_max : float;
+}
+
+val dump : t -> dump
+
+val restore : dump -> t
+(** Fresh accumulator in exactly the dumped state. *)
+
+val copy_into : src:t -> dst:t -> unit
+(** Overwrite [dst]'s state with [src]'s. *)
+
 val mean_of : float list -> float

@@ -308,6 +308,149 @@ let test_tool_validated_200_cells () =
   check_findings "final 200-cell layout" (Tool.audit_result r);
   Alcotest.(check bool) "made routing progress" true (r.Tool.d < Rs.n_routable r.Tool.route)
 
+(* --- crash-fault injection: killed and resumed == never killed --- *)
+
+module Crash = Spr_check.Crash
+module V2 = Spr_core.Checkpoint.V2
+
+let rec rmrf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rmrf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let outcome_of (r : Tool.result) =
+  {
+    Crash.o_layout = Rs.snapshot r.Tool.route;
+    o_g = r.Tool.g;
+    o_d = r.Tool.d;
+    o_critical_delay = r.Tool.critical_delay;
+  }
+
+(* Small circuits and short schedules: every crash attempt replays the
+   run up to three times. *)
+let crash_preset ~n_cells ~tracks ~seed =
+  let nl = Gen.generate (Gen.default ~n_cells) ~seed in
+  let arch = Arch.size_for ~tracks nl in
+  let config =
+    {
+      Tool.default_config with
+      Tool.seed;
+      anneal =
+        Some
+          {
+            (Engine.default_config ~n:n_cells) with
+            Engine.moves_per_temp = max 120 (2 * n_cells);
+            warmup_moves = 120;
+            max_temperatures = 8;
+          };
+    }
+  in
+  (arch, nl, config)
+
+let crash_runner ~name ~arch ~nl ~config =
+  let dir = "crash-" ^ name in
+  let ref_dir = dir ^ "-ref" in
+  (* The reference also checkpoints, so both runs canonicalize their
+     incremental timing state at the same temperature boundaries. *)
+  let reference =
+    lazy
+      (rmrf ref_dir;
+       outcome_of (Tool.run_exn ~config:{ config with Tool.run_dir = Some ref_dir } arch nl))
+  in
+  let resume_config = { config with Tool.run_dir = Some dir } in
+  let runner =
+    {
+      Crash.reference = (fun () -> Lazy.force reference);
+      crashed =
+        (fun ~kill_after ->
+          let r =
+            Tool.run_exn
+              ~config:
+                {
+                  config with
+                  Tool.run_dir = Some dir;
+                  final_checkpoint = false;
+                  stop_after_accepted = Some kill_after;
+                }
+              arch nl
+          in
+          r.Tool.status <> Tool.Completed);
+      resume =
+        (fun () ->
+          match V2.load_latest nl ~dir with
+          | Ok loaded -> (
+            match Tool.run ~config:resume_config ~resume:loaded arch nl with
+            | Ok r -> Ok (outcome_of r)
+            | Error e -> Error (Tool.error_to_string e))
+          | Error _ -> (
+            (* Crashed before the first snapshot existed: recovery is a
+               fresh start, which must still match by determinism. *)
+            match Tool.run ~config:resume_config arch nl with
+            | Ok r -> Ok (outcome_of r)
+            | Error e -> Error (Tool.error_to_string e)));
+      reset = (fun () -> rmrf dir);
+    }
+  in
+  ( runner,
+    fun () ->
+      rmrf dir;
+      rmrf ref_dir )
+
+let test_crash_equivalence () =
+  let presets =
+    [ ("p40", crash_preset ~n_cells:40 ~tracks:16); ("p56", crash_preset ~n_cells:56 ~tracks:18) ]
+  in
+  List.iter
+    (fun (pname, preset) ->
+      List.iter
+        (fun seed ->
+          let arch, nl, config = preset ~seed in
+          let name = Printf.sprintf "%s-s%d" pname seed in
+          let runner, cleanup = crash_runner ~name ~arch ~nl ~config in
+          let rng = Spr_util.Rng.create ((seed * 7) + 1) in
+          let result = Crash.check_equivalence ~attempts:1 ~rng ~max_kill:250 runner in
+          cleanup ();
+          match result with
+          | Ok () -> ()
+          | Error f -> Alcotest.failf "preset %s: %s" name (Crash.failure_to_string f))
+        [ 1; 2; 3 ])
+    presets
+
+let test_graceful_stop_resume () =
+  let arch, nl, config = crash_preset ~n_cells:40 ~tracks:16 ~seed:4 in
+  let dir = "crash-graceful" in
+  let ref_dir = dir ^ "-ref" in
+  rmrf dir;
+  rmrf ref_dir;
+  let reference =
+    outcome_of (Tool.run_exn ~config:{ config with Tool.run_dir = Some ref_dir } arch nl)
+  in
+  (* 171 is deliberately not a multiple of the batch size, so the stop
+     (and its final checkpoint) lands mid-batch. *)
+  let stopped =
+    Tool.run_exn ~config:{ config with Tool.run_dir = Some dir; max_moves = Some 171 } arch nl
+  in
+  (match stopped.Tool.status with
+  | Tool.Interrupted Tool.Move_budget -> ()
+  | _ -> Alcotest.fail "expected a move-budget interruption");
+  match V2.load_latest nl ~dir with
+  | Error e -> Alcotest.failf "no resumable snapshot after graceful stop: %s" e
+  | Ok loaded -> (
+    match Tool.run ~config:{ config with Tool.run_dir = Some dir } ~resume:loaded arch nl with
+    | Error e -> Alcotest.fail (Tool.error_to_string e)
+    | Ok resumed ->
+      (match resumed.Tool.status with
+      | Tool.Completed -> ()
+      | Tool.Interrupted _ -> Alcotest.fail "resumed run did not complete");
+      (match Crash.compare_outcomes ~reference (outcome_of resumed) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "graceful stop + resume diverged: %s" e);
+      rmrf dir;
+      rmrf ref_dir)
+
 let () =
   Alcotest.run "spr_check"
     [
@@ -342,5 +485,12 @@ let () =
         [
           Alcotest.test_case "200-cell run under continuous audit" `Slow
             test_tool_validated_200_cells;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "killed and resumed == never killed" `Slow
+            test_crash_equivalence;
+          Alcotest.test_case "graceful mid-batch stop resumes identically" `Slow
+            test_graceful_stop_resume;
         ] );
     ]

@@ -121,6 +121,151 @@ let test_fuzzed_checkpoints_never_invalid =
       | Error _ -> true
       | Ok st2 -> ( match Rs.check st2 with Ok () -> true | Error _ -> false))
 
+(* --- v2 snapshots: adversarial inputs and rotation fallback --- *)
+
+module Tool = Spr_core.Tool
+module Crash = Spr_check.Crash
+
+let rec rmrf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rmrf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* An interrupted run leaves a rotation of real v2 snapshots behind. *)
+let interrupted_run_dir name =
+  let nl = Gen.generate (Gen.default ~n_cells:40) ~seed:3 in
+  let arch = Arch.size_for ~tracks:16 nl in
+  let dir = "v2-" ^ name in
+  rmrf dir;
+  let config =
+    {
+      Tool.default_config with
+      Tool.seed = 3;
+      anneal =
+        Some
+          {
+            (Spr_anneal.Engine.default_config ~n:40) with
+            Spr_anneal.Engine.moves_per_temp = 120;
+            warmup_moves = 120;
+            max_temperatures = 8;
+          };
+      run_dir = Some dir;
+      max_moves = Some 400;
+    }
+  in
+  let r = Tool.run_exn ~config arch nl in
+  (match r.Tool.status with
+  | Tool.Interrupted _ -> ()
+  | Tool.Completed -> Alcotest.fail "setup run unexpectedly completed");
+  (dir, nl, arch, config)
+
+let read_file path =
+  match Spr_util.Persist.read_file path with
+  | Ok text -> text
+  | Error e -> Alcotest.failf "%s: %s" path e
+
+let newest_snapshot dir =
+  match Cp.V2.snapshot_files ~dir with
+  | [] -> Alcotest.fail "no snapshots written"
+  | (seq, path) :: _ -> (seq, path)
+
+let expect_error label = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: corrupted snapshot accepted" label
+
+let has_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = sub || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_v2_roundtrip () =
+  let dir, nl, _, _ = interrupted_run_dir "roundtrip" in
+  let _, path = newest_snapshot dir in
+  (match Cp.V2.load_file nl path with
+  | Error e -> Alcotest.failf "load_file: %s" e
+  | Ok (payload, current) -> (
+    (* Re-encoding the decoded state must describe the same run state.
+       The embedded current-layout block is order-insensitive (restore
+       replays claims, which canonicalizes line order), so compare
+       canonical snapshots; every other payload field — floats, RNG
+       stream, best-layout bytes — must survive exactly. *)
+    match Cp.V2.decode nl (Cp.V2.encode payload ~current) with
+    | Error e -> Alcotest.failf "re-decode: %s" e
+    | Ok (payload2, current2) ->
+      Alcotest.(check bool) "payload survives re-encode" true (payload = payload2);
+      Alcotest.(check string) "current layout survives re-encode" (Rs.snapshot current)
+        (Rs.snapshot current2);
+      (match Cp.of_string nl payload.Cp.V2.best_layout with
+      | Error e -> Alcotest.failf "embedded best layout: %s" e
+      | Ok _ -> ())));
+  rmrf dir
+
+let test_v2_adversarial_inputs () =
+  let dir, nl, _, _ = interrupted_run_dir "adversarial" in
+  let _, path = newest_snapshot dir in
+  let text = read_file path in
+  expect_error "empty file" (Cp.V2.decode nl "");
+  expect_error "header only" (Cp.V2.decode nl (String.sub text 0 (String.index text '\n' + 1)));
+  expect_error "truncated mid-payload"
+    (Cp.V2.decode nl (String.sub text 0 (String.length text / 2)));
+  expect_error "truncated by one byte"
+    (Cp.V2.decode nl (String.sub text 0 (String.length text - 1)));
+  let flip at s =
+    let b = Bytes.of_string s in
+    Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0xFF));
+    Bytes.to_string b
+  in
+  expect_error "flipped header byte" (Cp.V2.decode nl (flip 4 text));
+  expect_error "flipped body byte" (Cp.V2.decode nl (flip (String.length text / 2) text));
+  expect_error "flipped final byte" (Cp.V2.decode nl (flip (String.length text - 2) text));
+  (* A v2 file fed to the v1 loader must be a clean version error. *)
+  (match Cp.of_string nl text with
+  | Error e ->
+    Alcotest.(check bool) "v1 loader names the version" true (has_substring ~sub:"version" e)
+  | Ok _ -> Alcotest.fail "v1 loader accepted a v2 snapshot");
+  (* And a v1 layout fed to the v2 loader likewise. *)
+  let st, _ = routed_state ~n_cells:40 ~seed:3 ~tracks:16 () in
+  expect_error "v1 text in v2 loader" (Cp.V2.decode nl (Cp.to_string st));
+  rmrf dir
+
+let test_v2_rotation_fallback () =
+  let dir, nl, _, _ = interrupted_run_dir "fallback" in
+  let files = Cp.V2.snapshot_files ~dir in
+  if List.length files < 2 then Alcotest.fail "setup run left fewer than 2 snapshots";
+  let newest_seq, newest_path = List.nth files 0 in
+  let second_seq, _ = List.nth files 1 in
+  (* Truncate the newest snapshot, as a crash mid-write (without the
+     atomic rename) would: the loader must fall back to the previous
+     rotation entry. *)
+  Crash.truncate_file newest_path ~keep:200;
+  (match Cp.V2.load_latest nl ~dir with
+  | Error e -> Alcotest.failf "no fallback after truncation: %s" e
+  | Ok loaded -> Alcotest.(check int) "fell back one entry" second_seq loaded.Cp.V2.seq);
+  (* Restore-by-rerun is overkill; corrupt the (already truncated)
+     newest differently and make sure fallback still skips it. *)
+  Crash.flip_byte newest_path ~at:50;
+  (match Cp.V2.load_latest nl ~dir with
+  | Error e -> Alcotest.failf "no fallback after byte flip: %s" e
+  | Ok loaded -> Alcotest.(check int) "still falls back" second_seq loaded.Cp.V2.seq);
+  (* Damage every snapshot: the loader must report, not raise, and the
+     message must account for each file. *)
+  List.iter (fun (_, path) -> Crash.truncate_file path ~keep:60) files;
+  (match Cp.V2.load_latest nl ~dir with
+  | Error e ->
+    List.iter
+      (fun (seq, _) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error mentions snapshot %d" seq)
+          true
+          (has_substring ~sub:(Printf.sprintf "snap-%08d.ckpt" seq) e))
+      files
+  | Ok _ -> Alcotest.fail "fully corrupted rotation accepted");
+  ignore newest_seq;
+  rmrf dir
+
 (* --- Eco --- *)
 
 let make_eco () =
@@ -257,6 +402,14 @@ let () =
           Alcotest.test_case "corrupt inputs rejected" `Quick test_corrupt_inputs;
           qtest test_roundtrip_many;
           qtest test_fuzzed_checkpoints_never_invalid;
+        ] );
+      ( "checkpoint-v2",
+        [
+          Alcotest.test_case "encode/decode identity on a real snapshot" `Slow test_v2_roundtrip;
+          Alcotest.test_case "adversarial inputs are errors, never raises" `Slow
+            test_v2_adversarial_inputs;
+          Alcotest.test_case "corrupt newest falls back to older rotation entry" `Slow
+            test_v2_rotation_fallback;
         ] );
       ( "eco",
         [

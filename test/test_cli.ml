@@ -1,0 +1,188 @@
+(* End-to-end tests that drive the spr binary: budget-limited runs exit
+   cleanly with a best-so-far layout, and SIGINT leaves behind a
+   resumable run directory. The CLI is located relative to this test
+   executable (_build/default/test/ -> _build/default/bin/), so the
+   tests work under both [dune runtest] and [dune exec]. *)
+
+let spr =
+  Filename.concat (Filename.dirname Sys.executable_name) (Filename.concat ".." "bin/spr_cli.exe")
+
+let rec rmrf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rmrf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let has_substring ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = sub || scan (i + 1)) in
+  n = 0 || scan 0
+
+(* Run the CLI to completion, capturing combined stdout/stderr. *)
+let run_cli args =
+  let cmd = Printf.sprintf "%s %s 2>&1" spr (String.concat " " args) in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
+let check_exit_zero label = function
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "%s: exit code %d" label n
+  | Unix.WSIGNALED n -> Alcotest.failf "%s: killed by signal %d" label n
+  | Unix.WSTOPPED n -> Alcotest.failf "%s: stopped by signal %d" label n
+
+(* Rebuild the run's netlist the way [spr route --resume] does: from the
+   recorded circuit name when there is one (net ids must match the
+   original construction), else from the copied BLIF bytes. *)
+let load_run_dir dir =
+  let circuit =
+    let ic = open_in (Filename.concat dir "meta") in
+    let rec scan () =
+      match input_line ic with
+      | line -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "circuit"; name ] -> Some name
+        | _ -> scan ())
+      | exception End_of_file -> None
+    in
+    let found = scan () in
+    close_in ic;
+    found
+  in
+  let nl =
+    match circuit with
+    | Some name -> (
+      match Spr_netlist.Circuits.find name with
+      | Some spec -> Spr_netlist.Circuits.make spec
+      | None -> Alcotest.failf "unknown circuit %s in %s/meta" name dir)
+    | None -> (
+      match Spr_netlist.Blif.parse_file (Filename.concat dir "design.blif") with
+      | Error e -> Alcotest.failf "design.blif: %s" e
+      | Ok nl -> nl)
+  in
+  match Spr_core.Checkpoint.V2.load_latest nl ~dir with
+  | Error e -> Alcotest.failf "no resumable checkpoint in %s: %s" dir e
+  | Ok loaded -> (nl, loaded)
+
+(* A tiny wall-clock budget must stop the run early, exit 0, report the
+   interruption, and leave a resumable run directory behind. *)
+let test_time_budget_interrupts () =
+  let dir = "cli-time-budget" in
+  rmrf dir;
+  let status, out =
+    run_cli
+      [ "route"; "--circuit"; "s1"; "--effort"; "standard"; "--seed"; "2";
+        "--time-budget"; "0.4"; "--run-dir"; dir ]
+  in
+  check_exit_zero "time-budget run" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "reports the interruption (got: %s)" out)
+    true
+    (has_substring ~sub:"interrupted (time budget)" out);
+  Alcotest.(check bool) "points at --resume" true (has_substring ~sub:"--resume" out);
+  let _ = load_run_dir dir in
+  rmrf dir
+
+(* A move budget behaves the same way, and the run dir then resumes to
+   the end. *)
+let test_move_budget_then_resume () =
+  let dir = "cli-move-budget" in
+  rmrf dir;
+  let status, out =
+    run_cli
+      [ "route"; "--circuit"; "s1"; "--effort"; "quick"; "--seed"; "2";
+        "--max-moves"; "900"; "--run-dir"; dir ]
+  in
+  check_exit_zero "move-budget run" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "reports the interruption (got: %s)" out)
+    true
+    (has_substring ~sub:"interrupted (move budget)" out);
+  let status, out = run_cli [ "route"; "--resume"; dir ] in
+  check_exit_zero "resumed run" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "resume announces its snapshot (got: %s)" out)
+    true
+    (has_substring ~sub:"resuming from" out);
+  Alcotest.(check bool)
+    (Printf.sprintf "resumed run completes (got: %s)" out)
+    true
+    (not (has_substring ~sub:"interrupted" out));
+  rmrf dir
+
+(* SIGINT mid-anneal: the handler finishes the in-flight move, writes a
+   final checkpoint, and the process exits 0 with the best-so-far
+   layout instead of dying. *)
+let test_sigint_writes_resumable_checkpoint () =
+  let dir = "cli-sigint" in
+  rmrf dir;
+  let out_path = Filename.temp_file "spr_cli_sigint" ".out" in
+  let out_fd = Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let pid =
+    Unix.create_process spr
+      [| spr; "route"; "--circuit"; "s1"; "--effort"; "standard"; "--seed"; "2";
+         "--run-dir"; dir |]
+      Unix.stdin out_fd out_fd
+  in
+  Unix.close out_fd;
+  (* s1 at standard effort anneals for >10s; by 2s the handlers are
+     installed and the run is mid-schedule. *)
+  Unix.sleepf 2.0;
+  Unix.kill pid Sys.sigint;
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  let rec wait () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then begin
+        Unix.kill pid Sys.sigkill;
+        ignore (Unix.waitpid [] pid);
+        Alcotest.fail "CLI did not exit within 60s of SIGINT"
+      end
+      else begin
+        Unix.sleepf 0.2;
+        wait ()
+      end
+    | _, status -> status
+  in
+  let status = wait () in
+  let out =
+    let ic = open_in_bin out_path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Sys.remove out_path;
+    s
+  in
+  check_exit_zero "interrupted CLI" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "reports the interruption (got: %s)" out)
+    true
+    (has_substring ~sub:"interrupted (interrupt)" out);
+  let _, loaded = load_run_dir dir in
+  Alcotest.(check bool) "final checkpoint present" true (loaded.Spr_core.Checkpoint.V2.seq >= 1);
+  rmrf dir
+
+let () =
+  Alcotest.run "spr_cli"
+    [
+      ( "budgets",
+        [
+          Alcotest.test_case "time budget exits 0 and reports interrupted" `Slow
+            test_time_budget_interrupts;
+          Alcotest.test_case "move budget interrupts, then resumes to completion" `Slow
+            test_move_budget_then_resume;
+        ] );
+      ( "signals",
+        [
+          Alcotest.test_case "SIGINT writes a final resumable checkpoint" `Slow
+            test_sigint_writes_resumable_checkpoint;
+        ] );
+    ]
