@@ -119,6 +119,43 @@ let kernel_tests () =
       Spr_layout.Placement.swap_slots place a b
     end
   in
+  (* Per-phase kernels: each adds one pipeline phase on top of the
+     previous, always rolling back, so the state stays fixed and the
+     differences between adjacent kernels isolate each phase's cost. *)
+  let random_cell () = Spr_util.Rng.int rng (Spr_netlist.Netlist.n_cells nl) in
+  let phase_rip () =
+    ignore (Spr_route.Router.rip_up_cell rs journal (random_cell ()) : int list);
+    Spr_util.Journal.rollback journal
+  in
+  let phase_global () =
+    ignore (Spr_route.Router.rip_up_cell rs journal (random_cell ()) : int list);
+    ignore (Spr_route.Router.reroute_global rs journal : int list);
+    Spr_util.Journal.rollback journal
+  in
+  let phase_detail () =
+    ignore (Spr_route.Router.rip_up_cell rs journal (random_cell ()) : int list);
+    ignore (Spr_route.Router.reroute_global rs journal : int list);
+    ignore (Spr_route.Router.reroute_detail rs journal : int list);
+    Spr_util.Journal.rollback journal
+  in
+  (* The pipeline kernel runs a real transaction end-to-end (placement
+     delta, rip-up, both reroutes, dirty-set retime) and rejects it. *)
+  let pipe_rng = Spr_util.Rng.create 17 in
+  let pipe_journal = Spr_util.Journal.create () in
+  let weights =
+    Spr_anneal.Weights.create
+      ~initial_delay:(Float.max 1e-6 (Spr_timing.Sta.critical_delay sta))
+      ()
+  in
+  let pipeline =
+    Spr_core.Move_pipeline.create ~router:Spr_route.Router.default_config
+      ~pinmap_move_prob:0.15 ~enable_pinmap_moves:true ~max_swap_tries:8 ~place ~rs ~sta
+      ~weights ~journal:pipe_journal ()
+  in
+  let pipeline_cycle () =
+    if Spr_core.Move_pipeline.propose pipeline pipe_rng then
+      Spr_core.Move_pipeline.reject pipeline
+  in
   [
     Test.make ~name:"elmore: routed net sink delays"
       (Staged.stage (fun () -> Spr_timing.Net_delay.sink_delays dm rs !routed_net));
@@ -130,14 +167,53 @@ let kernel_tests () =
            Spr_route.Detail_router.best_track rs ~channel:2
              ~span:(Spr_util.Interval.make 3 11)));
     Test.make ~name:"placement: swap pair" (Staged.stage swap_cycle);
+    Test.make ~name:"phase: rip-up+rollback" (Staged.stage phase_rip);
+    Test.make ~name:"phase: rip+global+rollback" (Staged.stage phase_global);
+    Test.make ~name:"phase: rip+global+detail+rollback" (Staged.stage phase_detail);
     Test.make ~name:"move: rip+reroute+sta+rollback" (Staged.stage move_cycle);
+    Test.make ~name:"pipeline: full move propose+reject" (Staged.stage pipeline_cycle);
   ]
+
+(* Machine-readable mirror of the kernel table, one ns/run entry per
+   kernel, written next to the working directory for before/after
+   comparisons in EXPERIMENTS.md and CI smoke runs. *)
+let kernels_json_path = "BENCH_kernels.json"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_kernels_json ~effort rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"schema\": \"spr-bench-kernels-1\",\n  \"effort\": \"%s\",\n"
+       (E.effort_to_string effort));
+  Buffer.add_string buf "  \"unit\": \"ns/run\",\n  \"kernels\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %.1f%s\n" (json_escape name) ns
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  }\n}\n";
+  Spr_util.Persist.atomic_write kernels_json_path (Buffer.contents buf);
+  Printf.printf "kernel timings written to %s\n%!" kernels_json_path
 
 let kernels () =
   section "Kernel microbenchmarks (Bechamel)";
   let open Bechamel in
+  let effort = effort_of_env E.Standard in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let quota = match effort with E.Quick -> 0.125 | E.Standard | E.Thorough -> 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true () in
   let tests = Test.make_grouped ~name:"kernels" (kernel_tests ()) in
   let raw = Benchmark.all cfg [ instance ] tests in
   let ols =
@@ -151,9 +227,9 @@ let kernels () =
       | Some [ ns ] -> rows := (name, ns) :: !rows
       | Some _ | None -> ())
     results;
-  List.iter
-    (fun (name, ns) -> Printf.printf "%-45s %12.1f ns/run\n" name ns)
-    (List.sort compare !rows);
+  let rows = List.sort compare !rows in
+  List.iter (fun (name, ns) -> Printf.printf "%-45s %12.1f ns/run\n" name ns) rows;
+  write_kernels_json ~effort rows;
   flush stdout
 
 let usage () =

@@ -195,8 +195,8 @@ let read_run_meta dir =
       | _ -> fail "missing tracks/scheme/seed/effort field")
     | _ -> fail "not a version-1 spr run-meta file")
 
-let run_sim ~config ?resume ~selfcheck arch nl ~run_dir ~svg ~checkpoint ~ascii ~stats ~report_k
-    ~clock =
+let run_sim ~config ?resume ~selfcheck ~profile arch nl ~run_dir ~svg ~checkpoint ~ascii ~stats
+    ~report_k ~clock =
   Spr_core.Tool.install_signal_handlers ();
   match Spr_core.Tool.run ~config ?resume arch nl with
   | Error e -> Error ("simultaneous flow failed: " ^ Spr_core.Tool.error_to_string e)
@@ -210,6 +210,11 @@ let run_sim ~config ?resume ~selfcheck arch nl ~run_dir ~svg ~checkpoint ~ascii 
         | Some dir -> Printf.sprintf "; continue with: spr route --resume %s" dir
         | None -> ""));
     report_sim nl r;
+    if profile then begin
+      Format.printf "%a" Spr_core.Profile.pp r.Spr_core.Tool.profile;
+      Format.printf "per-temperature phase times:@.%a" Spr_core.Dynamics.pp_phase_series
+        r.Spr_core.Tool.dynamics
+    end;
     let audit_ok =
       if not selfcheck then true
       else begin
@@ -237,8 +242,8 @@ let budget_config config ~time_budget ~max_moves ~run_dir ~snapshot_every ~snaps
     snapshot_keep;
   }
 
-let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck ~svg
-    ~checkpoint ~ascii ~stats ~report_k ~clock =
+let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck ~profile
+    ~svg ~checkpoint ~ascii ~stats ~report_k ~clock =
   match read_run_meta dir with
   | Error e -> `Error (false, "resume failed: " ^ e)
   | Ok (tracks, scheme, seed, effort, circuit) -> (
@@ -266,21 +271,21 @@ let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~sel
             ~selfcheck
         in
         (match
-           run_sim ~config ~resume:loaded ~selfcheck arch nl ~run_dir:(Some dir) ~svg
+           run_sim ~config ~resume:loaded ~selfcheck ~profile arch nl ~run_dir:(Some dir) ~svg
              ~checkpoint ~ascii ~stats ~report_k ~clock
          with
         | Ok () -> `Ok ()
         | Error e -> `Error (false, e))))
 
-let route file circuit tracks scheme seed effort flow selfcheck svg checkpoint ascii stats
-    report_k clock run_dir resume time_budget max_moves snapshot_every snapshot_keep =
+let route file circuit tracks scheme seed effort flow selfcheck profile svg checkpoint ascii
+    stats report_k clock run_dir resume time_budget max_moves snapshot_every snapshot_keep =
   match resume with
   | Some dir ->
     if file <> None || circuit <> None then
       `Error (false, "--resume continues a saved run; do not also give a design")
     else
-      resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck ~svg
-        ~checkpoint ~ascii ~stats ~report_k ~clock
+      resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck
+        ~profile ~svg ~checkpoint ~ascii ~stats ~report_k ~clock
   | None -> (
     match load_netlist ~file ~circuit with
     | Error e -> `Error (false, e)
@@ -308,7 +313,7 @@ let route file circuit tracks scheme seed effort flow selfcheck svg checkpoint a
             ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep ~selfcheck
         in
         note
-          (run_sim ~config ~selfcheck arch nl ~run_dir ~svg ~checkpoint ~ascii ~stats
+          (run_sim ~config ~selfcheck ~profile arch nl ~run_dir ~svg ~checkpoint ~ascii ~stats
              ~report_k ~clock)
       in
       let seq () =
@@ -363,6 +368,12 @@ let route_cmd =
              ~doc:"Audit the incremental state against from-scratch recomputation during and \
                    after the run (placement bijection, routing mirrors, STA diff).")
   in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Print the per-phase move-pipeline breakdown (propose, rip-up, reroute, \
+                   retime, decide) and per-temperature phase times after the run.")
+  in
   let run_dir =
     Arg.(value & opt (some string) None
          & info [ "run-dir" ] ~docv:"DIR"
@@ -399,8 +410,8 @@ let route_cmd =
     Term.(
       ret
         (const route $ file_arg $ circuit_arg $ tracks_arg $ scheme_arg $ seed_arg $ effort_arg
-        $ flow $ selfcheck $ svg $ checkpoint $ ascii $ stats $ report_k $ clock $ run_dir
-        $ resume $ time_budget $ max_moves $ snapshot_every $ snapshot_keep))
+        $ flow $ selfcheck $ profile $ svg $ checkpoint $ ascii $ stats $ report_k $ clock
+        $ run_dir $ resume $ time_budget $ max_moves $ snapshot_every $ snapshot_keep))
 
 (* --- selfcheck (property-based differential testing) --- *)
 

@@ -35,6 +35,7 @@ type temp_stats = {
   accepted : int;
   mean_cost : float;
   sigma_cost : float;
+  batch_seconds : float;
 }
 
 type phase = Warmup | Cool | Quench of int
@@ -85,6 +86,10 @@ type live = {
   mutable total_moves : int;
   mutable total_accepted : int;
   mutable initial_cost : float;
+  (* Wall-clock start of the batch in progress. Informational only
+     (reported in [temp_stats]), so it is NOT part of [snapshot]: a
+     resumed run restarts the clock, which is the honest reading. *)
+  mutable batch_start : float;
 }
 
 let fresh cfg ~initial_cost =
@@ -104,6 +109,7 @@ let fresh cfg ~initial_cost =
     total_moves = 0;
     total_accepted = 0;
     initial_cost;
+    batch_start = Spr_util.Clock.now ();
   }
 
 let run ?config ?resume ?(on_temperature = fun _ -> ())
@@ -129,6 +135,7 @@ let run ?config ?resume ?(on_temperature = fun _ -> ())
         total_moves = s.s_total_moves;
         total_accepted = s.s_total_accepted;
         initial_cost = s.s_initial_cost;
+        batch_start = Spr_util.Clock.now ();
       }
     | None ->
       let cfg = match config with Some c -> c | None -> default_config ~n in
@@ -212,6 +219,7 @@ let run ?config ?resume ?(on_temperature = fun _ -> ())
         accepted = l.batch_accepted;
         mean_cost = Spr_util.Stats.mean l.batch_samples;
         sigma_cost = Spr_util.Stats.stddev l.batch_samples;
+        batch_seconds = Spr_util.Clock.now () -. l.batch_start;
       };
     (match l.phase with
     | Warmup ->
@@ -259,6 +267,7 @@ let run ?config ?resume ?(on_temperature = fun _ -> ())
     l.batch_attempted <- 0;
     l.batch_accepted <- 0;
     Spr_util.Stats.reset l.batch_samples;
+    l.batch_start <- Spr_util.Clock.now ();
     if !running then on_checkpoint ~at:`Boundary (capture ())
   in
   while !running && not !stopped do

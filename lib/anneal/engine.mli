@@ -53,6 +53,10 @@ type temp_stats = {
   accepted : int;
   mean_cost : float;
   sigma_cost : float;
+  batch_seconds : float;
+      (** Wall-clock seconds the batch took. Informational only — not
+          part of {!snapshot}, so the first batch after a resume reports
+          just its post-resume time. *)
 }
 
 type phase =

@@ -310,10 +310,20 @@ module V2 = struct
     add "dynsamples %d\n" (List.length p.dyn_samples);
     List.iter
       (fun (s : Dynamics.sample) ->
-        add "dynsample %d %s %s %s %s %s %s %s\n" s.Dynamics.dyn_temp_index
+        (* Profiled samples append a count plus that many per-phase hex
+           floats; unprofiled samples keep the legacy 8-field shape, so
+           pre-profiling checkpoints re-encode byte-identically. *)
+        let phases =
+          match Array.to_list s.Dynamics.phase_seconds with
+          | [] -> ""
+          | ps ->
+            Printf.sprintf " %d %s" (List.length ps) (String.concat " " (List.map f2h ps))
+        in
+        add "dynsample %d %s %s %s %s %s %s %s%s\n" s.Dynamics.dyn_temp_index
           (f2h s.Dynamics.dyn_temperature) (f2h s.Dynamics.pct_cells_perturbed)
           (f2h s.Dynamics.pct_nets_globally_unrouted) (f2h s.Dynamics.pct_nets_unrouted)
-          (f2h s.Dynamics.acceptance) (f2h s.Dynamics.cost) (f2h s.Dynamics.critical_delay))
+          (f2h s.Dynamics.acceptance) (f2h s.Dynamics.cost) (f2h s.Dynamics.critical_delay)
+          phases)
       p.dyn_samples;
     add "best %s\n" (f2h p.best_cost);
     add "layout best %d\n" (String.length p.best_layout);
@@ -554,7 +564,7 @@ module V2 = struct
         let* line = next_line cur in
         let* s =
           expect_tag "dynsample" line (function
-            | [ ti; temp; pc; pg; pu; a; c; cd ] ->
+            | ti :: temp :: pc :: pg :: pu :: a :: c :: cd :: rest ->
               let* dyn_temp_index = int_ ti in
               let* dyn_temperature = float_ temp in
               let* pct_cells_perturbed = float_ pc in
@@ -563,6 +573,26 @@ module V2 = struct
               let* acceptance = float_ a in
               let* cost = float_ c in
               let* critical_delay = float_ cd in
+              (* Legacy 8-field lines carry no phase data; extended lines
+                 append a count then that many hex floats. *)
+              let* phase_seconds =
+                match rest with
+                | [] -> Ok [||]
+                | n :: vals ->
+                  let* n = int_ n in
+                  if List.length vals <> n then Error "bad dynsample phase count"
+                  else begin
+                    let arr = Array.make n 0.0 in
+                    let rec fill i = function
+                      | [] -> Ok arr
+                      | v :: tl ->
+                        let* f = float_ v in
+                        arr.(i) <- f;
+                        fill (i + 1) tl
+                    in
+                    fill 0 vals
+                  end
+              in
               Ok
                 {
                   Dynamics.dyn_temp_index;
@@ -573,6 +603,7 @@ module V2 = struct
                   acceptance;
                   cost;
                   critical_delay;
+                  phase_seconds;
                 }
             | _ -> Error "bad dynsample record")
         in

@@ -7,6 +7,7 @@ type sample = {
   acceptance : float;
   cost : float;
   critical_delay : float;
+  phase_seconds : float array;  (* indexed by Profile.phase_index; [||] when unprofiled *)
 }
 
 type t = {
@@ -27,7 +28,8 @@ let note_accepted_cells t cells =
       end)
     cells
 
-let flush t ~temp_index ~temperature ~g_frac ~d_frac ~acceptance ~cost ~critical_delay =
+let flush ?(phase_seconds = [||]) t ~temp_index ~temperature ~g_frac ~d_frac ~acceptance
+    ~cost ~critical_delay =
   let sample =
     {
       dyn_temp_index = temp_index;
@@ -38,6 +40,7 @@ let flush t ~temp_index ~temperature ~g_frac ~d_frac ~acceptance ~cost ~critical
       acceptance;
       cost;
       critical_delay;
+      phase_seconds;
     }
   in
   t.acc <- sample :: t.acc;
@@ -64,4 +67,19 @@ let pp_series ppf samples =
       Format.fprintf ppf "%4d  %12.5g  %8.1f  %8.1f  %8.1f  %6.2f  %10.2f@."
         s.dyn_temp_index s.dyn_temperature s.pct_cells_perturbed
         s.pct_nets_globally_unrouted s.pct_nets_unrouted s.acceptance s.critical_delay)
+    samples
+
+let pp_phase_series ppf samples =
+  Format.fprintf ppf "%4s" "temp";
+  List.iter
+    (fun p -> Format.fprintf ppf "  %14s" (Profile.phase_name p ^ "(ms)"))
+    Profile.phases;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun s ->
+      if Array.length s.phase_seconds = Profile.n_phases then begin
+        Format.fprintf ppf "%4d" s.dyn_temp_index;
+        Array.iter (fun sec -> Format.fprintf ppf "  %14.3f" (sec *. 1e3)) s.phase_seconds;
+        Format.fprintf ppf "@."
+      end)
     samples

@@ -15,6 +15,11 @@ type sample = {
   acceptance : float;
   cost : float;
   critical_delay : float;
+  phase_seconds : float array;
+      (** Wall seconds spent in each move-pipeline phase during this
+          temperature, indexed by {!Profile.phase_index}; [[||]] for
+          samples recorded without profiling (e.g. decoded from a legacy
+          checkpoint). *)
 }
 
 type t
@@ -25,6 +30,7 @@ val note_accepted_cells : t -> int list -> unit
 (** Mark cells perturbed by an accepted move. *)
 
 val flush :
+  ?phase_seconds:float array ->
   t ->
   temp_index:int ->
   temperature:float ->
@@ -35,7 +41,9 @@ val flush :
   critical_delay:float ->
   unit
 (** Close the current temperature: append a sample and reset the
-    perturbation marks. *)
+    perturbation marks. [phase_seconds] (default [[||]]) is the
+    per-phase time spent inside move transactions at this temperature,
+    from {!Profile.since}. *)
 
 val samples : t -> sample list
 (** In temperature order. *)
@@ -52,3 +60,8 @@ val restore : n_cells:int -> flags:bool array -> samples:sample list -> t
 
 val pp_series : Format.formatter -> sample list -> unit
 (** The Figure 6 series as an aligned text table. *)
+
+val pp_phase_series : Format.formatter -> sample list -> unit
+(** Per-temperature per-phase move-pipeline times (milliseconds), one
+    column per {!Profile.phase}; samples without phase data are
+    skipped. *)

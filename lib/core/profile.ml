@@ -1,0 +1,131 @@
+type phase = Propose | Rip_up | Global | Detail | Retime | Decide
+
+let phases = [ Propose; Rip_up; Global; Detail; Retime; Decide ]
+
+let n_phases = List.length phases
+
+let phase_index = function
+  | Propose -> 0
+  | Rip_up -> 1
+  | Global -> 2
+  | Detail -> 3
+  | Retime -> 4
+  | Decide -> 5
+
+let phase_name = function
+  | Propose -> "propose"
+  | Rip_up -> "rip-up"
+  | Global -> "reroute-global"
+  | Detail -> "reroute-detail"
+  | Retime -> "retime"
+  | Decide -> "decide"
+
+type t = {
+  times : float array;  (* cumulative seconds per phase *)
+  calls : int array;  (* timed brackets per phase *)
+  counters : Spr_route.Router.counters;
+  mutable moves : int;  (* proposals that formed a transaction *)
+  mutable null_moves : int;  (* proposals that found no legal move *)
+  mutable ripped_nets : int;
+  mutable retimed_nets : int;  (* dirty nets handed to the analyzer *)
+  mutable accepts : int;
+  mutable rejects : int;
+  mutable total : float;  (* wall seconds inside move transactions *)
+}
+
+let create () =
+  {
+    times = Array.make n_phases 0.0;
+    calls = Array.make n_phases 0;
+    counters = Spr_route.Router.fresh_counters ();
+    moves = 0;
+    null_moves = 0;
+    ripped_nets = 0;
+    retimed_nets = 0;
+    accepts = 0;
+    rejects = 0;
+    total = 0.0;
+  }
+
+let record t phase dt =
+  let i = phase_index phase in
+  t.times.(i) <- t.times.(i) +. dt;
+  t.calls.(i) <- t.calls.(i) + 1
+
+let time t phase f =
+  let t0 = Spr_util.Clock.now () in
+  let r = f () in
+  record t phase (Spr_util.Clock.now () -. t0);
+  r
+
+let add_total t dt = t.total <- t.total +. dt
+
+let counters t = t.counters
+
+let phase_seconds t phase = t.times.(phase_index phase)
+
+let phase_calls t phase = t.calls.(phase_index phase)
+
+let total_seconds t = t.total
+
+let phase_sum t = Array.fold_left ( +. ) 0.0 t.times
+
+(* Fraction of the bracketed move time the phase brackets account for;
+   the remainder is inter-phase bookkeeping. 1.0 when no move ran. *)
+let coverage t = if t.total <= 0.0 then 1.0 else phase_sum t /. t.total
+
+(* Per-temperature deltas: capture the cumulative arrays at a batch
+   boundary and subtract at the next one. *)
+type mark = { mark_times : float array; mark_total : float; mark_moves : int }
+
+let mark t = { mark_times = Array.copy t.times; mark_total = t.total; mark_moves = t.moves }
+
+let since t m =
+  ( Array.mapi (fun i v -> v -. m.mark_times.(i)) t.times,
+    t.total -. m.mark_total,
+    t.moves - m.mark_moves )
+
+let pp ppf t =
+  let c = t.counters in
+  Format.fprintf ppf "move pipeline: %d moves (%d null proposals), %d accepted, %d rejected@."
+    t.moves t.null_moves t.accepts t.rejects;
+  Format.fprintf ppf "%-16s %12s %10s %12s@." "phase" "time(ms)" "calls" "ns/move";
+  let per_move s = if t.moves = 0 then 0.0 else s *. 1e9 /. float_of_int t.moves in
+  List.iter
+    (fun p ->
+      let i = phase_index p in
+      Format.fprintf ppf "%-16s %12.2f %10d %12.0f@." (phase_name p) (t.times.(i) *. 1e3)
+        t.calls.(i)
+        (per_move t.times.(i)))
+    phases;
+  Format.fprintf ppf "%-16s %12.2f %10d %12.0f@." "total" (t.total *. 1e3) t.moves
+    (per_move t.total);
+  Format.fprintf ppf "phase coverage: %.1f%% of bracketed move time@." (100.0 *. coverage t);
+  Format.fprintf ppf
+    "counters: ripped %d nets, global %d/%d routed/attempted, detail %d/%d, retimed %d nets@."
+    t.ripped_nets c.Spr_route.Router.c_global_routed c.Spr_route.Router.c_global_attempts
+    c.Spr_route.Router.c_detail_routed c.Spr_route.Router.c_detail_attempts t.retimed_nets
+
+let t_moves t = t.moves
+
+let t_null_moves t = t.null_moves
+
+let t_accepts t = t.accepts
+
+let t_rejects t = t.rejects
+
+let t_ripped_nets t = t.ripped_nets
+
+let t_retimed_nets t = t.retimed_nets
+
+let note_move t = t.moves <- t.moves + 1
+
+let note_null_move t = t.null_moves <- t.null_moves + 1
+
+let note_accept t = t.accepts <- t.accepts + 1
+
+let note_reject t = t.rejects <- t.rejects + 1
+
+let add_ripped t n = t.ripped_nets <- t.ripped_nets + n
+
+let add_retimed t n = t.retimed_nets <- t.retimed_nets + n

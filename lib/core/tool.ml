@@ -102,24 +102,25 @@ type result = {
   fully_routed : bool;
   anneal_report : Spr_anneal.Engine.report;
   dynamics : Dynamics.sample list;
+  profile : Profile.t;
   cpu_seconds : float;
   status : status;
   best_cost : float;
 }
 
-(* One move = one transaction. [propose] applies everything (placement
-   delta, rip-ups, reroutes, timing propagation) into the shared journal;
-   accept commits it, reject rolls the whole cascade back. *)
+(* One move = one transaction, run by the five-phase {!Move_pipeline}:
+   [propose] applies everything (placement delta, rip-ups, reroutes,
+   timing propagation) into the shared journal; accept commits it,
+   reject rolls the whole cascade back. *)
 type session = {
   cfg : config;
-  router : Router.config;  (* cfg.router, plus the criticality hook *)
   place : P.t;
   rs : Rs.t;
   sta : Sta.t;
   weights : Spr_anneal.Weights.t;
   journal : J.t;
+  pipeline : Move_pipeline.t;
   dyn : Dynamics.t;
-  mutable last_cells : int list;
   mutable accepted_since_audit : int;
 }
 
@@ -133,59 +134,6 @@ let session_cost s =
    breaks ties. *)
 let best_metric ~rs ~sta =
   (float_of_int (Rs.g_count rs + Rs.d_count rs) *. 1e9) +. Sta.critical_delay sta
-
-let finish_move s ripped =
-  let routed = Router.reroute ~config:s.router s.rs s.journal in
-  let dirty = List.sort_uniq compare (List.rev_append ripped routed) in
-  Sta.invalidate s.sta s.journal dirty;
-  Spr_anneal.Weights.observe s.weights ~delay:(Sta.critical_delay s.sta)
-
-let propose_pinmap s rng =
-  let nl = P.netlist s.place in
-  let n = Spr_netlist.Netlist.n_cells nl in
-  let cell = Spr_util.Rng.int rng n in
-  let size = P.palette_size s.place cell in
-  if size < 2 then false
-  else begin
-    let old_idx = P.pinmap_index s.place cell in
-    let shift = 1 + Spr_util.Rng.int rng (size - 1) in
-    let idx = (old_idx + shift) mod size in
-    P.set_pinmap s.place ~cell ~index:idx;
-    J.record s.journal (fun () -> P.set_pinmap s.place ~cell ~index:old_idx);
-    let ripped = Router.rip_up_cell s.rs s.journal cell in
-    finish_move s ripped;
-    s.last_cells <- [ cell ];
-    true
-  end
-
-let propose_swap s rng =
-  let rec find tries =
-    if tries = 0 then None
-    else begin
-      let a = P.random_occupied_slot s.place rng in
-      let b = P.random_slot s.place rng in
-      if a <> b && P.swap_legal s.place a b then Some (a, b) else find (tries - 1)
-    end
-  in
-  match find s.cfg.max_swap_tries with
-  | None -> false
-  | Some (a, b) ->
-    let occupants = List.filter_map (fun slot -> P.cell_at s.place slot) [ a; b ] in
-    P.swap_slots s.place a b;
-    J.record s.journal (fun () -> P.swap_slots s.place a b);
-    let ripped =
-      List.concat_map (fun cell -> Router.rip_up_cell s.rs s.journal cell) occupants
-    in
-    finish_move s (List.sort_uniq compare ripped);
-    s.last_cells <- occupants;
-    true
-
-let propose s rng =
-  assert (J.depth s.journal = 0);
-  s.last_cells <- [];
-  if s.cfg.enable_pinmap_moves && Spr_util.Rng.float rng 1.0 < s.cfg.pinmap_move_prob then
-    propose_pinmap s rng
-  else propose_swap s rng
 
 (* The full audit subsystem: placement bijection/legality, the routing
    mirror oracle, and a from-scratch STA diff. Failing here turns a
@@ -207,21 +155,37 @@ type resume = Checkpoint.V2.loaded
 let anneal_session ?resume ~config ~rng ~best s =
   let nl = P.netlist s.place in
   let n_routable = max 1 (Rs.n_routable s.rs) in
+  let profile = Move_pipeline.profile s.pipeline in
+  let batch_mark = ref (Profile.mark profile) in
   let on_temperature (ts : Spr_anneal.Engine.temp_stats) =
     Spr_anneal.Weights.adapt s.weights;
     if config.validate then validate_now s;
+    let phase_seconds, move_seconds, moves = Profile.since profile !batch_mark in
+    batch_mark := Profile.mark profile;
     Log.debug (fun m ->
         m "temp %d T=%.4g acc=%d/%d G=%d D=%d delay=%.2fns"
           ts.Spr_anneal.Engine.temp_index ts.Spr_anneal.Engine.temperature
           ts.Spr_anneal.Engine.accepted ts.Spr_anneal.Engine.attempted (Rs.g_count s.rs)
           (Rs.d_count s.rs) (Sta.critical_delay s.sta));
+    Log.debug (fun m ->
+        m "temp %d phases [%s] move=%.1fms batch=%.1fms (%d moves)"
+          ts.Spr_anneal.Engine.temp_index
+          (String.concat ", "
+             (List.map
+                (fun p ->
+                  Printf.sprintf "%s %.1fms" (Profile.phase_name p)
+                    (1e3 *. phase_seconds.(Profile.phase_index p)))
+                Profile.phases))
+          (1e3 *. move_seconds)
+          (1e3 *. ts.Spr_anneal.Engine.batch_seconds)
+          moves);
     let acceptance =
       if ts.Spr_anneal.Engine.attempted = 0 then 0.0
       else
         float_of_int ts.Spr_anneal.Engine.accepted
         /. float_of_int ts.Spr_anneal.Engine.attempted
     in
-    Dynamics.flush s.dyn ~temp_index:ts.Spr_anneal.Engine.temp_index
+    Dynamics.flush s.dyn ~phase_seconds ~temp_index:ts.Spr_anneal.Engine.temp_index
       ~temperature:ts.Spr_anneal.Engine.temperature
       ~g_frac:(float_of_int (Rs.g_count s.rs) /. float_of_int n_routable)
       ~d_frac:(float_of_int (Rs.d_count s.rs) /. float_of_int n_routable)
@@ -307,10 +271,10 @@ let anneal_session ?resume ~config ~rng ~best s =
     Spr_anneal.Engine.run ?config:config.anneal ?resume ~on_temperature ~on_checkpoint
       ~should_stop ~rng
       ~cost:(fun () -> session_cost s)
-      ~propose:(fun rng -> propose s rng)
+      ~propose:(fun rng -> Move_pipeline.propose s.pipeline rng)
       ~accept:(fun () ->
-        Dynamics.note_accepted_cells s.dyn s.last_cells;
-        J.commit s.journal;
+        Dynamics.note_accepted_cells s.dyn (Move_pipeline.last_cells s.pipeline);
+        Move_pipeline.accept s.pipeline;
         if config.validate then begin
           s.accepted_since_audit <- s.accepted_since_audit + 1;
           if s.accepted_since_audit >= max 1 config.validate_every then begin
@@ -318,7 +282,7 @@ let anneal_session ?resume ~config ~rng ~best s =
             validate_now s
           end
         end)
-      ~reject:(fun () -> J.rollback s.journal)
+      ~reject:(fun () -> Move_pipeline.reject s.pipeline)
       ~n:(Spr_netlist.Netlist.n_cells nl)
       ()
   in
@@ -374,6 +338,7 @@ let run_session ?resume ~config ~rng ~t_start s =
     fully_routed = Rs.fully_routed rs;
     anneal_report;
     dynamics = Dynamics.samples s.dyn;
+    profile = Move_pipeline.profile s.pipeline;
     cpu_seconds = Sys.time () -. t_start;
     status;
     best_cost = best_metric ~rs ~sta;
@@ -404,17 +369,24 @@ let run_fresh ~config arch nl =
       Spr_anneal.Weights.create ~g_per_net:config.g_per_net ~d_per_net:config.d_per_net
         ~t_emphasis:config.t_emphasis ~initial_delay ()
     in
+    let journal = J.create () in
+    let pipeline =
+      Move_pipeline.create
+        ~router:(timing_router ~config ~sta nl)
+        ~pinmap_move_prob:config.pinmap_move_prob
+        ~enable_pinmap_moves:config.enable_pinmap_moves
+        ~max_swap_tries:config.max_swap_tries ~place ~rs ~sta ~weights ~journal ()
+    in
     let s =
       {
         cfg = config;
-        router = timing_router ~config ~sta nl;
         place;
         rs;
         sta;
         weights;
-        journal = J.create ();
+        journal;
+        pipeline;
         dyn = Dynamics.create ~n_cells:(Spr_netlist.Netlist.n_cells nl);
-        last_cells = [];
         accepted_since_audit = 0;
       }
     in
@@ -439,19 +411,27 @@ let run_resumed ~config ~(resume : resume) nl =
        interrupted run carried. *)
     let sta = Sta.create config.delay_model rs in
     let rng = Spr_util.Rng.of_state data.Checkpoint.V2.rng_state in
+    let weights = Spr_anneal.Weights.restore data.Checkpoint.V2.weights in
+    let journal = J.create () in
+    let pipeline =
+      Move_pipeline.create
+        ~router:(timing_router ~config ~sta nl)
+        ~pinmap_move_prob:config.pinmap_move_prob
+        ~enable_pinmap_moves:config.enable_pinmap_moves
+        ~max_swap_tries:config.max_swap_tries ~place ~rs ~sta ~weights ~journal ()
+    in
     let s =
       {
         cfg = config;
-        router = timing_router ~config ~sta nl;
         place;
         rs;
         sta;
-        weights = Spr_anneal.Weights.restore data.Checkpoint.V2.weights;
-        journal = J.create ();
+        weights;
+        journal;
+        pipeline;
         dyn =
           Dynamics.restore ~n_cells ~flags:data.Checkpoint.V2.dyn_flags
             ~samples:data.Checkpoint.V2.dyn_samples;
-        last_cells = [];
         accepted_since_audit = data.Checkpoint.V2.accepted_since_audit;
       }
     in

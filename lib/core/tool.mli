@@ -114,6 +114,9 @@ type result = {
   fully_routed : bool;
   anneal_report : Spr_anneal.Engine.report;
   dynamics : Dynamics.sample list;
+  profile : Profile.t;
+      (** Cumulative per-phase move-pipeline instrumentation for this
+          invocation (not carried across resumes). *)
   cpu_seconds : float;  (** This invocation only, not cumulative across resumes. *)
   status : status;
   best_cost : float;

@@ -1,5 +1,13 @@
 type slot = { row : int; col : int }
 
+type geom = {
+  g_pins : (int * int) list;  (* (channel, col) of driver then sinks *)
+  g_ch_lo : int;
+  g_ch_hi : int;
+  g_col_lo : int;
+  g_col_hi : int;
+}
+
 type t = {
   arch : Spr_arch.Arch.t;
   nl : Spr_netlist.Netlist.t;
@@ -7,6 +15,8 @@ type t = {
   cell_at_slot : int array;  (* encoded slot -> cell id or -1 *)
   pinmap_idx : int array;  (* cell -> palette index *)
   palettes : Spr_netlist.Pinmap.t array array;  (* cell -> palette *)
+  geom_cache : geom option array;  (* net -> memoized pin geometry *)
+  cell_nets : int list array;  (* cell -> nets to invalidate when it moves *)
 }
 
 let encode arch { row; col } = (row * arch.Spr_arch.Arch.cols) + col
@@ -16,6 +26,12 @@ let decode arch e = { row = e / arch.Spr_arch.Arch.cols; col = e mod arch.Spr_ar
 let arch t = t.arch
 
 let netlist t = t.nl
+
+(* Caches start cold; [cell_nets] is fixed by the netlist and drives
+   invalidation when a cell moves or changes pinmap. *)
+let fresh_caches nl =
+  ( Array.make (Spr_netlist.Netlist.n_nets nl) None,
+    Array.init (Spr_netlist.Netlist.n_cells nl) (Spr_netlist.Netlist.nets_of_cell nl) )
 
 let legal_kind_at arch kind s =
   if Spr_netlist.Cell_kind.is_io kind then
@@ -77,6 +93,7 @@ let create arch nl ~rng =
       Array.init n (fun c ->
           Spr_netlist.Pinmap.palette ~n_pins:(Spr_netlist.Netlist.n_pins nl c))
     in
+    let geom_cache, cell_nets = fresh_caches nl in
     Ok
       {
         arch;
@@ -85,6 +102,8 @@ let create arch nl ~rng =
         cell_at_slot;
         pinmap_idx = Array.make n 0;
         palettes;
+        geom_cache;
+        cell_nets;
       }
 
 let create_exn arch nl ~rng =
@@ -131,7 +150,18 @@ let create_from arch nl ~slots ~pinmaps =
     match !error with
     | Some e -> Error e
     | None ->
-      Ok { arch; nl; slot_of_cell; cell_at_slot; pinmap_idx = Array.copy pinmaps; palettes }
+      let geom_cache, cell_nets = fresh_caches nl in
+      Ok
+        {
+          arch;
+          nl;
+          slot_of_cell;
+          cell_at_slot;
+          pinmap_idx = Array.copy pinmaps;
+          palettes;
+          geom_cache;
+          cell_nets;
+        }
   end
 
 let slot_of t c = decode t.arch t.slot_of_cell.(c)
@@ -150,13 +180,25 @@ let swap_legal t a b =
   in
   ok_at (cell_at t a) b && ok_at (cell_at t b) a
 
+(* Invalidation lives inside the mutators so it covers both directions
+   of a transaction: journal undo closures re-invoke the same mutators,
+   so a rollback invalidates exactly the nets it restores. *)
+let invalidate_cell t c =
+  List.iter (fun net -> t.geom_cache.(net) <- None) t.cell_nets.(c)
+
 let swap_slots t a b =
   let ea = encode t.arch a and eb = encode t.arch b in
   let ca = t.cell_at_slot.(ea) and cb = t.cell_at_slot.(eb) in
   t.cell_at_slot.(ea) <- cb;
   t.cell_at_slot.(eb) <- ca;
-  if ca <> -1 then t.slot_of_cell.(ca) <- eb;
-  if cb <> -1 then t.slot_of_cell.(cb) <- ea
+  if ca <> -1 then begin
+    t.slot_of_cell.(ca) <- eb;
+    invalidate_cell t ca
+  end;
+  if cb <> -1 then begin
+    t.slot_of_cell.(cb) <- ea;
+    invalidate_cell t cb
+  end
 
 let pinmap_index t c = t.pinmap_idx.(c)
 
@@ -164,7 +206,8 @@ let palette_size t c = Array.length t.palettes.(c)
 
 let set_pinmap t ~cell ~index =
   assert (index >= 0 && index < Array.length t.palettes.(cell));
-  t.pinmap_idx.(cell) <- index
+  t.pinmap_idx.(cell) <- index;
+  invalidate_cell t cell
 
 let pin_side t ~cell ~pin = t.palettes.(cell).(t.pinmap_idx.(cell)).(pin)
 
@@ -179,35 +222,51 @@ let pin_col t ~cell ~pin =
   ignore pin;
   (slot_of t cell).col
 
-let net_pin_positions t net_id =
+let compute_geom t net_id =
   let net = Spr_netlist.Netlist.net t.nl net_id in
   let driver = net.Spr_netlist.Netlist.driver in
   let out_pin = (Spr_netlist.Netlist.cell t.nl driver).Spr_netlist.Netlist.n_inputs in
   let driver_pos =
     (pin_channel t ~cell:driver ~pin:out_pin, pin_col t ~cell:driver ~pin:out_pin)
   in
-  driver_pos
-  :: Array.to_list
-       (Array.map
-          (fun (c, pin) -> (pin_channel t ~cell:c ~pin, pin_col t ~cell:c ~pin))
-          net.Spr_netlist.Netlist.sinks)
+  let pins =
+    driver_pos
+    :: Array.to_list
+         (Array.map
+            (fun (c, pin) -> (pin_channel t ~cell:c ~pin, pin_col t ~cell:c ~pin))
+            net.Spr_netlist.Netlist.sinks)
+  in
+  let ch, col = driver_pos in
+  let g_ch_lo, g_ch_hi, g_col_lo, g_col_hi =
+    List.fold_left
+      (fun (clo, chi, xlo, xhi) (c, x) -> (min clo c, max chi c, min xlo x, max xhi x))
+      (ch, ch, col, col) pins
+  in
+  { g_pins = pins; g_ch_lo; g_ch_hi; g_col_lo; g_col_hi }
+
+let geom t net_id =
+  match t.geom_cache.(net_id) with
+  | Some g -> g
+  | None ->
+    let g = compute_geom t net_id in
+    t.geom_cache.(net_id) <- Some g;
+    g
+
+let net_pin_positions t net_id = (geom t net_id).g_pins
 
 let net_channel_span t net_id =
-  match net_pin_positions t net_id with
-  | [] -> None
-  | (ch, _) :: rest ->
-    Some (List.fold_left (fun (lo, hi) (c, _) -> (min lo c, max hi c)) (ch, ch) rest)
+  let g = geom t net_id in
+  match g.g_pins with [] -> None | _ -> Some (g.g_ch_lo, g.g_ch_hi)
 
 let net_col_span t net_id =
-  match net_pin_positions t net_id with
-  | [] -> None
-  | (_, col) :: rest ->
-    Some (List.fold_left (fun (lo, hi) (_, c) -> (min lo c, max hi c)) (col, col) rest)
+  let g = geom t net_id in
+  match g.g_pins with [] -> None | _ -> Some (g.g_col_lo, g.g_col_hi)
 
 let half_perimeter t net_id =
-  match net_channel_span t net_id, net_col_span t net_id with
-  | Some (clo, chi), Some (xlo, xhi) -> chi - clo + (xhi - xlo)
-  | _, _ -> 0
+  let g = geom t net_id in
+  match g.g_pins with
+  | [] -> 0
+  | _ -> g.g_ch_hi - g.g_ch_lo + (g.g_col_hi - g.g_col_lo)
 
 let random_slot t rng =
   decode t.arch (Spr_util.Rng.int rng (Spr_arch.Arch.n_slots t.arch))
@@ -215,6 +274,20 @@ let random_slot t rng =
 let random_occupied_slot t rng =
   let c = Spr_util.Rng.int rng (Array.length t.slot_of_cell) in
   decode t.arch t.slot_of_cell.(c)
+
+let check_caches t =
+  let error = ref None in
+  Array.iteri
+    (fun net cached ->
+      match cached with
+      | None -> ()
+      | Some g ->
+        if !error = None && g <> compute_geom t net then
+          error :=
+            Some
+              (Printf.sprintf "net %d: memoized pin geometry differs from recomputation" net))
+    t.geom_cache;
+  match !error with Some e -> Error e | None -> Ok ()
 
 let check t =
   let n_slots = Spr_arch.Arch.n_slots t.arch in
@@ -236,4 +309,6 @@ let check t =
   Array.iteri
     (fun e c -> if c <> -1 && t.slot_of_cell.(c) <> e then fail "slot %d points to wrong cell" e)
     t.cell_at_slot;
-  match !error with Some e -> Error e | None -> Ok ()
+  match !error with
+  | Some e -> Error e
+  | None -> check_caches t

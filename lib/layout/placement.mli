@@ -61,7 +61,12 @@ val pin_col : t -> cell:int -> pin:int -> int
 
 val net_pin_positions : t -> int -> (int * int) list
 (** [(channel, col)] of every terminal of the net: the driver's output
-    pin followed by each sink pin. *)
+    pin followed by each sink pin.
+
+    Pin positions and the bounding box derived from them are memoized
+    per net; the cache entry is invalidated inside {!swap_slots} and
+    {!set_pinmap} (which journal undo closures also call, so rollbacks
+    invalidate exactly what they restore). *)
 
 val net_channel_span : t -> int -> (int * int) option
 (** [(lowest, highest)] channel touched by the net's terminals; [None]
@@ -92,5 +97,10 @@ val random_occupied_slot : t -> Spr_util.Rng.t -> slot
 (** {1 Validation} *)
 
 val check : t -> (unit, string) result
-(** Verifies the slot/cell bijection and per-cell legality; used by tests
-    and the routing validator. *)
+(** Verifies the slot/cell bijection, per-cell legality, and the
+    geometry memo cache; used by tests and the routing validator. *)
+
+val check_caches : t -> (unit, string) result
+(** Verify every live pin-geometry memo entry against a from-scratch
+    recomputation. Subsumed by {!check}; exposed for targeted property
+    tests. *)

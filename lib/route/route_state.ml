@@ -1,5 +1,6 @@
 module I = Spr_util.Interval
 module J = Spr_util.Journal
+module Q = Spr_util.Iqueue
 
 type hroute = {
   h_channel : int;
@@ -37,8 +38,9 @@ type t = {
   h_owner : int array array array;  (* channel -> track -> seg -> net / -1 *)
   v_owner : int array array array;  (* col -> vtrack -> seg -> net / -1 *)
   nstats : nstat array;
-  ug_tbl : (int, unit) Hashtbl.t;
-  ud_tbl : (int, unit) Hashtbl.t array;  (* per channel *)
+  ug : Q.t;  (* U_G retry queue, keyed by estimated length (half-perimeter) *)
+  ud : Q.t array;  (* per channel U_D,R queues, keyed by demand span length *)
+  dirty : Spr_util.Bitset.t;  (* nets touched since the last [clear_dirty] *)
   routable : bool array;  (* >= 2 terminals, fixed by the netlist *)
   n_routable : int;
   mutable d_total : int;
@@ -64,7 +66,7 @@ let arch t = t.arch
 
 let netlist t = t.nl
 
-let g_count t = Hashtbl.length t.ug_tbl
+let g_count t = Q.length t.ug
 
 let d_count t = t.d_total
 
@@ -92,9 +94,18 @@ let is_fully_routed t net =
   let ns = t.nstats.(net) in
   t.routable.(net) && not ns.in_ug && ns.missing = [] && ns.demands <> []
 
-let u_g t = Hashtbl.fold (fun net () acc -> net :: acc) t.ug_tbl []
+(* Queue enumeration is the paper's explicit retry order (§3.3/§3.4):
+   estimated length descending, net id descending on ties — never a
+   hash-table artifact. *)
+let u_g t = Q.to_list t.ug
 
-let u_d t channel = Hashtbl.fold (fun net () acc -> net :: acc) t.ud_tbl.(channel) []
+let u_d t channel = Q.to_list t.ud.(channel)
+
+let dirty_nets t = Spr_util.Bitset.to_list t.dirty
+
+let clear_dirty t = Spr_util.Bitset.clear t.dirty
+
+let mark_dirty t net = ignore (Spr_util.Bitset.add t.dirty net)
 
 let hseg_owner t ~channel ~track ~seg = t.h_owner.(channel).(track).(seg)
 
@@ -117,18 +128,6 @@ let set_owner j arr seg v =
   arr.(seg) <- v;
   J.record j (fun () -> arr.(seg) <- old)
 
-let tbl_add j tbl net =
-  if not (Hashtbl.mem tbl net) then begin
-    Hashtbl.replace tbl net ();
-    J.record j (fun () -> Hashtbl.remove tbl net)
-  end
-
-let tbl_remove j tbl net =
-  if Hashtbl.mem tbl net then begin
-    Hashtbl.remove tbl net;
-    J.record j (fun () -> Hashtbl.replace tbl net ())
-  end
-
 let set_d_flag t j ns flag =
   if ns.d_flag <> flag then begin
     let old = ns.d_flag in
@@ -141,13 +140,22 @@ let set_d_flag t j ns flag =
 
 let refresh_d t j ns = set_d_flag t j ns (ns.in_ug || ns.missing <> [])
 
+(* Enqueueing always (re)keys by the net's current estimated length, so
+   even a net already queued whose pins just moved ends up at its proper
+   retry rank. *)
 let set_in_ug t j net flag =
   let ns = t.nstats.(net) in
-  if ns.in_ug <> flag then begin
-    let old = ns.in_ug in
-    ns.in_ug <- flag;
-    J.record j (fun () -> ns.in_ug <- old);
-    if flag then tbl_add j t.ug_tbl net else tbl_remove j t.ug_tbl net
+  if flag then begin
+    if not ns.in_ug then begin
+      ns.in_ug <- true;
+      J.record j (fun () -> ns.in_ug <- false)
+    end;
+    Q.add ~j t.ug net ~key:(Spr_layout.Placement.half_perimeter t.place net)
+  end
+  else if ns.in_ug then begin
+    ns.in_ug <- false;
+    J.record j (fun () -> ns.in_ug <- true);
+    ignore (Q.remove ~j t.ug net)
   end
 
 let set_vr j ns vr =
@@ -178,9 +186,17 @@ let set_missing t j net missing =
   ns.missing <- missing;
   J.record j (fun () -> ns.missing <- old);
   List.iter
-    (fun ch -> if not (List.mem ch missing) then tbl_remove j t.ud_tbl.(ch) net)
+    (fun ch -> if not (List.mem ch missing) then ignore (Q.remove ~j t.ud.(ch) net))
     old;
-  List.iter (fun ch -> if not (List.mem ch old) then tbl_add j t.ud_tbl.(ch) net) missing
+  (* Unconditional add: re-keys a still-queued channel whose demand span
+     changed, so queue rank always reflects the current demand. *)
+  List.iter
+    (fun ch ->
+      let key =
+        match List.assoc_opt ch ns.demands with Some span -> I.length span | None -> 0
+      in
+      Q.add ~j t.ud.(ch) net ~key)
+    missing
 
 (* --- demand computation from the current placement --- *)
 
@@ -334,6 +350,7 @@ let queue_detail_demands t j net demands =
 
 let satisfy_trivial_global t j net =
   let ns = t.nstats.(net) in
+  mark_dirty t net;
   let pins = Spr_layout.Placement.net_pin_positions t.place net in
   set_needs_v j ns false;
   set_vr j ns None;
@@ -343,6 +360,7 @@ let satisfy_trivial_global t j net =
 let rip_up t j net =
   if t.routable.(net) then begin
     let ns = t.nstats.(net) in
+    mark_dirty t net;
     reset_stamps t net;
     free_route_segments t j net;
     set_vr j ns None;
@@ -363,6 +381,7 @@ let rip_up t j net =
 
 let claim_global t j net vr =
   let ns = t.nstats.(net) in
+  mark_dirty t net;
   assert ns.in_ug;
   assert (vrun_free t ~col:vr.v_col ~vtrack:vr.v_vtrack ~slo:vr.v_slo ~shi:vr.v_shi);
   let arr = t.v_owner.(vr.v_col).(vr.v_vtrack) in
@@ -379,6 +398,7 @@ let claim_global t j net vr =
 
 let claim_detail t j net hr =
   let ns = t.nstats.(net) in
+  mark_dirty t net;
   assert (List.mem hr.h_channel ns.missing);
   assert (hrun_free t ~channel:hr.h_channel ~track:hr.h_track ~slo:hr.h_slo ~shi:hr.h_shi);
   let arr = t.h_owner.(hr.h_channel).(hr.h_track) in
@@ -430,8 +450,9 @@ let create place =
       h_owner;
       v_owner;
       nstats;
-      ug_tbl = Hashtbl.create 64;
-      ud_tbl = Array.init arch.Arch.n_channels (fun _ -> Hashtbl.create 16);
+      ug = Q.create ~capacity:n_nets;
+      ud = Array.init arch.Arch.n_channels (fun _ -> Q.create ~capacity:n_nets);
+      dirty = Spr_util.Bitset.create ~capacity:n_nets;
       routable;
       n_routable = Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 routable;
       d_total = 0;
@@ -527,7 +548,11 @@ let check t =
         let needs_v = List.length chans > 1 in
         if ns.needs_v <> needs_v then fail "net %d: needs_v stale" net;
         if ns.in_ug <> (needs_v && ns.vr = None) then fail "net %d: in_ug inconsistent" net;
-        if Hashtbl.mem t.ug_tbl net <> ns.in_ug then fail "net %d: ug table mismatch" net;
+        if Q.mem t.ug net <> ns.in_ug then fail "net %d: ug queue mismatch" net;
+        if
+          ns.in_ug
+          && Q.key t.ug net <> Spr_layout.Placement.half_perimeter t.place net
+        then fail "net %d: ug retry key stale" net;
         if ns.in_ug && (ns.demands <> [] || ns.hroutes <> [] || ns.missing <> []) then
           fail "net %d: globally unrouted but has detail state" net;
         if not ns.in_ug then begin
@@ -551,8 +576,12 @@ let check t =
               let queued = List.mem ch ns.missing in
               if routed && queued then fail "net %d ch %d: routed and queued" net ch;
               if (not routed) && not queued then fail "net %d ch %d: demand dropped" net ch;
-              if queued && not (Hashtbl.mem t.ud_tbl.(ch) net) then
-                fail "net %d ch %d: missing from ud table" net ch;
+              if queued then begin
+                if not (Q.mem t.ud.(ch) net) then
+                  fail "net %d ch %d: missing from ud queue" net ch
+                else if Q.key t.ud.(ch) net <> I.length span then
+                  fail "net %d ch %d: ud retry key stale" net ch
+              end;
               match List.assoc_opt ch ns.hroutes with
               | None -> ()
               | Some hr ->
@@ -574,13 +603,22 @@ let check t =
     t.nstats;
   if t.d_total <> !d_expected then fail "d_total %d but expected %d" t.d_total !d_expected;
   Array.iteri
-    (fun ch tbl ->
-      Hashtbl.iter
-        (fun net () ->
+    (fun ch q ->
+      (match Q.check q with
+      | Error e -> fail "ud queue ch %d: %s" ch e
+      | Ok () -> ());
+      Q.iter
+        (fun net ->
           if not (List.mem ch t.nstats.(net).missing) then
-            fail "ud table ch %d lists net %d not missing there" ch net)
-        tbl)
-    t.ud_tbl;
+            fail "ud queue ch %d lists net %d not missing there" ch net)
+        q)
+    t.ud;
+  (match Q.check t.ug with
+  | Error e -> fail "ug queue: %s" e
+  | Ok () -> ());
+  (match Spr_util.Bitset.check t.dirty with
+  | Error e -> fail "dirty set: %s" e
+  | Ok () -> ());
   match !error with Some e -> Error e | None -> Ok ()
 
 module Debug = struct

@@ -95,10 +95,29 @@ val d_flag : t -> int -> bool
 (** {1 Queues} *)
 
 val u_g : t -> int list
-(** Nets currently awaiting a global route. *)
+(** Nets currently awaiting a global route, in explicit retry order:
+    estimated length (bounding-box half-perimeter) descending, net id
+    descending on ties (paper §3.3). The order is a property of the
+    queue contents, never of hash internals, and survives rollback
+    bit-for-bit. *)
 
 val u_d : t -> int -> int list
-(** [u_d t channel]: nets awaiting a detailed route in that channel. *)
+(** [u_d t channel]: nets awaiting a detailed route in that channel, in
+    retry order: demand span length descending, net id descending on
+    ties (paper §3.4). *)
+
+(** {2 Dirty-net tracking}
+
+    Every mutation ({!rip_up}, {!claim_global}, {!claim_detail}) marks
+    its net in a dense dirty set, replacing the ad-hoc ripped/rerouted
+    lists the move transaction used to concatenate. The set is scratch
+    state for the current move: monotone, unjournaled, and cleared by
+    the consumer once the dirty nets have been handed to timing. *)
+
+val dirty_nets : t -> int list
+(** Nets touched since the last {!clear_dirty}, ascending. *)
+
+val clear_dirty : t -> unit
 
 (** {2 Failure memoization}
 

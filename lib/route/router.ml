@@ -15,8 +15,19 @@ let default_config =
     criticality = None;
   }
 
-(* Queue ordering: (criticality, estimated length) descending, net id as
-   the deterministic tie-break. *)
+type counters = {
+  mutable c_global_attempts : int;
+  mutable c_global_routed : int;
+  mutable c_detail_attempts : int;
+  mutable c_detail_routed : int;
+}
+
+let fresh_counters () =
+  { c_global_attempts = 0; c_global_routed = 0; c_detail_attempts = 0; c_detail_routed = 0 }
+
+(* Criticality ordering: (criticality, estimated length) descending, net
+   id as the deterministic tie-break. The length-only order needs no
+   sorting — the dense queues already enumerate that way. *)
 let sort_queue config keyed =
   match config.criticality with
   | None ->
@@ -41,50 +52,84 @@ let take n xs =
   in
   loop [] n xs
 
-let reroute ?(config = default_config) st j =
+(* Re-impose the criticality order when configured; the queues arrive in
+   the paper's length order otherwise. *)
+let criticality_order config ~len queue =
+  match config.criticality with
+  | None -> queue
+  | Some _ -> List.map snd (sort_queue config (List.map (fun net -> (len net, net)) queue))
+
+let reroute_global ?(config = default_config) ?counters st j =
   let place = Route_state.place st in
-  (* Global phase: longest nets first (paper: U_G "is sorted based on the
-     estimated length of its contents ... giving priority to the longer
-     unroutable nets"). *)
-  let ug = Route_state.u_g st in
-  let keyed =
-    List.map (fun net -> (Spr_layout.Placement.half_perimeter place net, net)) ug
+  (* U_G arrives "sorted based on the estimated length of its contents
+     ... giving priority to the longer unroutable nets" (paper §3.3). *)
+  let queue =
+    List.filter (fun net -> Route_state.global_attempt_pending st net) (Route_state.u_g st)
   in
-  let keyed = List.filter (fun (_, net) -> Route_state.global_attempt_pending st net) keyed in
-  let sorted = sort_queue config keyed in
+  let queue =
+    criticality_order config ~len:(fun net -> Spr_layout.Placement.half_perimeter place net)
+      queue
+  in
   let changed = ref [] in
   List.iter
-    (fun (_, net) ->
+    (fun net ->
+      (match counters with
+      | Some c -> c.c_global_attempts <- c.c_global_attempts + 1
+      | None -> ());
       if
         Global_router.attempt ~margin:config.spine_margin
           ~max_candidates:config.spine_candidates st j net
-      then
+      then begin
+        (match counters with
+        | Some c -> c.c_global_routed <- c.c_global_routed + 1
+        | None -> ());
         changed := net :: !changed
+      end
       else Route_state.note_global_failure st net)
-    (take config.retry_cap sorted);
-  (* Detailed phase: each channel's queue, longest span first. *)
+    (take config.retry_cap queue);
+  List.sort_uniq compare !changed
+
+let reroute_detail ?(config = default_config) ?counters st j =
   let arch = Route_state.arch st in
+  let changed = ref [] in
+  (* Each channel's queue, longest span first. *)
   for channel = 0 to arch.Spr_arch.Arch.n_channels - 1 do
-    let queued = Route_state.u_d st channel in
-    let keyed =
-      List.filter_map
+    let queue =
+      List.filter
         (fun net ->
-          if not (Route_state.detail_attempt_pending st net ~channel) then None
-          else
-            match List.assoc_opt channel (Route_state.h_demands st net) with
-            | Some span -> Some (Spr_util.Interval.length span, net)
-            | None -> None)
-        queued
+          Route_state.detail_attempt_pending st net ~channel
+          && List.mem_assoc channel (Route_state.h_demands st net))
+        (Route_state.u_d st channel)
     in
-    let sorted = sort_queue config keyed in
+    let queue =
+      criticality_order config
+        ~len:(fun net ->
+          match List.assoc_opt channel (Route_state.h_demands st net) with
+          | Some span -> Spr_util.Interval.length span
+          | None -> 0)
+        queue
+    in
     List.iter
-      (fun (_, net) ->
+      (fun net ->
+        (match counters with
+        | Some c -> c.c_detail_attempts <- c.c_detail_attempts + 1
+        | None -> ());
         if Detail_router.attempt ~antifuse_weight:config.antifuse_weight st j ~net ~channel
-        then changed := net :: !changed
+        then begin
+          (match counters with
+          | Some c -> c.c_detail_routed <- c.c_detail_routed + 1
+          | None -> ());
+          changed := net :: !changed
+        end
         else Route_state.note_detail_failure st net ~channel)
-      (take config.retry_cap sorted)
+      (take config.retry_cap queue)
   done;
   List.sort_uniq compare !changed
+
+let reroute ?(config = default_config) ?counters st j =
+  let g = reroute_global ~config ?counters st j in
+  let d = reroute_detail ~config ?counters st j in
+  List.sort_uniq compare (List.rev_append g d)
 
 let route_all ?(config = default_config) ?(passes = 3) st =
   let config = { config with retry_cap = max_int } in

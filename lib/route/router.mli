@@ -26,14 +26,41 @@ type config = {
 
 val default_config : config
 
+type counters = {
+  mutable c_global_attempts : int;
+  mutable c_global_routed : int;
+  mutable c_detail_attempts : int;
+  mutable c_detail_routed : int;
+}
+(** Per-phase attempt/success tallies, accumulated across passes when
+    the same record is threaded through several calls (the move
+    pipeline's profile does exactly that). *)
+
+val fresh_counters : unit -> counters
+
 val rip_up_cell : Route_state.t -> Spr_util.Journal.t -> int -> int list
 (** Rip up and queue every net attached to the cell; returns the ripped
     net ids (the timing analyzer must re-estimate their delays). *)
 
-val reroute : ?config:config -> Route_state.t -> Spr_util.Journal.t -> int list
-(** One incremental global + detailed rerouting pass over the queues.
-    Returns the nets whose embedding changed (gained a spine or a track
-    run) so the timing analyzer can update them. *)
+val reroute_global :
+  ?config:config -> ?counters:counters -> Route_state.t -> Spr_util.Journal.t -> int list
+(** The global sub-phase alone: work down U{_G} in its explicit retry
+    order (estimated length descending; criticality order when
+    configured) giving each net a spine. Returns the nets that gained a
+    global route. *)
+
+val reroute_detail :
+  ?config:config -> ?counters:counters -> Route_state.t -> Spr_util.Journal.t -> int list
+(** The detailed sub-phase alone: sweep the channels giving every
+    queued net in each U{_D,R} a track run, longest span first. Run
+    after {!reroute_global} so demands queued by fresh spines are
+    attempted in the same pass. *)
+
+val reroute :
+  ?config:config -> ?counters:counters -> Route_state.t -> Spr_util.Journal.t -> int list
+(** {!reroute_global} followed by {!reroute_detail}. Returns the union
+    of nets whose embedding changed (gained a spine or a track run) so
+    the timing analyzer can update them. *)
 
 val route_all : ?config:config -> ?passes:int -> Route_state.t -> unit
 (** From-scratch routing: repeated {!reroute} passes (default 3) with no

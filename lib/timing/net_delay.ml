@@ -161,3 +161,15 @@ let sink_delays dm st net =
     match routed_sink_delays dm st net with
     | Some d -> d
     | None -> Array.make n_sinks (estimate dm st net)
+
+let sink_delays_into dm st net ~out =
+  let nl = Rs.netlist st in
+  let n_sinks = Array.length (Spr_netlist.Netlist.net nl net).Spr_netlist.Netlist.sinks in
+  if n_sinks > 0 then begin
+    match build_rc_tree dm st net with
+    | Some (tree, root, sink_nodes) ->
+      let delays = Rc_tree.elmore tree ~root in
+      Array.iteri (fun i n -> out.(i) <- delays.(n)) sink_nodes
+    | None -> Array.fill out 0 n_sinks (estimate dm st net)
+  end;
+  n_sinks

@@ -31,3 +31,11 @@ val estimate : Delay_model.t -> Spr_route.Route_state.t -> int -> float
 val sink_delays : Delay_model.t -> Spr_route.Route_state.t -> int -> float array
 (** Per-sink delays: exact when embedded, otherwise the estimate
     replicated. Zero-length for nets without sinks. *)
+
+val sink_delays_into :
+  Delay_model.t -> Spr_route.Route_state.t -> int -> out:float array -> int
+(** Allocation-reusing variant of {!sink_delays}: writes the per-sink
+    delays into the first [n_sinks] cells of [out] (which must be at
+    least that long) and returns [n_sinks]. The incremental analyzer
+    keeps one scratch buffer across moves and only materializes a fresh
+    array when a net's delays actually changed. *)

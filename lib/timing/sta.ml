@@ -16,6 +16,9 @@ type t = {
   frontier : int Spr_util.Pqueue.t;
   seen : int array;  (* generation stamps *)
   mutable generation : int;
+  scratch : float array;  (* reused across moves for delay recomputation *)
+  mutable crit : float;  (* memoized critical delay *)
+  mutable crit_valid : bool;
 }
 
 let eps = 1e-12
@@ -50,7 +53,8 @@ let full_update t =
     (fun c ->
       if Spr_netlist.Cell_kind.has_output (Nl.cell t.nl c).Nl.kind then
         t.arr_out.(c) <- compute_arr_out t c)
-    t.lev.Spr_netlist.Levelize.order
+    t.lev.Spr_netlist.Levelize.order;
+  t.crit_valid <- false
 
 let create dm st =
   let nl = Rs.netlist st in
@@ -101,6 +105,10 @@ let create dm st =
         | None -> [||]
         | Some net -> net_prop_sinks.(net))
   in
+  let max_sinks = ref 0 in
+  for net = 0 to Nl.n_nets nl - 1 do
+    max_sinks := max !max_sinks (Array.length (Nl.net nl net).Nl.sinks)
+  done;
   let t =
     {
       dm;
@@ -116,13 +124,24 @@ let create dm st =
       frontier = Spr_util.Pqueue.create ();
       seen = Array.make n (-1);
       generation = 0;
+      scratch = Array.make (max 1 !max_sinks) 0.0;
+      crit = 0.0;
+      crit_valid = false;
     }
   in
   full_update t;
   t
 
+(* The critical delay is pure in [arr_out]/[net_delays]; both only
+   change through [invalidate] (and its journal undos) and
+   [full_update], all of which drop the memo, so the cached scan is
+   always the scan the state would produce. *)
 let critical_delay t =
-  Array.fold_left (fun acc c -> Float.max acc (arrival_in t c)) 0.0 t.sink_cells
+  if not t.crit_valid then begin
+    t.crit <- Array.fold_left (fun acc c -> Float.max acc (arrival_in t c)) 0.0 t.sink_cells;
+    t.crit_valid <- true
+  end;
+  t.crit
 
 let arrival_out t c = t.arr_out.(c)
 
@@ -142,14 +161,23 @@ let invalidate t j nets =
   List.iter
     (fun net ->
       let old = t.net_delays.(net) in
-      let fresh = Net_delay.sink_delays t.dm t.st net in
+      (* Recompute into the shared scratch buffer; a fresh array is only
+         materialized when the delays actually changed. *)
+      let n = Net_delay.sink_delays_into t.dm t.st net ~out:t.scratch in
       let changed =
-        Array.length old <> Array.length fresh
-        || Array.exists2 (fun a b -> Float.abs (a -. b) > eps) old fresh
+        Array.length old <> n
+        ||
+        let rec diff i =
+          i < n && (Float.abs (old.(i) -. t.scratch.(i)) > eps || diff (i + 1))
+        in
+        diff 0
       in
       if changed then begin
-        t.net_delays.(net) <- fresh;
-        J.record j (fun () -> t.net_delays.(net) <- old);
+        t.net_delays.(net) <- Array.sub t.scratch 0 n;
+        t.crit_valid <- false;
+        J.record j (fun () ->
+            t.net_delays.(net) <- old;
+            t.crit_valid <- false);
         Array.iter push t.net_prop_sinks.(net)
       end)
     nets;
@@ -161,7 +189,10 @@ let invalidate t j nets =
       let old = t.arr_out.(c) in
       if Float.abs (fresh -. old) > eps then begin
         t.arr_out.(c) <- fresh;
-        J.record j (fun () -> t.arr_out.(c) <- old);
+        t.crit_valid <- false;
+        J.record j (fun () ->
+            t.arr_out.(c) <- old;
+            t.crit_valid <- false);
         Array.iter push t.prop_fanout.(c)
       end;
       drain ()

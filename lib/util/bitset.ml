@@ -1,0 +1,61 @@
+type t = {
+  bits : Bytes.t;
+  mutable card : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { bits = Bytes.make capacity '\000'; card = 0 }
+
+let capacity t = Bytes.length t.bits
+
+let cardinality t = t.card
+
+let mem t i = Bytes.unsafe_get t.bits i <> '\000'
+
+let set_raw t i v =
+  Bytes.unsafe_set t.bits i (if v then '\001' else '\000');
+  t.card <- t.card + (if v then 1 else -1)
+
+let add ?j t i =
+  if mem t i then false
+  else begin
+    set_raw t i true;
+    (match j with
+    | None -> ()
+    | Some j -> Journal.record j (fun () -> set_raw t i false));
+    true
+  end
+
+let remove ?j t i =
+  if not (mem t i) then false
+  else begin
+    set_raw t i false;
+    (match j with
+    | None -> ()
+    | Some j -> Journal.record j (fun () -> set_raw t i true));
+    true
+  end
+
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.card <- 0
+
+let iter f t =
+  for i = 0 to Bytes.length t.bits - 1 do
+    if mem t i then f i
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let check t =
+  let n = ref 0 in
+  iter (fun _ -> incr n) t;
+  if !n <> t.card then
+    Error (Printf.sprintf "Bitset: cardinality mirror %d but %d bits set" t.card !n)
+  else Ok ()

@@ -1,0 +1,39 @@
+(** Dense bitset over a fixed id range [0, capacity), with an O(1)
+    cardinality mirror and optional journaling.
+
+    Replaces [(int, unit) Hashtbl.t] membership sets on hot paths: adds
+    and removals are branch-free byte stores, enumeration is in ascending
+    id order (so independent of insertion history), and when a
+    {!Journal.t} is supplied every mutation records its exact inverse so
+    a rejected annealing move restores the set bit-for-bit. *)
+
+type t
+
+val create : capacity:int -> t
+(** All ids start absent. *)
+
+val capacity : t -> int
+
+val cardinality : t -> int
+
+val mem : t -> int -> bool
+
+val add : ?j:Journal.t -> t -> int -> bool
+(** [true] iff the id was absent (the set changed). The inverse is
+    journaled only when the set changed. *)
+
+val remove : ?j:Journal.t -> t -> int -> bool
+
+val clear : t -> unit
+(** Unjournaled bulk reset (for per-move scratch sets). *)
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending id order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+(** Ascending id order. *)
+
+val check : t -> (unit, string) result
+(** Verify the cardinality mirror against the actual bits. *)

@@ -69,6 +69,65 @@ let test_prop_shrinker_reports () =
     Alcotest.(check bool) "report names the seed" true (contains report "seed: 1");
     Alcotest.(check bool) "report lists the ops" true (contains report "Incr")
 
+(* The dense incremental state — the journaled geometry memo in the
+   placement and the bitset/sorted-queue unrouted structures in the
+   routing state — must equal a from-scratch recomputation after any op
+   sequence, including mid-transaction rollbacks. [P.check_caches] diffs
+   every live memo entry against recomputed geometry; [Rs.check] diffs
+   the queues, mirrors and counters against the fabric; on top of those
+   we rebuild the U{_G} and U{_D,R} retry orders here from nothing but
+   the netlist and current placement and require exact equality. *)
+let test_dense_state_matches_scratch () =
+  let module I = Spr_util.Interval in
+  let desc (a : int * int) b = compare b a in
+  let scratch_ug rs =
+    let place = Rs.place rs in
+    let keyed = ref [] in
+    for net = Nl.n_nets (Rs.netlist rs) - 1 downto 0 do
+      if Rs.needs_global rs net && Rs.global_route rs net = None then
+        keyed := (P.half_perimeter place net, net) :: !keyed
+    done;
+    List.map snd (List.sort desc !keyed)
+  in
+  let scratch_ud rs ch =
+    let keyed = ref [] in
+    for net = Nl.n_nets (Rs.netlist rs) - 1 downto 0 do
+      if List.mem ch (Rs.missing_channels rs net) then
+        keyed := (I.length (List.assoc ch (Rs.h_demands rs net)), net) :: !keyed
+    done;
+    List.map snd (List.sort desc !keyed)
+  in
+  let check st =
+    let rs = Ops.route_state st in
+    match P.check_caches (Rs.place rs) with
+    | Error e -> Error ("geom memo cache: " ^ e)
+    | Ok () -> (
+      match Rs.check rs with
+      | Error e -> Error ("route state: " ^ e)
+      | Ok () ->
+        if Rs.u_g rs <> scratch_ug rs then
+          Error "u_g differs from scratch recomputation"
+        else begin
+          let bad = ref None in
+          for net = 0 to Nl.n_nets (Rs.netlist rs) - 1 do
+            List.iter
+              (fun ch ->
+                if !bad = None && Rs.u_d rs ch <> scratch_ud rs ch then
+                  bad := Some ch)
+              (Rs.missing_channels rs net)
+          done;
+          match !bad with
+          | Some ch ->
+            Error (Printf.sprintf "u_d channel %d differs from scratch recomputation" ch)
+          | None -> Ok ()
+        end)
+  in
+  let base = Ops.spec ~n_cells:40 ~tracks:12 () in
+  let spec = { base with Prop.name = "dense state matches scratch"; check } in
+  match Prop.run ~seeds:[ 5; 6; 7 ] ~n_ops:50 spec with
+  | Ok () -> ()
+  | Error f -> Alcotest.fail (Prop.failure_to_string spec f)
+
 let test_undo_roundtrip_deterministic () =
   let st = Ops.make ~n_cells:40 ~tracks:12 ~seed:11 () in
   check_findings "fresh state" (Audit.run_all (Ops.route_state st));
@@ -460,6 +519,8 @@ let () =
             test_prop_op_sequences;
           Alcotest.test_case "shrinker minimizes a failing sequence" `Quick
             test_prop_shrinker_reports;
+          Alcotest.test_case "dense state matches scratch recomputation" `Slow
+            test_dense_state_matches_scratch;
           Alcotest.test_case "undo round-trip (deterministic)" `Quick
             test_undo_roundtrip_deterministic;
         ] );

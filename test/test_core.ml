@@ -110,6 +110,43 @@ let test_timing_driven_routing () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "invalid state: %s" e)
 
+let test_profile_coverage () =
+  let arch, nl = small_case () in
+  let r = Tool.run_exn ~config:(quick_config (Nl.n_cells nl)) arch nl in
+  let p = r.Tool.profile in
+  let module Profile = Spr_core.Profile in
+  Alcotest.(check bool) "moves were profiled" true
+    (Profile.t_moves p = r.Tool.anneal_report.Engine.n_moves);
+  Alcotest.(check bool) "decisions were profiled" true
+    (Profile.t_accepts p + Profile.t_rejects p = Profile.t_moves p);
+  Alcotest.(check bool) "total clock ran" true (Profile.total_seconds p > 0.0);
+  (* the acceptance bound from the issue: phase brackets must account
+     for the bracketed move time to within 5% *)
+  let cov = Profile.coverage p in
+  Alcotest.(check bool)
+    (Printf.sprintf "phase sum within 5%% of move total (coverage %.4f)" cov)
+    true
+    (cov >= 0.95 && cov <= 1.0 +. 1e-9);
+  (* every phase was entered; Decide fires once per move *)
+  List.iter
+    (fun ph ->
+      Alcotest.(check bool)
+        (Printf.sprintf "phase %s entered" (Profile.phase_name ph))
+        true
+        (Profile.phase_calls p ph > 0))
+    Profile.phases;
+  Alcotest.(check int) "one decision per move" (Profile.t_moves p)
+    (Profile.phase_calls p Profile.Decide);
+  (* the dynamics trace carries the per-temperature phase split *)
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "sample has per-phase times" Profile.n_phases
+        (Array.length s.Dynamics.phase_seconds);
+      Array.iter
+        (fun dt -> Alcotest.(check bool) "phase time non-negative" true (dt >= 0.0))
+        s.Dynamics.phase_seconds)
+    r.Tool.dynamics
+
 let test_run_rejects_cycles () =
   let b = Nl.Builder.create () in
   let a = Nl.Builder.add_cell b ~name:"a" ~kind:Spr_netlist.Cell_kind.Comb ~n_inputs:1 in
@@ -144,7 +181,9 @@ let test_dynamics_module () =
     Alcotest.(check (float 1e-9)) "3 distinct cells of 10" 30.0 s1.Dynamics.pct_cells_perturbed;
     Alcotest.(check (float 1e-9)) "reset between temps" 10.0 s2.Dynamics.pct_cells_perturbed;
     Alcotest.(check (float 1e-9)) "g pct scaled" 50.0 s1.Dynamics.pct_nets_globally_unrouted;
-    Alcotest.(check (float 1e-9)) "d pct scaled" 25.0 s2.Dynamics.pct_nets_unrouted
+    Alcotest.(check (float 1e-9)) "d pct scaled" 25.0 s2.Dynamics.pct_nets_unrouted;
+    Alcotest.(check int) "unprofiled flush leaves phase times empty" 0
+      (Array.length s1.Dynamics.phase_seconds)
   | other -> Alcotest.failf "expected 2 samples, got %d" (List.length other)
 
 let () =
@@ -159,6 +198,7 @@ let () =
           Alcotest.test_case "dynamics recorded" `Slow test_dynamics_recorded;
           Alcotest.test_case "pinmap moves can be disabled" `Slow test_pinmap_moves_can_be_disabled;
           Alcotest.test_case "timing-driven routing" `Slow test_timing_driven_routing;
+          Alcotest.test_case "profile covers the move pipeline" `Slow test_profile_coverage;
           Alcotest.test_case "rejects comb cycles" `Quick test_run_rejects_cycles;
           Alcotest.test_case "rejects overfull fabric" `Quick test_run_rejects_overflow;
         ] );

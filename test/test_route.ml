@@ -275,6 +275,79 @@ let test_counts_consistent =
       let d_census = Hashtbl.length missing + g in
       g = Rs.g_count st && d_census = Rs.d_count st)
 
+(* --- deterministic retry order (paper §3.3/§3.4) --- *)
+
+(* The spec order: estimated length (key) descending, net id descending
+   on ties — computed here independently of the queue implementation. *)
+let spec_order ~len queue =
+  List.sort
+    (fun a b ->
+      let ka = len a and kb = len b in
+      if ka <> kb then compare kb ka else compare b a)
+    queue
+
+let test_ug_retry_order () =
+  let st, _, _ = make_state ~tracks:6 () in
+  Router.route_all st;
+  let q = Rs.u_g st in
+  Alcotest.(check bool) "congested fabric leaves a retry queue" true (q <> []);
+  let place = Rs.place st in
+  Alcotest.(check (list int)) "u_g in length-desc/id-desc order"
+    (spec_order ~len:(P.half_perimeter place) q)
+    q;
+  Alcotest.(check (list int)) "repeated enumeration is identical" q (Rs.u_g st)
+
+let test_ud_retry_order () =
+  let st, _, arch = make_state ~tracks:6 () in
+  Router.route_all st;
+  let seen = ref false in
+  for ch = 0 to arch.Arch.n_channels - 1 do
+    let q = Rs.u_d st ch in
+    if q <> [] then begin
+      seen := true;
+      let len net = I.length (List.assoc ch (Rs.h_demands st net)) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "u_d channel %d in span-desc/id-desc order" ch)
+        (spec_order ~len q) q
+    end
+  done;
+  Alcotest.(check bool) "some channel has a detail retry queue" true !seen
+
+let test_retry_order_survives_rollback =
+  QCheck.Test.make ~name:"rollback restores retry queues bit-for-bit" ~count:15
+    QCheck.(pair small_int (int_range 0 39))
+    (fun (seed, cell) ->
+      let st, _, arch = make_state ~n_cells:40 ~seed:(seed mod 13) ~tracks:6 () in
+      Router.route_all st;
+      let ug_before = Rs.u_g st in
+      let ud_before = List.init arch.Arch.n_channels (Rs.u_d st) in
+      let j = J.create () in
+      ignore (Router.rip_up_cell st j cell : int list);
+      ignore (Router.reroute st j : int list);
+      J.rollback j;
+      Rs.u_g st = ug_before && List.init arch.Arch.n_channels (Rs.u_d st) = ud_before)
+
+let test_split_reroute_equals_combined =
+  QCheck.Test.make ~name:"reroute_global+reroute_detail == reroute" ~count:10
+    QCheck.(pair small_int (int_range 0 39))
+    (fun (seed, cell) ->
+      let seed = seed mod 13 in
+      let make () =
+        let st, _, _ = make_state ~n_cells:40 ~seed ~tracks:10 () in
+        Router.route_all st;
+        let j = J.create () in
+        ignore (Router.rip_up_cell st j cell : int list);
+        (st, j)
+      in
+      let st1, j1 = make () and st2, j2 = make () in
+      let combined = Router.reroute st1 j1 in
+      let split =
+        let g = Router.reroute_global st2 j2 in
+        let d = Router.reroute_detail st2 j2 in
+        List.sort_uniq compare (List.rev_append g d)
+      in
+      combined = split && Rs.snapshot st1 = Rs.snapshot st2)
+
 (* --- Route_stats --- *)
 
 let test_stats_consistency () =
@@ -344,6 +417,13 @@ let () =
           Alcotest.test_case "rip all frees everything" `Quick test_rip_all_frees_everything;
           qtest test_route_all_invariants;
           qtest test_counts_consistent;
+        ] );
+      ( "retry order",
+        [
+          Alcotest.test_case "u_g deterministic order" `Quick test_ug_retry_order;
+          Alcotest.test_case "u_d deterministic order" `Quick test_ud_retry_order;
+          qtest test_retry_order_survives_rollback;
+          qtest test_split_reroute_equals_combined;
         ] );
       ( "coverage",
         [

@@ -5,6 +5,8 @@ module Stats = Spr_util.Stats
 module Journal = Spr_util.Journal
 module Union_find = Spr_util.Union_find
 module Table = Spr_util.Table
+module Bitset = Spr_util.Bitset
+module Iqueue = Spr_util.Iqueue
 
 let qtest = QCheck_alcotest.to_alcotest
 
@@ -240,6 +242,98 @@ let test_journal_restores_state =
       Journal.rollback j;
       arr = original)
 
+(* --- Bitset --- *)
+
+let check_ok name = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+let test_bitset_basic () =
+  let s = Bitset.create ~capacity:10 in
+  Alcotest.(check int) "capacity" 10 (Bitset.capacity s);
+  Alcotest.(check bool) "fresh add" true (Bitset.add s 3);
+  Alcotest.(check bool) "duplicate add" false (Bitset.add s 3);
+  Alcotest.(check bool) "add another" true (Bitset.add s 7);
+  Alcotest.(check bool) "mem" true (Bitset.mem s 3);
+  Alcotest.(check bool) "not mem" false (Bitset.mem s 4);
+  Alcotest.(check int) "cardinality" 2 (Bitset.cardinality s);
+  Alcotest.(check (list int)) "ascending order" [ 3; 7 ] (Bitset.to_list s);
+  Alcotest.(check bool) "remove" true (Bitset.remove s 3);
+  Alcotest.(check bool) "remove absent" false (Bitset.remove s 3);
+  Alcotest.(check (list int)) "after removal" [ 7 ] (Bitset.to_list s);
+  Bitset.clear s;
+  Alcotest.(check int) "cleared" 0 (Bitset.cardinality s);
+  check_ok "bitset check" (Bitset.check s)
+
+let test_bitset_rollback =
+  QCheck.Test.make ~name:"bitset journal rollback restores set exactly" ~count:300
+    QCheck.(pair (list (pair bool (int_range 0 19))) (list (pair bool (int_range 0 19))))
+    (fun (setup, ops) ->
+      let s = Bitset.create ~capacity:20 in
+      List.iter (fun (add, i) -> ignore (if add then Bitset.add s i else Bitset.remove s i)) setup;
+      let before = Bitset.to_list s in
+      let j = Journal.create () in
+      List.iter
+        (fun (add, i) -> ignore (if add then Bitset.add ~j s i else Bitset.remove ~j s i))
+        ops;
+      (match Bitset.check s with Ok () -> () | Error e -> QCheck.Test.fail_report e);
+      Journal.rollback j;
+      (match Bitset.check s with Ok () -> () | Error e -> QCheck.Test.fail_report e);
+      Bitset.to_list s = before)
+
+(* --- Iqueue --- *)
+
+let test_iqueue_ordering () =
+  let q = Iqueue.create ~capacity:10 in
+  Iqueue.add q 4 ~key:2;
+  Iqueue.add q 1 ~key:5;
+  Iqueue.add q 7 ~key:2;
+  Iqueue.add q 0 ~key:9;
+  (* Key descending, id descending on ties. *)
+  Alcotest.(check (list int)) "queue order" [ 0; 1; 7; 4 ] (Iqueue.to_list q);
+  Iqueue.add q 7 ~key:6;  (* re-key repositions *)
+  Alcotest.(check (list int)) "re-keyed order" [ 0; 7; 1; 4 ] (Iqueue.to_list q);
+  Alcotest.(check int) "key lookup" 6 (Iqueue.key q 7);
+  Alcotest.(check bool) "remove" true (Iqueue.remove q 1);
+  Alcotest.(check bool) "remove absent" false (Iqueue.remove q 1);
+  Alcotest.(check (list int)) "after removal" [ 0; 7; 4 ] (Iqueue.to_list q);
+  Alcotest.(check int) "length" 3 (Iqueue.length q);
+  check_ok "iqueue check" (Iqueue.check q)
+
+let test_iqueue_canonical =
+  QCheck.Test.make ~name:"iqueue order is canonical (insertion-history independent)" ~count:200
+    QCheck.(list (pair (int_range 0 14) (int_range 0 9)))
+    (fun pairs ->
+      (* Last write wins per id; any insertion order yields one layout. *)
+      let q1 = Iqueue.create ~capacity:15 and q2 = Iqueue.create ~capacity:15 in
+      List.iter (fun (id, key) -> Iqueue.add q1 id ~key) pairs;
+      List.iter (fun (id, key) -> Iqueue.add q2 id ~key) (List.rev pairs);
+      let final = Hashtbl.create 16 in
+      List.iter (fun (id, key) -> Hashtbl.replace final id key) pairs;
+      Hashtbl.iter (fun id key -> Iqueue.add q2 id ~key) final;
+      (match Iqueue.check q1 with Ok () -> () | Error e -> QCheck.Test.fail_report e);
+      Iqueue.to_list q1 = Iqueue.to_list q2)
+
+let test_iqueue_rollback =
+  QCheck.Test.make ~name:"iqueue journal rollback restores order bit-for-bit" ~count:300
+    QCheck.(
+      pair
+        (list (pair (int_range 0 14) (int_range 0 9)))
+        (list (pair bool (pair (int_range 0 14) (int_range 0 9)))))
+    (fun (setup, ops) ->
+      let q = Iqueue.create ~capacity:15 in
+      List.iter (fun (id, key) -> Iqueue.add q id ~key) setup;
+      let before = List.map (fun id -> (id, Iqueue.key q id)) (Iqueue.to_list q) in
+      let j = Journal.create () in
+      List.iter
+        (fun (add, (id, key)) ->
+          if add then Iqueue.add ~j q id ~key else ignore (Iqueue.remove ~j q id))
+        ops;
+      (match Iqueue.check q with Ok () -> () | Error e -> QCheck.Test.fail_report e);
+      Journal.rollback j;
+      (match Iqueue.check q with Ok () -> () | Error e -> QCheck.Test.fail_report e);
+      List.map (fun id -> (id, Iqueue.key q id)) (Iqueue.to_list q) = before)
+
 (* --- Table --- *)
 
 let test_table_render () =
@@ -300,6 +394,14 @@ let () =
           Alcotest.test_case "commit" `Quick test_journal_commit;
           Alcotest.test_case "rollback_to mark" `Quick test_journal_rollback_to;
           qtest test_journal_restores_state;
+        ] );
+      ( "bitset",
+        [ Alcotest.test_case "basics" `Quick test_bitset_basic; qtest test_bitset_rollback ] );
+      ( "iqueue",
+        [
+          Alcotest.test_case "retry order" `Quick test_iqueue_ordering;
+          qtest test_iqueue_canonical;
+          qtest test_iqueue_rollback;
         ] );
       ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
     ]
