@@ -232,9 +232,105 @@ let kernels () =
   write_kernels_json ~effort rows;
   flush stdout
 
+(* --- parallel portfolio scaling --- *)
+
+let portfolio_json_path = "BENCH_portfolio.json"
+
+(* Fleets of K replicas on the 529-cell design, each replica annealing
+   under the same per-replica move budget. On a machine with >= K cores
+   every fleet finishes in the same wall-clock, so the table reads as
+   "what does K buy at equal time"; with Independent exchange replica 0
+   of every fleet IS the K=1 run (same stream), so the fleet best is
+   equal-or-better than K=1 by construction. The JSON records the
+   measured wall and the core count, so time-sliced runs on small boxes
+   stay honest. *)
+let portfolio () =
+  section "Portfolio scaling (529-cell design, equal per-replica move budget)";
+  let effort = effort_of_env E.Quick in
+  let budget =
+    (* quick must clear the second cooling boundary (warmup 1058 + 2 x
+       2645 moves on big529) so a best:2 fleet performs an exchange *)
+    match effort with E.Quick -> 7_000 | E.Standard -> 25_000 | E.Thorough -> 60_000
+  in
+  let nl = Spr_netlist.Circuits.make_by_name "big529" in
+  let n = Spr_netlist.Netlist.n_cells nl in
+  let arch = E.arch_for ~tracks:38 nl in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "design big529 (%d cells), %d moves per replica, %d core(s)\n%!" n budget cores;
+  let fleets =
+    [
+      (1, Spr_anneal.Portfolio.Independent);
+      (2, Spr_anneal.Portfolio.Independent);
+      (4, Spr_anneal.Portfolio.Independent);
+      (4, Spr_anneal.Portfolio.Best_exchange 2);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (k, exchange) ->
+        let config =
+          Spr_core.Tool.Config.(
+            E.tool_config ~seed:1 effort ~n
+            |> with_max_moves budget
+            |> with_replicas ~exchange k)
+        in
+        let p = Spr_core.Tool.run_portfolio_exn ~config arch nl in
+        let best = Spr_core.Tool.best_result p in
+        let moves =
+          Array.fold_left
+            (fun acc (r : Spr_core.Tool.result) ->
+              acc + r.Spr_core.Tool.anneal_report.Spr_anneal.Engine.n_moves)
+            0 p.Spr_core.Tool.p_results
+        in
+        Printf.printf
+          "K=%d %-7s  wall %5.1f s  moves %8d (%7.0f/s)  winner r%d  G+D %3d  critical %7.2f ns  rounds %d\n%!"
+          k
+          (Spr_anneal.Portfolio.exchange_to_string exchange)
+          p.Spr_core.Tool.p_wall_seconds moves
+          (float_of_int moves /. Float.max 1e-9 p.Spr_core.Tool.p_wall_seconds)
+          p.Spr_core.Tool.p_best_replica
+          (best.Spr_core.Tool.g + best.Spr_core.Tool.d)
+          best.Spr_core.Tool.critical_delay
+          (List.length p.Spr_core.Tool.p_exchanges);
+        (k, exchange, p, best, moves))
+      fleets
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"spr-bench-portfolio-1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"effort\": \"%s\",\n  \"design\": \"big529\",\n" (E.effort_to_string effort));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cores\": %d,\n  \"moves_per_replica\": %d,\n" cores budget);
+  Buffer.add_string buf "  \"fleets\": [\n";
+  List.iteri
+    (fun i
+         ( k,
+           exchange,
+           (p : Spr_core.Tool.portfolio_result),
+           (best : Spr_core.Tool.result),
+           moves ) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"replicas\": %d, \"exchange\": \"%s\", \"wall_s\": %.2f, \"moves\": %d, \
+            \"moves_per_s\": %.0f, \"best_replica\": %d, \"best_cost\": %.6g, \"unrouted\": %d, \
+            \"critical_delay_ns\": %.3f, \"exchange_rounds\": %d}%s\n"
+           k
+           (json_escape (Spr_anneal.Portfolio.exchange_to_string exchange))
+           p.Spr_core.Tool.p_wall_seconds moves
+           (float_of_int moves /. Float.max 1e-9 p.Spr_core.Tool.p_wall_seconds)
+           p.Spr_core.Tool.p_best_replica best.Spr_core.Tool.best_cost
+           (best.Spr_core.Tool.g + best.Spr_core.Tool.d)
+           best.Spr_core.Tool.critical_delay
+           (List.length p.Spr_core.Tool.p_exchanges)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Spr_util.Persist.atomic_write portfolio_json_path (Buffer.contents buf);
+  Printf.printf "portfolio timings written to %s\n%!" portfolio_json_path
+
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|fig6|fig7|ablation-seg|ablation-pinmap|ablation-ordering|rice|kernels|all]";
+    "usage: main.exe [table1|table2|fig6|fig7|ablation-seg|ablation-pinmap|ablation-ordering|rice|kernels|portfolio|all]";
   print_endline "env: SPR_BENCH_EFFORT=quick|standard|thorough"
 
 let () =
@@ -250,7 +346,8 @@ let () =
     ablation_pinmap ();
     ablation_ordering ();
     rice_check ();
-    kernels ()
+    kernels ();
+    portfolio ()
   | [ "table1" ] -> table1 ()
   | [ "table2" ] -> table2 ()
   | [ "fig6" ] -> fig6 ()
@@ -260,5 +357,6 @@ let () =
   | [ "ablation-ordering" ] -> ablation_ordering ()
   | [ "rice" ] -> rice_check ()
   | [ "kernels" ] -> kernels ()
+  | [ "portfolio" ] -> portfolio ()
   | _ -> usage ());
   Printf.printf "\ntotal bench cpu: %.1f s\n%!" (Sys.time () -. t0)

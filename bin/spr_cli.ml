@@ -147,7 +147,7 @@ let design_file dir = Filename.concat dir "design.blif"
    identical bytes is deterministic); a built-in circuit is recorded by
    name and rebuilt from its spec, because re-parsing a re-serialization
    can permute net ids. *)
-let write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~source nl =
+let write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~parallel ~exchange ~source nl =
   Spr_util.Persist.ensure_dir dir;
   (match source with
   | `File path ->
@@ -161,10 +161,13 @@ let write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~source nl =
       (Spr_netlist.Blif.to_string ~model_name:"run" nl));
   let circuit_line = match source with `Circuit name -> "circuit " ^ name ^ "\n" | `File _ -> "" in
   Spr_util.Persist.atomic_write (meta_file dir)
-    (Printf.sprintf "spr-run-meta 1\ntracks %d\nscheme %s\nseed %d\neffort %s\n%s" tracks
+    (Printf.sprintf "spr-run-meta 1\ntracks %d\nscheme %s\nseed %d\neffort %s\nparallel %d\nexchange %s\n%s"
+       tracks
        (Spr_arch.Segmentation.scheme_to_string scheme)
        seed
        (Spr_experiments.Profiles.effort_to_string effort)
+       parallel
+       (Spr_anneal.Portfolio.exchange_to_string exchange)
        circuit_line)
 
 let read_run_meta dir =
@@ -189,16 +192,54 @@ let read_run_meta dir =
             int_of_string_opt seed,
             Spr_experiments.Profiles.effort_of_string effort )
         with
-        | Some tracks, Some scheme, Some seed, Some effort ->
-          Ok (tracks, scheme, seed, effort, find "circuit")
+        | Some tracks, Some scheme, Some seed, Some effort -> (
+          (* Run dirs written before the portfolio existed have no
+             parallel/exchange lines: a fleet of one, no exchange. *)
+          let parallel =
+            match find "parallel" with
+            | None -> Some 1
+            | Some p -> int_of_string_opt p
+          in
+          let exchange =
+            match find "exchange" with
+            | None -> Some Spr_anneal.Portfolio.Independent
+            | Some x -> Result.to_option (Spr_anneal.Portfolio.exchange_of_string x)
+          in
+          match parallel, exchange with
+          | Some parallel, Some exchange ->
+            Ok (tracks, scheme, seed, effort, parallel, exchange, find "circuit")
+          | _ -> fail "malformed parallel/exchange field")
         | _ -> fail "malformed field value")
       | _ -> fail "missing tracks/scheme/seed/effort field")
     | _ -> fail "not a version-1 spr run-meta file")
 
-let run_sim ~config ?resume ~selfcheck ~profile arch nl ~run_dir ~svg ~checkpoint ~ascii ~stats
-    ~report_k ~clock =
+let report_portfolio (p : Spr_core.Tool.portfolio_result) =
+  Array.iteri
+    (fun k (r : Spr_core.Tool.result) ->
+      Printf.printf "  replica %d%s routed=%b (G=%d D=%d)  critical=%.2f ns  cpu=%.1f s\n" k
+        (if k = p.Spr_core.Tool.p_best_replica then "*" else " ")
+        r.Spr_core.Tool.fully_routed r.Spr_core.Tool.g r.Spr_core.Tool.d
+        r.Spr_core.Tool.critical_delay r.Spr_core.Tool.cpu_seconds)
+    p.Spr_core.Tool.p_results;
+  Printf.printf "portfolio: replica %d wins (%d replicas, %d exchange rounds, %.1f s wall)\n"
+    p.Spr_core.Tool.p_best_replica
+    (Array.length p.Spr_core.Tool.p_results)
+    (List.length p.Spr_core.Tool.p_exchanges)
+    p.Spr_core.Tool.p_wall_seconds
+
+let run_sim ~(config : Spr_core.Tool.config) ?resume ?resume_dir ~selfcheck ~profile arch nl
+    ~run_dir ~svg ~checkpoint ~ascii ~stats ~report_k ~clock =
   Spr_core.Tool.install_signal_handlers ();
-  match Spr_core.Tool.run ~config ?resume arch nl with
+  let outcome =
+    if config.parallel.replicas > 1 then
+      match Spr_core.Tool.run_portfolio ~config ?resume_dir arch nl with
+      | Error e -> Error e
+      | Ok p ->
+        report_portfolio p;
+        Ok (Spr_core.Tool.best_result p)
+    else Spr_core.Tool.run ~config ?resume arch nl
+  in
+  match outcome with
   | Error e -> Error ("simultaneous flow failed: " ^ Spr_core.Tool.error_to_string e)
   | Ok r ->
     (match r.Spr_core.Tool.status with
@@ -231,54 +272,66 @@ let run_sim ~config ?resume ~selfcheck ~profile arch nl ~run_dir ~svg ~checkpoin
     if audit_ok then Ok () else Error "selfcheck reported audit findings"
 
 let budget_config config ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep
-    ~selfcheck =
-  {
-    config with
-    Spr_core.Tool.validate = (if selfcheck then true else config.Spr_core.Tool.validate);
-    time_budget;
-    max_moves;
-    run_dir;
-    snapshot_every;
-    snapshot_keep;
-  }
+    ~selfcheck ~parallel ~exchange =
+  let open Spr_core.Tool.Config in
+  config
+  |> (if selfcheck then with_validate true else Fun.id)
+  |> with_budget { time_budget; max_moves; stop_after_accepted = None }
+  |> with_persistence { run_dir; snapshot_every; snapshot_keep; final_checkpoint = true }
+  |> with_replicas ~exchange parallel
 
 let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck ~profile
     ~svg ~checkpoint ~ascii ~stats ~report_k ~clock =
   match read_run_meta dir with
   | Error e -> `Error (false, "resume failed: " ^ e)
-  | Ok (tracks, scheme, seed, effort, circuit) -> (
+  | Ok (tracks, scheme, seed, effort, parallel, exchange, circuit) -> (
     match
       match circuit with
       | Some name -> load_netlist ~file:None ~circuit:(Some name)
       | None -> Spr_netlist.Blif.parse_file (design_file dir)
     with
     | Error e -> `Error (false, "resume failed: " ^ e)
-    | Ok nl -> (
-      match Spr_core.Checkpoint.V2.load_latest nl ~dir with
-      | Error e ->
-        `Error (false, Spr_core.Tool.(error_to_string (Resume_failed e)))
-      | Ok loaded ->
-        let n = Spr_netlist.Netlist.n_cells nl in
-        Format.printf "circuit: %a@." Spr_netlist.Netlist.pp_summary nl;
-        let arch = Spr_arch.Arch.size_for ~tracks ~hscheme:scheme nl in
-        Format.printf "fabric:  %a@." Spr_arch.Arch.pp arch;
-        Printf.printf "resuming from %s (snapshot %d)\n%!" loaded.Spr_core.Checkpoint.V2.path
-          loaded.Spr_core.Checkpoint.V2.seq;
-        let config =
-          budget_config
-            (Spr_experiments.Profiles.tool_config ~seed effort ~n)
-            ~time_budget ~max_moves ~run_dir:(Some dir) ~snapshot_every ~snapshot_keep
-            ~selfcheck
-        in
-        (match
-           run_sim ~config ~resume:loaded ~selfcheck ~profile arch nl ~run_dir:(Some dir) ~svg
-             ~checkpoint ~ascii ~stats ~report_k ~clock
-         with
+    | Ok nl ->
+      let n = Spr_netlist.Netlist.n_cells nl in
+      Format.printf "circuit: %a@." Spr_netlist.Netlist.pp_summary nl;
+      let arch = Spr_arch.Arch.size_for ~tracks ~hscheme:scheme nl in
+      Format.printf "fabric:  %a@." Spr_arch.Arch.pp arch;
+      let config =
+        budget_config
+          (Spr_experiments.Profiles.tool_config ~seed effort ~n)
+          ~time_budget ~max_moves ~run_dir:(Some dir) ~snapshot_every ~snapshot_keep ~selfcheck
+          ~parallel ~exchange
+      in
+      if parallel > 1 then begin
+        (* Fleet resume: each replica finds (or lacks) its own
+           snapshots; recorded exchange rounds replay from the run
+           directory. *)
+        Printf.printf "resuming portfolio of %d replicas from %s\n%!" parallel dir;
+        match
+          run_sim ~config ~resume_dir:dir ~selfcheck ~profile arch nl ~run_dir:(Some dir) ~svg
+            ~checkpoint ~ascii ~stats ~report_k ~clock
+        with
         | Ok () -> `Ok ()
-        | Error e -> `Error (false, e))))
+        | Error e -> `Error (false, e)
+      end
+      else (
+        match Spr_core.Checkpoint.V2.load_latest nl ~dir with
+        | Error e -> `Error (false, Spr_core.Tool.(error_to_string (Resume_failed e)))
+        | Ok loaded -> (
+          Printf.printf "resuming from %s (snapshot %d)\n%!" loaded.Spr_core.Checkpoint.V2.path
+            loaded.Spr_core.Checkpoint.V2.seq;
+          match
+            run_sim ~config ~resume:loaded ~selfcheck ~profile arch nl ~run_dir:(Some dir) ~svg
+              ~checkpoint ~ascii ~stats ~report_k ~clock
+          with
+          | Ok () -> `Ok ()
+          | Error e -> `Error (false, e))))
 
 let route file circuit tracks scheme seed effort flow selfcheck profile svg checkpoint ascii
-    stats report_k clock run_dir resume time_budget max_moves snapshot_every snapshot_keep =
+    stats report_k clock run_dir resume time_budget max_moves snapshot_every snapshot_keep
+    parallel exchange =
+  if parallel < 1 then `Error (false, "--parallel must be >= 1")
+  else
   match resume with
   | Some dir ->
     if file <> None || circuit <> None then
@@ -302,7 +355,7 @@ let route file circuit tracks scheme seed effort flow selfcheck profile svg chec
           | None, Some name -> `Circuit name
           | None, None -> assert false (* load_netlist succeeded *)
         in
-        write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~source nl
+        write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~parallel ~exchange ~source nl
       | None -> ());
       let errors = ref [] in
       let note = function Ok () -> () | Error e -> errors := e :: !errors in
@@ -311,6 +364,7 @@ let route file circuit tracks scheme seed effort flow selfcheck profile svg chec
           budget_config
             (Spr_experiments.Profiles.tool_config ~seed effort ~n)
             ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep ~selfcheck
+            ~parallel ~exchange
         in
         note
           (run_sim ~config ~selfcheck ~profile arch nl ~run_dir ~svg ~checkpoint ~ascii ~stats
@@ -405,13 +459,34 @@ let route_cmd =
          & info [ "snapshot-keep" ] ~docv:"K"
              ~doc:"With --run-dir, keep the newest $(docv) snapshots.")
   in
+  let parallel =
+    Arg.(value & opt int 1
+         & info [ "parallel" ] ~docv:"K"
+             ~doc:"Anneal $(docv) independent replicas in parallel (one per domain) and keep \
+                   the best result. $(docv)=1 is the plain serial run.")
+  in
+  let exchange =
+    let parse s =
+      match Spr_anneal.Portfolio.exchange_of_string s with
+      | Ok x -> Ok x
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf x = Format.pp_print_string ppf (Spr_anneal.Portfolio.exchange_to_string x) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Spr_anneal.Portfolio.Independent
+      & info [ "exchange" ] ~docv:"POLICY"
+          ~doc:"Portfolio exchange policy: $(b,independent), or $(b,best:N) to broadcast the \
+                portfolio-best layout to lagging replicas every N temperature boundaries.")
+  in
   Cmd.v
     (Cmd.info "route" ~doc:"Place and route a circuit on a row-based fabric.")
     Term.(
       ret
         (const route $ file_arg $ circuit_arg $ tracks_arg $ scheme_arg $ seed_arg $ effort_arg
         $ flow $ selfcheck $ profile $ svg $ checkpoint $ ascii $ stats $ report_k $ clock
-        $ run_dir $ resume $ time_budget $ max_moves $ snapshot_every $ snapshot_keep))
+        $ run_dir $ resume $ time_budget $ max_moves $ snapshot_every $ snapshot_keep
+        $ parallel $ exchange))
 
 (* --- selfcheck (property-based differential testing) --- *)
 

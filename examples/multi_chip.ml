@@ -22,17 +22,15 @@ let () =
       let arch = Spr_arch.Arch.size_for ~tracks:30 piece.Mc.netlist in
       let n = Spr_netlist.Netlist.n_cells piece.Mc.netlist in
       let config =
-        {
-          Tool.default_config with
-          Tool.seed = 3 + i;
-          anneal =
-            Some
-              {
-                (Spr_anneal.Engine.default_config ~n) with
-                Spr_anneal.Engine.moves_per_temp = max 400 (5 * n);
-                max_temperatures = 90;
-              };
-        }
+        Tool.Config.(
+          default
+          |> with_seed (3 + i)
+          |> with_anneal
+               {
+                 (Spr_anneal.Engine.default_config ~n) with
+                 Spr_anneal.Engine.moves_per_temp = max 400 (5 * n);
+                 max_temperatures = 90;
+               })
       in
       let r = Tool.run_exn ~config arch piece.Mc.netlist in
       Printf.printf "   routed=%b (G=%d D=%d)  critical=%.2f ns  cpu=%.1f s\n%!"

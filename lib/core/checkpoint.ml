@@ -674,40 +674,48 @@ module V2 = struct
 
   (* --- run-directory rotation --- *)
 
-  let snapshot_re_prefix = "snap-"
+  (* Serial runs use plain [snap-NNNNNNNN.ckpt]; portfolio replica [k]
+     uses [snap-r<k>-NNNNNNNN.ckpt], so a fleet shares one run
+     directory without the replicas' rotations interfering — and
+     without replica files ever matching the serial scan. *)
+  let snapshot_prefix = function
+    | None -> "snap-"
+    | Some k -> Printf.sprintf "snap-r%d-" k
 
-  let snapshot_path dir seq = Filename.concat dir (Printf.sprintf "%s%08d.ckpt" snapshot_re_prefix seq)
+  let snapshot_path ?replica dir seq =
+    Filename.concat dir (Printf.sprintf "%s%08d.ckpt" (snapshot_prefix replica) seq)
 
-  let snapshot_files ~dir =
+  let snapshot_files ?replica dir =
+    let prefix = snapshot_prefix replica in
+    let plen = String.length prefix in
     match Sys.readdir dir with
     | exception Sys_error _ -> []
     | entries ->
       Array.to_list entries
       |> List.filter_map (fun name ->
              if
-               String.length name = String.length (Printf.sprintf "%s%08d.ckpt" snapshot_re_prefix 0)
-               && String.length name > 13
-               && String.sub name 0 5 = snapshot_re_prefix
+               String.length name = plen + 8 + 5
+               && String.sub name 0 plen = prefix
                && Filename.check_suffix name ".ckpt"
              then
-               match int_of_string_opt (String.sub name 5 8) with
+               match int_of_string_opt (String.sub name plen 8) with
                | Some seq -> Some (seq, Filename.concat dir name)
                | None -> None
              else None)
       |> List.sort (fun (a, _) (b, _) -> compare b a)
 
-  let next_seq ~dir =
-    match snapshot_files ~dir with [] -> 1 | (seq, _) :: _ -> seq + 1
+  let next_seq ?replica dir =
+    match snapshot_files ?replica dir with [] -> 1 | (seq, _) :: _ -> seq + 1
 
-  let write ~dir ~seq ~keep p ~current =
+  let write ?replica ~dir ~seq ~keep p ~current =
     Spr_util.Persist.ensure_dir dir;
-    let path = snapshot_path dir seq in
+    let path = snapshot_path ?replica dir seq in
     Spr_util.Persist.atomic_write path (encode p ~current);
     (* Drop rotation entries beyond the newest [keep]. *)
     let keep = max 1 keep in
     List.iteri
       (fun i (_, p) -> if i >= keep then try Sys.remove p with Sys_error _ -> ())
-      (snapshot_files ~dir);
+      (snapshot_files ?replica dir);
     path
 
   let load_file nl path =
@@ -718,8 +726,8 @@ module V2 = struct
       | Ok v -> Ok v
       | Error e -> Error (Printf.sprintf "%s: %s" path e))
 
-  let load_latest nl ~dir =
-    let files = snapshot_files ~dir in
+  let load_latest ?replica nl ~dir =
+    let files = snapshot_files ?replica dir in
     if files = [] then Error (Printf.sprintf "%s: no snapshots found" dir)
     else begin
       let rec try_each errs = function
@@ -734,4 +742,97 @@ module V2 = struct
       in
       try_each [] files
     end
+end
+
+(* --- persisted exchange rounds (portfolio crash safety) --- *)
+
+module Exchange = struct
+  module Pe = Spr_util.Persist
+  module Pf = Spr_anneal.Portfolio
+
+  let format_version = 1
+
+  let record_path dir round = Filename.concat dir (Printf.sprintf "exch-%08d.rec" round)
+
+  let encode (r : Pf.round_result) =
+    let payload =
+      Printf.sprintf "round %d %d %s\nlayout %d\n%s" r.Pf.xr_round r.Pf.xr_best_replica
+        (Pe.float_to_hex r.Pf.xr_best_metric)
+        (String.length r.Pf.xr_payload) r.Pf.xr_payload
+    in
+    Printf.sprintf "spr-exchange %d %s %d\n%s" format_version (Pe.checksum_hex payload)
+      (String.length payload) payload
+
+  let ( let* ) = V2.( let* )
+
+  let decode text =
+    match String.index_opt text '\n' with
+    | None -> Error "empty or headerless exchange record"
+    | Some i -> (
+      let header = String.sub text 0 i in
+      let body = String.sub text (i + 1) (String.length text - i - 1) in
+      match V2.words header with
+      | [ "spr-exchange"; version; crc; len ] -> (
+        match int_of_string_opt version, int_of_string_opt len with
+        | Some v, _ when v <> format_version ->
+          Error (Printf.sprintf "unsupported exchange record version %d" v)
+        | None, _ | _, None -> Error "malformed exchange header"
+        | Some _, Some len ->
+          if String.length body < len then Error "truncated exchange record"
+          else begin
+            let payload = String.sub body 0 len in
+            if not (String.equal (Pe.checksum_hex payload) crc) then
+              Error "exchange record checksum mismatch"
+            else begin
+              let cur = { V2.text = payload; pos = 0 } in
+              let* round_line = V2.next_line cur in
+              let* round0 =
+                V2.expect_tag "round" round_line (function
+                  | [ r; b; m ] ->
+                    let* xr_round = V2.int_ r in
+                    let* xr_best_replica = V2.int_ b in
+                    let* xr_best_metric = V2.float_ m in
+                    Ok (xr_round, xr_best_replica, xr_best_metric)
+                  | _ -> Error "bad round record")
+              in
+              let* layout_line = V2.next_line cur in
+              let* xr_payload =
+                V2.expect_tag "layout" layout_line (function
+                  | [ n ] ->
+                    let* n = V2.int_ n in
+                    V2.take_bytes cur n
+                  | _ -> Error "bad layout record")
+              in
+              let xr_round, xr_best_replica, xr_best_metric = round0 in
+              Ok { Pf.xr_round; xr_best_replica; xr_best_metric; xr_payload }
+            end
+          end)
+      | _ -> Error "not a spr exchange record")
+
+  let write ~dir (r : Pf.round_result) =
+    Spr_util.Persist.ensure_dir dir;
+    let path = record_path dir r.Pf.xr_round in
+    Spr_util.Persist.atomic_write path (encode r);
+    path
+
+  let load_all ~dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun name ->
+             if
+               String.length name = 5 + 8 + 4
+               && String.sub name 0 5 = "exch-"
+               && Filename.check_suffix name ".rec"
+             then
+               match Pe.read_file (Filename.concat dir name) with
+               | Error _ -> None
+               | Ok text -> (
+                 (* A torn or corrupted record is simply skipped: the
+                    resumed round re-trips live with full participation,
+                    which is exactly what an unrecorded round means. *)
+                 match decode text with Ok r -> Some r | Error _ -> None)
+             else None)
+      |> List.sort (fun a b -> compare a.Pf.xr_round b.Pf.xr_round)
 end

@@ -79,17 +79,27 @@ module V2 : sig
       Snapshots live in a run directory as [snap-NNNNNNNN.ckpt] with a
       monotonically increasing sequence number; writers keep the newest
       [keep] files and loaders fall back to older ones when the newest
-      is damaged. *)
+      is damaged. Portfolio replica [k] writes
+      [snap-r<k>-NNNNNNNN.ckpt] instead (pass [?replica]), so a fleet
+      shares one run directory with per-replica rotation and the
+      replica files never match the serial scan. *)
 
-  val snapshot_path : string -> int -> string
+  val snapshot_path : ?replica:int -> string -> int -> string
 
-  val snapshot_files : dir:string -> (int * string) list
-  (** Newest first; empty if the directory is unreadable. *)
+  val snapshot_files : ?replica:int -> string -> (int * string) list
+  (** [snapshot_files ?replica dir], newest first; empty if the
+      directory is unreadable. *)
 
-  val next_seq : dir:string -> int
+  val next_seq : ?replica:int -> string -> int
 
   val write :
-    dir:string -> seq:int -> keep:int -> payload -> current:Spr_route.Route_state.t -> string
+    ?replica:int ->
+    dir:string ->
+    seq:int ->
+    keep:int ->
+    payload ->
+    current:Spr_route.Route_state.t ->
+    string
   (** Atomic (temp file + rename); prunes rotation entries beyond
       [keep]; returns the path written. *)
 
@@ -98,7 +108,35 @@ module V2 : sig
     string ->
     (payload * Spr_route.Route_state.t, string) Stdlib.result
 
-  val load_latest : Spr_netlist.Netlist.t -> dir:string -> (loaded, string) Stdlib.result
+  val load_latest :
+    ?replica:int -> Spr_netlist.Netlist.t -> dir:string -> (loaded, string) Stdlib.result
   (** Try snapshots newest-first, skipping damaged ones; [Error] lists
       every per-file failure when none loads. *)
+end
+
+(** {1 Persisted exchange rounds}
+
+    A portfolio run with [Best_exchange] records every tripped exchange
+    round as an atomic, checksummed [exch-NNNNNNNN.rec] file in the run
+    directory, written before any replica acts on the round. Resuming
+    a killed fleet replays these records: a replica arriving at a
+    recorded round is served the recorded broadcast immediately, so the
+    resumed trajectories match the uninterrupted run exactly. *)
+
+module Exchange : sig
+  val record_path : string -> int -> string
+  (** [record_path dir round]. *)
+
+  val encode : Spr_anneal.Portfolio.round_result -> string
+
+  val decode : string -> (Spr_anneal.Portfolio.round_result, string) Stdlib.result
+  (** Never raises: truncation, checksum mismatch and bad records all
+      return [Error]. *)
+
+  val write : dir:string -> Spr_anneal.Portfolio.round_result -> string
+  (** Atomic; returns the path written. *)
+
+  val load_all : dir:string -> Spr_anneal.Portfolio.round_result list
+  (** Every loadable record in ascending round order; torn or corrupt
+      records are skipped (the round simply re-trips live on resume). *)
 end

@@ -19,8 +19,8 @@ type t = {
   mutable last_cells : int list;
 }
 
-let create ~router ~pinmap_move_prob ~enable_pinmap_moves ~max_swap_tries ~place ~rs ~sta
-    ~weights ~journal () =
+let create ?profile ~router ~pinmap_move_prob ~enable_pinmap_moves ~max_swap_tries ~place ~rs
+    ~sta ~weights ~journal () =
   (* The caller hands over a routing state whose STA is canonical, so
      whatever the initial routing marked dirty is already reflected in
      the timing picture. *)
@@ -32,7 +32,7 @@ let create ~router ~pinmap_move_prob ~enable_pinmap_moves ~max_swap_tries ~place
     sta;
     weights;
     journal;
-    profile = Profile.create ();
+    profile = (match profile with Some p -> p | None -> Profile.create ());
     pinmap_move_prob;
     enable_pinmap_moves;
     max_swap_tries;

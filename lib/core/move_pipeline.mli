@@ -10,6 +10,7 @@
 type t
 
 val create :
+  ?profile:Profile.t ->
   router:Spr_route.Router.config ->
   pinmap_move_prob:float ->
   enable_pinmap_moves:bool ->
@@ -23,7 +24,11 @@ val create :
   t
 (** The routing state must carry a canonical (freshly built or
     [full_update]d) STA; the constructor clears its dirty-net set, since
-    the timing picture already reflects the initial routing. *)
+    the timing picture already reflects the initial routing. [?profile]
+    continues accumulating into an existing profile instead of starting
+    a fresh one — the tool passes the old pipeline's profile when it
+    rebuilds the pipeline around an adopted portfolio layout, so one
+    profile spans the whole replica run. *)
 
 val profile : t -> Profile.t
 (** The cumulative per-phase instrumentation for this pipeline. *)

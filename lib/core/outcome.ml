@@ -1,0 +1,29 @@
+type stop_reason = Time_budget | Move_budget | Interrupt
+
+type status = Completed | Interrupted of stop_reason
+
+type error =
+  | Invalid_config of string
+  | Invalid_design of string
+  | Audit_failed of Spr_check.Finding.t list
+  | Resume_failed of string
+
+exception Error of error
+
+let stop_reason_to_string = function
+  | Time_budget -> "time budget"
+  | Move_budget -> "move budget"
+  | Interrupt -> "interrupt"
+
+let status_to_string = function
+  | Completed -> "completed"
+  | Interrupted reason -> Printf.sprintf "interrupted (%s)" (stop_reason_to_string reason)
+
+let error_to_string = function
+  | Invalid_config msg -> "invalid configuration: " ^ msg
+  | Invalid_design msg -> "invalid design: " ^ msg
+  | Audit_failed findings ->
+    "invariant audit failed:\n" ^ Spr_check.Finding.summarize findings
+  | Resume_failed msg -> "resume failed: " ^ msg
+
+let get = function Ok x -> x | Error e -> raise (Error e)

@@ -47,6 +47,30 @@ let create () =
     total = 0.0;
   }
 
+(* Fold another profile into this one; the portfolio merges per-replica
+   profiles into a fleet-wide breakdown this way. *)
+let absorb t other =
+  for i = 0 to n_phases - 1 do
+    t.times.(i) <- t.times.(i) +. other.times.(i);
+    t.calls.(i) <- t.calls.(i) + other.calls.(i)
+  done;
+  let c = t.counters and oc = other.counters in
+  c.Spr_route.Router.c_global_attempts <-
+    c.Spr_route.Router.c_global_attempts + oc.Spr_route.Router.c_global_attempts;
+  c.Spr_route.Router.c_global_routed <-
+    c.Spr_route.Router.c_global_routed + oc.Spr_route.Router.c_global_routed;
+  c.Spr_route.Router.c_detail_attempts <-
+    c.Spr_route.Router.c_detail_attempts + oc.Spr_route.Router.c_detail_attempts;
+  c.Spr_route.Router.c_detail_routed <-
+    c.Spr_route.Router.c_detail_routed + oc.Spr_route.Router.c_detail_routed;
+  t.moves <- t.moves + other.moves;
+  t.null_moves <- t.null_moves + other.null_moves;
+  t.ripped_nets <- t.ripped_nets + other.ripped_nets;
+  t.retimed_nets <- t.retimed_nets + other.retimed_nets;
+  t.accepts <- t.accepts + other.accepts;
+  t.rejects <- t.rejects + other.rejects;
+  t.total <- t.total +. other.total
+
 let record t phase dt =
   let i = phase_index phase in
   t.times.(i) <- t.times.(i) +. dt;

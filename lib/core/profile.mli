@@ -25,6 +25,12 @@ type t
 
 val create : unit -> t
 
+val absorb : t -> t -> unit
+(** [absorb t other] adds every tally, time, and router counter of
+    [other] into [t] (leaving [other] untouched). The portfolio runner
+    merges per-replica profiles into one fleet-wide breakdown with
+    this. *)
+
 val record : t -> phase -> float -> unit
 (** Add [dt] seconds (and one call) to a phase. *)
 

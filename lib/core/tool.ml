@@ -7,88 +7,245 @@ module Rs = Spr_route.Route_state
 module Router = Spr_route.Router
 module Sta = Spr_timing.Sta
 module J = Spr_util.Journal
+module Portfolio = Spr_anneal.Portfolio
 
-type config = {
-  seed : int;
-  pinmap_move_prob : float;
-  enable_pinmap_moves : bool;
-  router : Router.config;
-  timing_driven_routing : bool;
-  delay_model : Spr_timing.Delay_model.t;
-  g_per_net : float;
-  d_per_net : float;
-  t_emphasis : float;
-  anneal : Spr_anneal.Engine.config option;
-  max_swap_tries : int;
-  validate : bool;
-  validate_every : int;
-  time_budget : float option;
-  max_moves : int option;
-  run_dir : string option;
-  snapshot_every : int;
-  snapshot_keep : int;
-  final_checkpoint : bool;
-  stop_after_accepted : int option;
-}
-
-let default_config =
-  {
-    seed = 1;
-    pinmap_move_prob = 0.15;
-    enable_pinmap_moves = true;
-    router = Router.default_config;
-    timing_driven_routing = false;
-    delay_model = Spr_timing.Delay_model.default;
-    g_per_net = 0.04;
-    d_per_net = 0.02;
-    t_emphasis = 1.0;
-    anneal = None;
-    max_swap_tries = 8;
-    validate = false;
-    validate_every = 50;
-    time_budget = None;
-    max_moves = None;
-    run_dir = None;
-    snapshot_every = 1;
-    snapshot_keep = 3;
-    final_checkpoint = true;
-    stop_after_accepted = None;
+module Config = struct
+  type moves = {
+    pinmap_move_prob : float;
+    enable_pinmap_moves : bool;
+    max_swap_tries : int;
   }
 
-type stop_reason = Time_budget | Move_budget | Interrupt
+  type weights = {
+    g_per_net : float;
+    d_per_net : float;
+    t_emphasis : float;
+  }
 
-type status = Completed | Interrupted of stop_reason
+  type budget = {
+    time_budget : float option;
+    max_moves : int option;
+    stop_after_accepted : int option;
+  }
 
-let stop_reason_to_string = function
-  | Time_budget -> "time budget"
-  | Move_budget -> "move budget"
-  | Interrupt -> "interrupt"
+  type persistence = {
+    run_dir : string option;
+    snapshot_every : int;
+    snapshot_keep : int;
+    final_checkpoint : bool;
+  }
 
-type error =
+  type validation = {
+    validate : bool;
+    validate_every : int;
+  }
+
+  type parallel = {
+    replicas : int;
+    exchange : Portfolio.exchange;
+    stream : int;
+  }
+
+  type t = {
+    seed : int;
+    router : Router.config;
+    timing_driven_routing : bool;
+    delay_model : Spr_timing.Delay_model.t;
+    anneal : Spr_anneal.Engine.config option;
+    moves : moves;
+    weights : weights;
+    budget : budget;
+    persistence : persistence;
+    validation : validation;
+    parallel : parallel;
+  }
+
+  let default =
+    {
+      seed = 1;
+      router = Router.default_config;
+      timing_driven_routing = false;
+      delay_model = Spr_timing.Delay_model.default;
+      anneal = None;
+      moves = { pinmap_move_prob = 0.15; enable_pinmap_moves = true; max_swap_tries = 8 };
+      weights = { g_per_net = 0.04; d_per_net = 0.02; t_emphasis = 1.0 };
+      budget = { time_budget = None; max_moves = None; stop_after_accepted = None };
+      persistence =
+        { run_dir = None; snapshot_every = 1; snapshot_keep = 3; final_checkpoint = true };
+      validation = { validate = false; validate_every = 50 };
+      parallel = { replicas = 1; exchange = Portfolio.Independent; stream = 0 };
+    }
+
+  (* The one place configuration sanity lives. Nonsense is rejected
+     with a message naming every offending field; the historical
+     "clamp to >= 1" fields are normalized here instead of at their
+     points of use. *)
+  let validated t =
+    let errors = ref [] in
+    let reject fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    let p = t.moves.pinmap_move_prob in
+    if not (p >= 0.0 && p <= 1.0) then
+      reject "pinmap_move_prob must be within [0, 1] (got %g)" p;
+    if t.moves.max_swap_tries < 1 then
+      reject "max_swap_tries must be >= 1 (got %d)" t.moves.max_swap_tries;
+    let weight name v =
+      if not (Float.is_finite v && v >= 0.0) then
+        reject "%s must be finite and >= 0 (got %g)" name v
+    in
+    weight "g_per_net" t.weights.g_per_net;
+    weight "d_per_net" t.weights.d_per_net;
+    weight "t_emphasis" t.weights.t_emphasis;
+    (match t.budget.time_budget with
+    | Some b when not (Float.is_finite b && b > 0.0) ->
+      reject "time_budget must be a positive number of seconds (got %g)" b
+    | _ -> ());
+    (match t.budget.max_moves with
+    | Some m when m < 0 -> reject "max_moves must be >= 0 (got %d)" m
+    | _ -> ());
+    (match t.budget.stop_after_accepted with
+    | Some k when k < 1 -> reject "stop_after_accepted must be >= 1 (got %d)" k
+    | _ -> ());
+    if t.parallel.replicas < 1 then
+      reject "parallel replicas must be >= 1 (got %d)" t.parallel.replicas;
+    if t.parallel.stream < 0 then
+      reject "parallel stream must be >= 0 (got %d)" t.parallel.stream;
+    (match t.parallel.exchange with
+    | Portfolio.Independent -> ()
+    | Portfolio.Best_exchange n when n >= 1 -> ()
+    | Portfolio.Best_exchange n -> reject "exchange period must be >= 1 (got %d)" n);
+    match !errors with
+    | _ :: _ -> Error (String.concat "; " (List.rev !errors))
+    | [] ->
+      Ok
+        {
+          t with
+          persistence =
+            {
+              t.persistence with
+              snapshot_every = max 1 t.persistence.snapshot_every;
+              snapshot_keep = max 1 t.persistence.snapshot_keep;
+            };
+          validation = { t.validation with validate_every = max 1 t.validation.validate_every };
+        }
+
+  let with_seed seed t = { t with seed }
+
+  let with_router router t = { t with router }
+
+  let with_timing_driven_routing timing_driven_routing t = { t with timing_driven_routing }
+
+  let with_delay_model delay_model t = { t with delay_model }
+
+  let with_anneal cfg t = { t with anneal = Some cfg }
+
+  let with_moves moves t = { t with moves }
+
+  let with_pinmap_moves ?prob enable t =
+    {
+      t with
+      moves =
+        {
+          t.moves with
+          enable_pinmap_moves = enable;
+          pinmap_move_prob =
+            (match prob with Some p -> p | None -> t.moves.pinmap_move_prob);
+        };
+    }
+
+  let with_max_swap_tries max_swap_tries t = { t with moves = { t.moves with max_swap_tries } }
+
+  let with_weights weights t = { t with weights }
+
+  let with_budget budget t = { t with budget }
+
+  let with_time_budget b t = { t with budget = { t.budget with time_budget = Some b } }
+
+  let with_max_moves m t = { t with budget = { t.budget with max_moves = Some m } }
+
+  let with_stop_after_accepted k t =
+    { t with budget = { t.budget with stop_after_accepted = Some k } }
+
+  let with_persistence persistence t = { t with persistence }
+
+  let with_run_dir ?snapshot_every ?snapshot_keep dir t =
+    {
+      t with
+      persistence =
+        {
+          t.persistence with
+          run_dir = Some dir;
+          snapshot_every =
+            (match snapshot_every with Some e -> e | None -> t.persistence.snapshot_every);
+          snapshot_keep =
+            (match snapshot_keep with Some k -> k | None -> t.persistence.snapshot_keep);
+        };
+    }
+
+  let with_final_checkpoint final_checkpoint t =
+    { t with persistence = { t.persistence with final_checkpoint } }
+
+  let with_validation validation t = { t with validation }
+
+  let with_validate ?every validate t =
+    {
+      t with
+      validation =
+        {
+          validate;
+          validate_every = (match every with Some e -> e | None -> t.validation.validate_every);
+        };
+    }
+
+  let with_parallel parallel t = { t with parallel }
+
+  let with_replicas ?exchange replicas t =
+    {
+      t with
+      parallel =
+        {
+          t.parallel with
+          replicas;
+          exchange = (match exchange with Some x -> x | None -> t.parallel.exchange);
+        };
+    }
+
+  let with_stream stream t = { t with parallel = { t.parallel with stream } }
+end
+
+type config = Config.t
+
+let default_config = Config.default
+
+type stop_reason = Outcome.stop_reason = Time_budget | Move_budget | Interrupt
+
+type status = Outcome.status = Completed | Interrupted of stop_reason
+
+let stop_reason_to_string = Outcome.stop_reason_to_string
+
+type error = Outcome.error =
+  | Invalid_config of string
   | Invalid_design of string
   | Audit_failed of Spr_check.Finding.t list
   | Resume_failed of string
 
-exception Tool_error of error
+exception Tool_error = Outcome.Error
 
-let error_to_string = function
-  | Invalid_design msg -> "invalid design: " ^ msg
-  | Audit_failed findings ->
-    "invariant audit failed:\n" ^ Spr_check.Finding.summarize findings
-  | Resume_failed msg -> "resume failed: " ^ msg
+let error_to_string = Outcome.error_to_string
 
-(* --- graceful interruption --- *)
+(* --- graceful interruption ---
+   Atomic so that portfolio replicas on other domains observe the flag
+   promptly; the signal handler still runs on the main domain. *)
 
-let interrupt_flag = ref false
+let interrupt_flag = Atomic.make false
 
-let request_interrupt () = interrupt_flag := true
+let request_interrupt () = Atomic.set interrupt_flag true
 
-let reset_interrupt () = interrupt_flag := false
+let reset_interrupt () = Atomic.set interrupt_flag false
 
-let interrupt_requested () = !interrupt_flag
+let interrupt_requested () = Atomic.get interrupt_flag
 
 let install_signal_handlers () =
-  let handle _ = interrupt_flag := true in
+  let handle _ = request_interrupt () in
   Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
 
@@ -111,15 +268,20 @@ type result = {
 (* One move = one transaction, run by the five-phase {!Move_pipeline}:
    [propose] applies everything (placement delta, rip-ups, reroutes,
    timing propagation) into the shared journal; accept commits it,
-   reject rolls the whole cascade back. *)
+   reject rolls the whole cascade back.
+
+   The layout-bearing fields are mutable because a portfolio replica
+   can adopt the fleet-best layout at an exchange boundary: the whole
+   place/route/timing complex is swapped out mid-run while the engine,
+   weights and dynamics recorder carry on. Every closure handed to the
+   engine reads these fields through [s], never through a captured
+   alias. *)
 type session = {
-  cfg : config;
-  place : P.t;
-  rs : Rs.t;
-  sta : Sta.t;
+  mutable place : P.t;
+  mutable rs : Rs.t;
+  mutable sta : Sta.t;
   weights : Spr_anneal.Weights.t;
-  journal : J.t;
-  pipeline : Move_pipeline.t;
+  mutable pipeline : Move_pipeline.t;
   dyn : Dynamics.t;
   mutable accepted_since_audit : int;
 }
@@ -131,7 +293,8 @@ let session_cost s =
 (* Best-so-far comparisons need a metric that is stable across the whole
    run, so it cannot use the adaptive weights (their normalization
    drifts between temperatures): unrouted nets dominate, critical delay
-   breaks ties. *)
+   breaks ties. The same metric compares replicas across a portfolio,
+   precisely because it is weight-independent. *)
 let best_metric ~rs ~sta =
   (float_of_int (Rs.g_count rs + Rs.d_count rs) *. 1e9) +. Sta.critical_delay sta
 
@@ -148,18 +311,69 @@ let validate_now s =
 
 type resume = Checkpoint.V2.loaded
 
+let timing_router ~(config : Config.t) ~sta nl =
+  if not config.timing_driven_routing then config.router
+  else begin
+    let crit net =
+      Sta.arrival_out sta (Spr_netlist.Netlist.net nl net).Spr_netlist.Netlist.driver
+    in
+    { config.router with Router.criticality = Some crit }
+  end
+
+(* A replica's view of the portfolio it runs in; absent for serial
+   runs (and one-replica portfolios, which ARE serial runs). *)
+type replica_ctx = {
+  rep_index : int;
+  rep_coord : Portfolio.t;
+}
+
+(* Swap the session onto a broadcast layout: decode it, rebuild the
+   timing picture canonically, and build a fresh pipeline around the
+   new state — continuing the existing profile, weights, dynamics and
+   RNG stream. The criticality closure inside the router config
+   captures the STA, so the pipeline rebuild also re-derives the
+   router config. *)
+let adopt_layout ~(config : Config.t) s (r : Portfolio.round_result) =
+  let nl = P.netlist s.place in
+  match Checkpoint.of_string nl r.Portfolio.xr_payload with
+  | Error e ->
+    Log.warn (fun m ->
+        m "exchange round %d: broadcast layout failed to decode (%s); keeping own layout"
+          r.Portfolio.xr_round e)
+  | Ok rs ->
+    let place = Rs.place rs in
+    let sta = Sta.create config.delay_model rs in
+    let pipeline =
+      Move_pipeline.create
+        ~profile:(Move_pipeline.profile s.pipeline)
+        ~router:(timing_router ~config ~sta nl)
+        ~pinmap_move_prob:config.moves.pinmap_move_prob
+        ~enable_pinmap_moves:config.moves.enable_pinmap_moves
+        ~max_swap_tries:config.moves.max_swap_tries ~place ~rs ~sta ~weights:s.weights
+        ~journal:(J.create ()) ()
+    in
+    s.place <- place;
+    s.rs <- rs;
+    s.sta <- sta;
+    s.pipeline <- pipeline;
+    Log.info (fun m ->
+        m "adopted portfolio-best layout of replica %d at exchange round %d (metric %.4g)"
+          r.Portfolio.xr_best_replica r.Portfolio.xr_round r.Portfolio.xr_best_metric)
+
 (* The annealing loop shared by fresh and resumed runs. [s] is a fully
    initialized session whose STA is canonical (freshly built or
    [full_update]d); [resume] carries the engine schedule position when
-   continuing from a snapshot. *)
-let anneal_session ?resume ~config ~rng ~best s =
+   continuing from a snapshot; [ctx] makes this run one replica of a
+   portfolio. *)
+let anneal_session ?resume ?ctx ~(config : Config.t) ~rng ~best s =
   let nl = P.netlist s.place in
   let n_routable = max 1 (Rs.n_routable s.rs) in
   let profile = Move_pipeline.profile s.pipeline in
   let batch_mark = ref (Profile.mark profile) in
+  let replica = Option.map (fun c -> c.rep_index) ctx in
   let on_temperature (ts : Spr_anneal.Engine.temp_stats) =
     Spr_anneal.Weights.adapt s.weights;
-    if config.validate then validate_now s;
+    if config.validation.validate then validate_now s;
     let phase_seconds, move_seconds, moves = Profile.since profile !batch_mark in
     batch_mark := Profile.mark profile;
     Log.debug (fun m ->
@@ -190,11 +404,30 @@ let anneal_session ?resume ~config ~rng ~best s =
       ~g_frac:(float_of_int (Rs.g_count s.rs) /. float_of_int n_routable)
       ~d_frac:(float_of_int (Rs.d_count s.rs) /. float_of_int n_routable)
       ~acceptance ~cost:(session_cost s)
-      ~critical_delay:(Sta.critical_delay s.sta)
+      ~critical_delay:(Sta.critical_delay s.sta);
+    (* Exchange AFTER the batch's own dynamics are flushed, so the
+       trace describes what this replica actually annealed. *)
+    match ctx with
+    | None -> ()
+    | Some c -> (
+      match
+        Portfolio.sync c.rep_coord ~replica:c.rep_index
+          ~temp_index:ts.Spr_anneal.Engine.temp_index
+          ~metric:(best_metric ~rs:s.rs ~sta:s.sta)
+          ~capture:(fun () -> Checkpoint.to_string s.rs)
+      with
+      | None -> ()
+      | Some r -> adopt_layout ~config s r)
   in
   (* Budgets and interruption. The engine polls between moves, so the
      in-flight move always completes; the first tripped condition
-     sticks. *)
+     sticks. In a portfolio, a wall-clock or interrupt stop spreads to
+     the whole fleet so the run directory freezes in one coherent
+     state. A move budget does NOT spread: every replica trips its own
+     at a deterministic point of its own trajectory, and the barrier
+     drops a stopped replica from the active set, so the survivors'
+     exchange rounds still trip — fleet results under a move budget
+     stay scheduling-independent. *)
   let watch = Spr_util.Clock.start () in
   let stop_reason = ref None in
   let should_stop ~moves ~accepted =
@@ -202,29 +435,34 @@ let anneal_session ?resume ~config ~rng ~best s =
     | Some _ -> ()
     | None ->
       stop_reason :=
-        (if !interrupt_flag then Some Interrupt
+        (if interrupt_requested () then Some Interrupt
          else
-           match config.max_moves with
+           match config.budget.max_moves with
            | Some m when moves >= m -> Some Move_budget
            | _ -> (
-             match config.time_budget with
+             match config.budget.time_budget with
              | Some b when Spr_util.Clock.elapsed watch >= b -> Some Time_budget
              | _ -> (
-               match config.stop_after_accepted with
+               match config.budget.stop_after_accepted with
                | Some k when accepted >= k -> Some Interrupt
-               | _ -> None))));
+               | _ -> None)));
+      (match !stop_reason with
+      | Some (Time_budget | Interrupt) when ctx <> None -> request_interrupt ()
+      | Some Move_budget | Some Interrupt | Some Time_budget | None -> ()));
     !stop_reason <> None
   in
   let track_best =
-    config.run_dir <> None || config.time_budget <> None || config.max_moves <> None
-    || config.stop_after_accepted <> None
+    config.persistence.run_dir <> None
+    || config.budget.time_budget <> None
+    || config.budget.max_moves <> None
+    || config.budget.stop_after_accepted <> None
   in
   let ckpt_dir =
-    match config.run_dir with
+    match config.persistence.run_dir with
     | None -> None
     | Some dir ->
       Spr_util.Persist.ensure_dir dir;
-      Some (dir, ref (Checkpoint.V2.next_seq ~dir))
+      Some (dir, ref (Checkpoint.V2.next_seq ?replica dir))
   in
   let on_checkpoint ~at (snap : Spr_anneal.Engine.snapshot) =
     if track_best then begin
@@ -234,13 +472,24 @@ let anneal_session ?resume ~config ~rng ~best s =
       Sta.full_update s.sta;
       let metric = best_metric ~rs:s.rs ~sta:s.sta in
       if metric < fst !best then best := (metric, Some (Checkpoint.to_string s.rs));
+      (* After a fleet interrupt a replica may have been released from an
+         untripped exchange round without the broadcast it would have
+         received uninterrupted, so everything past that point is off the
+         uninterrupted trajectory. Suppressing post-interrupt snapshot
+         FILES (portfolio runs only) makes resume replay from the last
+         faithful boundary — the property that lets a killed fleet
+         reproduce the uninterrupted run exactly. The in-memory best
+         keeps updating: it only feeds this run's reported result, never
+         a resume. *)
       match ckpt_dir with
+      | Some _ when ctx <> None && interrupt_requested () -> ()
       | None -> ()
       | Some (dir, seq) ->
         let due =
           match at with
-          | `Boundary -> snap.Spr_anneal.Engine.s_temp_index mod max 1 config.snapshot_every = 0
-          | `Stop -> config.final_checkpoint
+          | `Boundary ->
+            snap.Spr_anneal.Engine.s_temp_index mod config.persistence.snapshot_every = 0
+          | `Stop -> config.persistence.final_checkpoint
         in
         if due then begin
           let best_cost, best_layout = !best in
@@ -259,7 +508,8 @@ let anneal_session ?resume ~config ~rng ~best s =
             }
           in
           let path =
-            Checkpoint.V2.write ~dir ~seq:!seq ~keep:config.snapshot_keep payload ~current:s.rs
+            Checkpoint.V2.write ?replica ~dir ~seq:!seq ~keep:config.persistence.snapshot_keep
+              payload ~current:s.rs
           in
           incr seq;
           Log.debug (fun m -> m "checkpoint %s" path)
@@ -275,9 +525,9 @@ let anneal_session ?resume ~config ~rng ~best s =
       ~accept:(fun () ->
         Dynamics.note_accepted_cells s.dyn (Move_pipeline.last_cells s.pipeline);
         Move_pipeline.accept s.pipeline;
-        if config.validate then begin
+        if config.validation.validate then begin
           s.accepted_since_audit <- s.accepted_since_audit + 1;
-          if s.accepted_since_audit >= max 1 config.validate_every then begin
+          if s.accepted_since_audit >= config.validation.validate_every then begin
             s.accepted_since_audit <- 0;
             validate_now s
           end
@@ -290,11 +540,11 @@ let anneal_session ?resume ~config ~rng ~best s =
 
 (* Close out a layout for delivery: route whatever is still queued with
    unbounded retries, then refresh the timing picture from scratch. *)
-let finalize ~(config : config) rs sta =
+let finalize ~(config : Config.t) rs sta =
   Router.route_all ~config:config.router ~passes:3 rs;
   Sta.full_update sta
 
-let run_session ?resume ~config ~rng ~t_start s =
+let run_session ?resume ?ctx ~(config : Config.t) ~rng ~t_start s =
   let nl = P.netlist s.place in
   let best =
     ref
@@ -304,7 +554,7 @@ let run_session ?resume ~config ~rng ~t_start s =
           Some r.Checkpoint.V2.data.Checkpoint.V2.best_layout )
       | None -> (infinity, None))
   in
-  let anneal_report, stop_reason = anneal_session ?resume ~config ~rng ~best s in
+  let anneal_report, stop_reason = anneal_session ?resume ?ctx ~config ~rng ~best s in
   let status =
     match stop_reason with None -> Completed | Some reason -> Interrupted reason
   in
@@ -327,7 +577,7 @@ let run_session ?resume ~config ~rng ~t_start s =
       | _ -> (s.place, s.rs, s.sta))
   in
   finalize ~config rs sta;
-  if config.validate && rs == s.rs then validate_now s;
+  if config.validation.validate && rs == s.rs then validate_now s;
   {
     place;
     route = rs;
@@ -344,17 +594,8 @@ let run_session ?resume ~config ~rng ~t_start s =
     best_cost = best_metric ~rs ~sta;
   }
 
-let timing_router ~config ~sta nl =
-  if not config.timing_driven_routing then config.router
-  else begin
-    let crit net =
-      Sta.arrival_out sta (Spr_netlist.Netlist.net nl net).Spr_netlist.Netlist.driver
-    in
-    { config.router with Router.criticality = Some crit }
-  end
-
-let run_fresh ~config arch nl =
-  let rng = Spr_util.Rng.create config.seed in
+let run_fresh ?ctx ~(config : Config.t) arch nl =
+  let rng = Spr_util.Rng.stream ~seed:config.seed ~index:config.parallel.stream in
   match P.create arch nl ~rng with
   | Error e -> Error (Invalid_design e)
   | Ok place ->
@@ -366,33 +607,32 @@ let run_fresh ~config arch nl =
     let sta = Sta.create config.delay_model rs in
     let initial_delay = Float.max 1e-6 (Sta.critical_delay sta) in
     let weights =
-      Spr_anneal.Weights.create ~g_per_net:config.g_per_net ~d_per_net:config.d_per_net
-        ~t_emphasis:config.t_emphasis ~initial_delay ()
+      Spr_anneal.Weights.create ~g_per_net:config.weights.g_per_net
+        ~d_per_net:config.weights.d_per_net ~t_emphasis:config.weights.t_emphasis
+        ~initial_delay ()
     in
-    let journal = J.create () in
     let pipeline =
       Move_pipeline.create
         ~router:(timing_router ~config ~sta nl)
-        ~pinmap_move_prob:config.pinmap_move_prob
-        ~enable_pinmap_moves:config.enable_pinmap_moves
-        ~max_swap_tries:config.max_swap_tries ~place ~rs ~sta ~weights ~journal ()
+        ~pinmap_move_prob:config.moves.pinmap_move_prob
+        ~enable_pinmap_moves:config.moves.enable_pinmap_moves
+        ~max_swap_tries:config.moves.max_swap_tries ~place ~rs ~sta ~weights
+        ~journal:(J.create ()) ()
     in
     let s =
       {
-        cfg = config;
         place;
         rs;
         sta;
         weights;
-        journal;
         pipeline;
         dyn = Dynamics.create ~n_cells:(Spr_netlist.Netlist.n_cells nl);
         accepted_since_audit = 0;
       }
     in
-    Ok (run_session ~config ~rng ~t_start s)
+    Ok (run_session ?ctx ~config ~rng ~t_start s)
 
-let run_resumed ~config ~(resume : resume) nl =
+let run_resumed ?ctx ~(config : Config.t) ~(resume : resume) nl =
   let t_start = Sys.time () in
   let data = resume.Checkpoint.V2.data in
   let rs = resume.Checkpoint.V2.route in
@@ -412,22 +652,20 @@ let run_resumed ~config ~(resume : resume) nl =
     let sta = Sta.create config.delay_model rs in
     let rng = Spr_util.Rng.of_state data.Checkpoint.V2.rng_state in
     let weights = Spr_anneal.Weights.restore data.Checkpoint.V2.weights in
-    let journal = J.create () in
     let pipeline =
       Move_pipeline.create
         ~router:(timing_router ~config ~sta nl)
-        ~pinmap_move_prob:config.pinmap_move_prob
-        ~enable_pinmap_moves:config.enable_pinmap_moves
-        ~max_swap_tries:config.max_swap_tries ~place ~rs ~sta ~weights ~journal ()
+        ~pinmap_move_prob:config.moves.pinmap_move_prob
+        ~enable_pinmap_moves:config.moves.enable_pinmap_moves
+        ~max_swap_tries:config.moves.max_swap_tries ~place ~rs ~sta ~weights
+        ~journal:(J.create ()) ()
     in
     let s =
       {
-        cfg = config;
         place;
         rs;
         sta;
         weights;
-        journal;
         pipeline;
         dyn =
           Dynamics.restore ~n_cells ~flags:data.Checkpoint.V2.dyn_flags
@@ -435,20 +673,121 @@ let run_resumed ~config ~(resume : resume) nl =
         accepted_since_audit = data.Checkpoint.V2.accepted_since_audit;
       }
     in
-    Ok (run_session ~resume ~config ~rng ~t_start s)
+    Ok (run_session ~resume ?ctx ~config ~rng ~t_start s)
   end
 
-let run ?(config = default_config) ?resume arch nl =
-  match Spr_netlist.Levelize.run nl with
-  | Error e -> Error (Invalid_design e)
-  | Ok _ -> (
-    try
-      match resume with
-      | Some resume -> run_resumed ~config ~resume nl
-      | None -> run_fresh ~config arch nl
-    with Audit_failure findings -> Error (Audit_failed findings))
+let run ?(config = Config.default) ?resume arch nl =
+  match Config.validated config with
+  | Error msg -> Error (Invalid_config msg)
+  | Ok config -> (
+    match Spr_netlist.Levelize.run nl with
+    | Error e -> Error (Invalid_design e)
+    | Ok _ -> (
+      try
+        match resume with
+        | Some resume -> run_resumed ~config ~resume nl
+        | None -> run_fresh ~config arch nl
+      with Audit_failure findings -> Error (Audit_failed findings)))
 
 let run_exn ?config ?resume arch nl =
   match run ?config ?resume arch nl with Ok r -> r | Error e -> raise (Tool_error e)
+
+(* --- parallel portfolio --- *)
+
+type portfolio_result = {
+  p_best_replica : int;
+  p_results : result array;
+  p_profile : Profile.t;
+  p_exchanges : Portfolio.round_result list;
+  p_wall_seconds : float;
+}
+
+let best_result p = p.p_results.(p.p_best_replica)
+
+let run_portfolio ?(config = Config.default) ?resume_dir arch nl =
+  match Config.validated config with
+  | Error msg -> Error (Invalid_config msg)
+  | Ok config -> (
+    match Spr_netlist.Levelize.run nl with
+    | Error e -> Error (Invalid_design e)
+    | Ok _ ->
+      let replicas = config.parallel.replicas in
+      (* A previous fleet (or fault injection) may have left the stop
+         flag raised; a new fleet starts clean. Signal handlers can
+         re-raise it at any time. *)
+      reset_interrupt ();
+      let wall = Spr_util.Clock.start () in
+      let history =
+        match resume_dir with Some dir -> Checkpoint.Exchange.load_all ~dir | None -> []
+      in
+      let persist =
+        match config.persistence.run_dir with
+        | Some dir when replicas > 1 && config.parallel.exchange <> Portfolio.Independent ->
+          fun r -> ignore (Checkpoint.Exchange.write ~dir r)
+        | _ -> fun _ -> ()
+      in
+      let coord =
+        Portfolio.create ~replicas ~exchange:config.parallel.exchange ~history ~persist
+          ~frozen:interrupt_requested ()
+      in
+      let worker k =
+        (* One replica IS the serial path: no coordination, the
+           configured stream, unprefixed snapshot files — bit-identical
+           to [run]. With more replicas, replica [k] draws stream [k],
+           so the winner can be reproduced standalone via
+           [Config.with_stream k]. *)
+        let config =
+          if replicas = 1 then config
+          else { config with Config.parallel = { config.Config.parallel with Config.stream = k } }
+        in
+        let ctx = if replicas = 1 then None else Some { rep_index = k; rep_coord = coord } in
+        let body () =
+          try
+            match resume_dir with
+            | Some dir -> (
+              let replica = if replicas = 1 then None else Some k in
+              match Checkpoint.V2.load_latest ?replica nl ~dir with
+              | Ok resume -> run_resumed ?ctx ~config ~resume nl
+              | Error e ->
+                (* No loadable snapshot for this replica: restart it
+                   from scratch. Determinism makes the restart replay
+                   the lost trajectory exactly, consuming any recorded
+                   exchange rounds along the way. *)
+                Log.info (fun m -> m "replica %d: %s; starting fresh" k e);
+                run_fresh ?ctx ~config arch nl)
+            | None -> run_fresh ?ctx ~config arch nl
+          with Audit_failure findings -> Error (Audit_failed findings)
+        in
+        if replicas = 1 then body ()
+        else Fun.protect ~finally:(fun () -> Portfolio.finished coord ~replica:k) body
+      in
+      let outcomes = Portfolio.run_replicas ~replicas worker in
+      (* An exception escaping a replica is a bug in this layer, not a
+         run outcome — re-raise the first. *)
+      Array.iter (function Error e -> raise e | Ok _ -> ()) outcomes;
+      let settled = Array.map (function Ok r -> r | Error _ -> assert false) outcomes in
+      match Array.find_map (function Error e -> Some e | Ok _ -> None) settled with
+      | Some e -> Error e
+      | None ->
+        let results = Array.map (function Ok r -> r | Error _ -> assert false) settled in
+        let best = ref 0 in
+        Array.iteri
+          (fun i (r : result) -> if r.best_cost < results.(!best).best_cost then best := i)
+          results;
+        let merged = Profile.create () in
+        Array.iter (fun (r : result) -> Profile.absorb merged r.profile) results;
+        Ok
+          {
+            p_best_replica = !best;
+            p_results = results;
+            p_profile = merged;
+            p_exchanges = Portfolio.history coord;
+            p_wall_seconds = Spr_util.Clock.elapsed wall;
+          })
+
+let run_portfolio_exn ?config ?resume_dir arch nl =
+  match run_portfolio ?config ?resume_dir arch nl with
+  | Ok r -> r
+  | Error e -> raise (Tool_error e)
 
 let audit_result (r : result) = Spr_check.Audit.run_all ~sta:r.sta r.route

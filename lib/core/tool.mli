@@ -14,93 +14,225 @@
     deliberately incomplete: unroutable nets simply stay queued and
     penalized until the placement becomes compliant.
 
-    {b Crash safety.} With [run_dir] set, the run writes an atomic,
-    checksummed {!Checkpoint.V2} snapshot at temperature boundaries and
-    on interruption, rotating the last [snapshot_keep] files. Feeding
-    the newest loadable snapshot back through [?resume] continues the
-    run mid-schedule, bit-identically to the uninterrupted run. Budgets
-    ([time_budget], [max_moves]) and {!request_interrupt} (or the
+    {b Crash safety.} With a run directory set, the run writes an
+    atomic, checksummed {!Checkpoint.V2} snapshot at temperature
+    boundaries and on interruption, rotating the last [snapshot_keep]
+    files. Feeding the newest loadable snapshot back through [?resume]
+    continues the run mid-schedule, bit-identically to the
+    uninterrupted run. Budgets and {!request_interrupt} (or the
     SIGINT/SIGTERM handlers from {!install_signal_handlers}) stop the
     run between moves — the in-flight move always completes — write a
     final checkpoint, and return the best layout seen so far tagged
-    {!Interrupted}. *)
+    [Interrupted].
 
-type config = {
-  seed : int;
-  pinmap_move_prob : float;
-      (** Fraction of moves that reassign a pinmap instead of swapping
-          cells (paper §3.2 move set). *)
-  enable_pinmap_moves : bool;  (** Off for the A2 ablation. *)
-  router : Spr_route.Router.config;
-  timing_driven_routing : bool;
-      (** Order the rip-up/retry queues by net criticality (the driver's
-          current arrival time) ahead of estimated length, as the
-          routers the paper builds on do for critical nets. Off by
-          default. *)
-  delay_model : Spr_timing.Delay_model.t;
-  g_per_net : float;  (** See {!Spr_anneal.Weights}. *)
-  d_per_net : float;
-  t_emphasis : float;
-  anneal : Spr_anneal.Engine.config option;  (** [None]: sized to the netlist. *)
-  max_swap_tries : int;  (** Attempts to find a legal swap per move. *)
-  validate : bool;
-      (** Run the full {!Spr_check.Audit} subsystem (placement bijection,
-          routing-mirror oracle, from-scratch STA diff) every temperature,
-          every [validate_every] accepted moves, and on the final state;
-          any finding makes the run return [Error (Audit_failed _)]. *)
-  validate_every : int;
-      (** Accepted moves between audits when [validate] is on (clamped to
-          >= 1). *)
-  time_budget : float option;
-      (** Wall seconds for this invocation; the run stops gracefully once
-          exceeded (checked between moves). *)
-  max_moves : int option;
-      (** Total annealing moves (cumulative across resumes). *)
-  run_dir : string option;
-      (** Directory for {!Checkpoint.V2} snapshots; [None] disables
-          checkpointing entirely. *)
-  snapshot_every : int;
-      (** Write a snapshot every this many temperature boundaries
-          (clamped to >= 1). *)
-  snapshot_keep : int;  (** Rotation depth (clamped to >= 1). *)
-  final_checkpoint : bool;
-      (** Write a snapshot when the run is interrupted (default). The
-          crash-fault-injection harness turns this off so an injected
-          "crash" leaves only the periodic snapshots behind, exactly
-          like a real [kill -9]. *)
-  stop_after_accepted : int option;
-      (** Fault injection: stop (as {!Interrupt}) once this many moves
-          have been accepted, cumulative across resumes. *)
-}
+    {b Parallel portfolio.} {!run_portfolio} runs K replicas of the
+    whole anneal on separate OCaml domains, each with its own RNG
+    stream derived by {!Spr_util.Rng.stream}, its own pipeline, route
+    state and profile. Replicas either run fully independently or
+    periodically adopt the portfolio-best layout
+    ({!Spr_anneal.Portfolio.exchange}); either way each replica's
+    trajectory is a deterministic function of [(seed, replica_index)],
+    a one-replica portfolio is bit-identical to {!run}, and the fleet
+    checkpoints/resumes through the same crash-safety layer
+    (per-replica snapshots plus persisted exchange rounds). *)
+
+(** Grouped, validated run configuration.
+
+    The flat 20-field record this replaces scattered its clamping
+    across the run paths; here {!Config.validated} is the single smart
+    constructor — every entry point applies it, rejecting nonsense
+    (e.g. a move probability outside [0, 1]) as
+    [Error (Invalid_config _)] and normalizing the clamped fields in
+    one place. Build configurations from {!Config.default} with the
+    [with_*] builders: they compose by piping, e.g.
+    [Config.(default |> with_seed 7 |> with_validate true)]. *)
+module Config : sig
+  type moves = {
+    pinmap_move_prob : float;
+        (** Fraction of moves that reassign a pinmap instead of
+            swapping cells (paper §3.2 move set). Must lie in
+            [0, 1]. *)
+    enable_pinmap_moves : bool;  (** Off for the A2 ablation. *)
+    max_swap_tries : int;
+        (** Attempts to find a legal swap per move; must be >= 1. *)
+  }
+
+  type weights = {
+    g_per_net : float;  (** See {!Spr_anneal.Weights}. *)
+    d_per_net : float;
+    t_emphasis : float;
+  }
+
+  type budget = {
+    time_budget : float option;
+        (** Wall seconds for this invocation; the run stops gracefully
+            once exceeded (checked between moves). *)
+    max_moves : int option;
+        (** Total annealing moves (cumulative across resumes). *)
+    stop_after_accepted : int option;
+        (** Fault injection: stop (as [Interrupt]) once this many
+            moves have been accepted, cumulative across resumes. In a
+            portfolio, any replica tripping a budget stops the whole
+            fleet. *)
+  }
+
+  type persistence = {
+    run_dir : string option;
+        (** Directory for {!Checkpoint.V2} snapshots; [None] disables
+            checkpointing entirely. *)
+    snapshot_every : int;
+        (** Write a snapshot every this many temperature boundaries
+            (normalized to >= 1). *)
+    snapshot_keep : int;  (** Rotation depth (normalized to >= 1). *)
+    final_checkpoint : bool;
+        (** Write a snapshot when the run is interrupted (default).
+            The crash-fault-injection harness turns this off so an
+            injected "crash" leaves only the periodic snapshots
+            behind, exactly like a real [kill -9]. *)
+  }
+
+  type validation = {
+    validate : bool;
+        (** Run the full {!Spr_check.Audit} subsystem (placement
+            bijection, routing-mirror oracle, from-scratch STA diff)
+            every temperature, every [validate_every] accepted moves,
+            and on the final state; any finding makes the run return
+            [Error (Audit_failed _)]. *)
+    validate_every : int;
+        (** Accepted moves between audits when [validate] is on
+            (normalized to >= 1). *)
+  }
+
+  type parallel = {
+    replicas : int;  (** Portfolio width K; must be >= 1. *)
+    exchange : Spr_anneal.Portfolio.exchange;
+        (** Cross-replica layout exchange policy; only meaningful when
+            [replicas > 1]. *)
+    stream : int;
+        (** Which derived RNG stream ({!Spr_util.Rng.stream}) a serial
+            run draws from; stream 0 is exactly [Rng.create seed].
+            {!run_portfolio} overrides this per replica, so re-running
+            the winning replica standalone is just a serial run with
+            [with_stream k]. Must be >= 0. *)
+  }
+
+  type t = {
+    seed : int;
+    router : Spr_route.Router.config;
+    timing_driven_routing : bool;
+        (** Order the rip-up/retry queues by net criticality (the
+            driver's current arrival time) ahead of estimated length,
+            as the routers the paper builds on do for critical nets.
+            Off by default. *)
+    delay_model : Spr_timing.Delay_model.t;
+    anneal : Spr_anneal.Engine.config option;
+        (** [None]: sized to the netlist. *)
+    moves : moves;
+    weights : weights;
+    budget : budget;
+    persistence : persistence;
+    validation : validation;
+    parallel : parallel;
+  }
+
+  val default : t
+  (** [seed = 1], [pinmap_move_prob = 0.15], pinmap moves on, default
+      router/delay/weight parameters, auto-sized annealing, no
+      validation ([validate_every = 50]), no budgets, no checkpointing
+      ([snapshot_every = 1], [snapshot_keep = 3],
+      [final_checkpoint = true]), serial ([replicas = 1],
+      [Independent], [stream = 0]). *)
+
+  val validated : t -> (t, string) Stdlib.result
+  (** The smart constructor: rejects out-of-range fields (move
+      probability outside [0, 1], non-positive replica count or
+      exchange period, negative budgets or stream, non-finite
+      weights...) with one message naming every offending field, and
+      normalizes the clamped fields ([validate_every],
+      [snapshot_every], [snapshot_keep] to >= 1). Every entry point
+      calls this; [Ok] configurations pass through it unchanged. *)
+
+  (** {2 Builders} — each returns an updated copy; pipe them. *)
+
+  val with_seed : int -> t -> t
+
+  val with_router : Spr_route.Router.config -> t -> t
+
+  val with_timing_driven_routing : bool -> t -> t
+
+  val with_delay_model : Spr_timing.Delay_model.t -> t -> t
+
+  val with_anneal : Spr_anneal.Engine.config -> t -> t
+
+  val with_moves : moves -> t -> t
+
+  val with_pinmap_moves : ?prob:float -> bool -> t -> t
+  (** Toggle pinmap moves, optionally setting the probability. *)
+
+  val with_max_swap_tries : int -> t -> t
+
+  val with_weights : weights -> t -> t
+
+  val with_budget : budget -> t -> t
+
+  val with_time_budget : float -> t -> t
+
+  val with_max_moves : int -> t -> t
+
+  val with_stop_after_accepted : int -> t -> t
+
+  val with_persistence : persistence -> t -> t
+
+  val with_run_dir : ?snapshot_every:int -> ?snapshot_keep:int -> string -> t -> t
+
+  val with_final_checkpoint : bool -> t -> t
+
+  val with_validation : validation -> t -> t
+
+  val with_validate : ?every:int -> bool -> t -> t
+
+  val with_parallel : parallel -> t -> t
+
+  val with_replicas : ?exchange:Spr_anneal.Portfolio.exchange -> int -> t -> t
+
+  val with_stream : int -> t -> t
+end
+
+type config = Config.t
 
 val default_config : config
-(** [seed = 1], [pinmap_move_prob = 0.15], pinmap moves on, default
-    router/delay/weight parameters, auto-sized annealing, no
-    validation ([validate_every = 50]), no budgets, no checkpointing
-    ([snapshot_every = 1], [snapshot_keep = 3], [final_checkpoint =
-    true]). *)
+(** [Config.default]. *)
 
-type stop_reason = Time_budget | Move_budget | Interrupt
+(** {1 Outcomes}
 
-type status =
+    Stop reasons, statuses and errors are defined once in {!Outcome}
+    and re-exported here by type equation, so [Tool.Completed],
+    [Outcome.Completed] and friends are the same constructors. *)
+
+type stop_reason = Outcome.stop_reason = Time_budget | Move_budget | Interrupt
+
+type status = Outcome.status =
   | Completed
   | Interrupted of stop_reason
       (** The run stopped early; the result holds the best-so-far
-          layout, and [run_dir] (if set) holds a resumable
+          layout, and the run directory (if set) holds a resumable
           checkpoint. *)
 
 val stop_reason_to_string : stop_reason -> string
 
-type error =
+type error = Outcome.error =
+  | Invalid_config of string
+      (** {!Config.validated} rejected the configuration. *)
   | Invalid_design of string
       (** The netlist does not fit the fabric or has combinational
           cycles. *)
   | Audit_failed of Spr_check.Finding.t list
-      (** [config.validate] caught an invariant violation mid-run. *)
+      (** Validation caught an invariant violation mid-run. *)
   | Resume_failed of string  (** The snapshot does not match the design. *)
 
 exception Tool_error of error
-(** Raised only by {!run_exn}. *)
+(** Raised only by the [_exn] entry points. The same exception as
+    {!Outcome.Error} (a rebinding), so either name catches it. *)
 
 val error_to_string : error -> string
 
@@ -141,6 +273,51 @@ val run :
 
 val run_exn : ?config:config -> ?resume:resume -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> result
 
+(** {1 Parallel portfolio} *)
+
+type portfolio_result = {
+  p_best_replica : int;
+      (** Replica delivering the lowest [best_cost] (lowest index on
+          ties). *)
+  p_results : result array;  (** Indexed by replica. *)
+  p_profile : Profile.t;
+      (** All replicas' pipeline instrumentation merged
+          ({!Profile.absorb}); per-replica profiles and dynamics stay
+          available on [p_results]. *)
+  p_exchanges : Spr_anneal.Portfolio.round_result list;
+      (** Every exchange round tripped or replayed, ascending. *)
+  p_wall_seconds : float;  (** Whole-fleet wall clock. *)
+}
+
+val best_result : portfolio_result -> result
+(** [p.p_results.(p.p_best_replica)]. *)
+
+val run_portfolio :
+  ?config:config ->
+  ?resume_dir:string ->
+  Spr_arch.Arch.t ->
+  Spr_netlist.Netlist.t ->
+  (portfolio_result, error) Stdlib.result
+(** Run [config.parallel.replicas] replicas of the anneal
+    concurrently, replica [k] drawing from RNG stream [k] (replica 0
+    on the calling domain). With one replica this {e is} {!run} — no
+    domain is spawned, the configured [stream] is honoured, and the
+    output (including snapshot file names) is bit-identical to the
+    serial path. With more, replica [k] writes
+    [snap-r<k>-NNNNNNNN.ckpt] snapshots into the shared run directory
+    and [Best_exchange] rounds are persisted as [exch-*.rec] records
+    before any replica acts on them. [?resume_dir] restores the whole
+    fleet: each replica resumes from its newest loadable snapshot
+    (restarting from scratch deterministically when it has none) and
+    recorded exchange rounds are replayed, so a killed-and-resumed
+    portfolio matches the uninterrupted one. Interruption (signals,
+    {!request_interrupt}, any replica's budget) stops every replica
+    gracefully and freezes further exchanges. *)
+
+val run_portfolio_exn :
+  ?config:config -> ?resume_dir:string -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t ->
+  portfolio_result
+
 val audit_result : result -> Spr_check.Finding.t list
 (** Run the full audit subsystem over a finished layout (placement,
     routing mirrors, STA) — what [spr route --selfcheck] prints. Empty
@@ -148,9 +325,10 @@ val audit_result : result -> Spr_check.Finding.t list
 
 (** {1 Graceful interruption}
 
-    A module-level flag polled between moves. The CLI installs handlers
-    so Ctrl-C finishes the in-flight move, writes a final checkpoint and
-    returns the best-so-far result instead of dying mid-update. *)
+    A process-wide atomic flag polled between moves — by every replica,
+    when a portfolio is running. The CLI installs handlers so Ctrl-C
+    finishes the in-flight moves, writes final checkpoints and returns
+    the best-so-far result instead of dying mid-update. *)
 
 val request_interrupt : unit -> unit
 

@@ -15,7 +15,7 @@ let run ?(effort = Profiles.Quick) ?(seed = 1) ?(circuit = "cse") ?(tracks = 28)
   let base = Profiles.tool_config ~seed effort ~n in
   let plain = Tool.run_exn ~config:base arch nl in
   let crit =
-    Tool.run_exn ~config:{ base with Tool.timing_driven_routing = true } arch nl
+    Tool.run_exn ~config:(Tool.Config.with_timing_driven_routing true base) arch nl
   in
   {
     circuit;

@@ -15,7 +15,7 @@ let run ?(effort = Profiles.Standard) ?(seed = 1) ?(circuit = "s1") ?(tracks = 2
   let base = Profiles.tool_config ~seed effort ~n in
   let with_pm = Tool.run_exn ~config:base arch nl in
   let without_pm =
-    Tool.run_exn ~config:{ base with Tool.enable_pinmap_moves = false } arch nl
+    Tool.run_exn ~config:(Tool.Config.with_pinmap_moves false base) arch nl
   in
   {
     circuit;

@@ -29,7 +29,7 @@ let anneal effort ~n =
     }
 
 let tool_config ?(seed = 1) effort ~n =
-  { Spr_core.Tool.default_config with Spr_core.Tool.seed; anneal = Some (anneal effort ~n) }
+  Spr_core.Tool.Config.(default |> with_seed seed |> with_anneal (anneal effort ~n))
 
 let flow_config ?(seed = 1) effort ~n =
   {

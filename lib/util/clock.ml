@@ -1,13 +1,19 @@
 (* Wall clock guarded against going backwards (NTP steps, VM pauses):
    good enough to meter run budgets without a true CLOCK_MONOTONIC
-   binding. *)
+   binding. The guard is an Atomic so that portfolio replicas running
+   on separate domains share one monotonic view. *)
 
-let last = ref neg_infinity
+let last = Atomic.make neg_infinity
 
 let now () =
   let t = Unix.gettimeofday () in
-  if t > !last then last := t;
-  !last
+  let rec advance () =
+    let prev = Atomic.get last in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last prev t then t
+    else advance ()
+  in
+  advance ()
 
 let cpu = Sys.time
 

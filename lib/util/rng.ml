@@ -24,6 +24,18 @@ let split t =
   let seed = bits64 t in
   { state = seed }
 
+let stream ~seed ~index =
+  if index < 0 then invalid_arg "Rng.stream: negative index";
+  if index = 0 then create seed
+  else begin
+    let master = create seed in
+    let g = ref (split master) in
+    for _ = 2 to index do
+      g := split master
+    done;
+    !g
+  end
+
 (* Keep 62 bits so the conversion to OCaml's 63-bit int stays
    non-negative. *)
 let int t bound =

@@ -24,6 +24,18 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)
 
+val stream : seed:int -> index:int -> t
+(** [stream ~seed ~index] derives the [index]-th replica stream of
+    [seed] by splitmix64 stream splitting: index 0 is exactly
+    [create seed] (so a single-replica run is bit-identical to the
+    plain serial path), and index [k > 0] is the [k]-th {!split} of a
+    master generator created from [seed]. Because each split seeds the
+    child with a mixed 64-bit draw, the streams for nearby seeds and
+    indices are provably distinct — unlike the naive [seed + k]
+    offset, where [stream (s, k)] would collide with
+    [stream (s + 1, k - 1)]. Raises [Invalid_argument] on a negative
+    index. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit value. *)
 

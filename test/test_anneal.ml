@@ -167,6 +167,164 @@ let test_weights_normalized_invariant =
       Weights.adapt w;
       Float.abs ((Weights.wt w *. d1) -. 1.0) < 1e-9)
 
+(* --- Portfolio coordination (synthetic workers) --- *)
+
+module Portfolio = Spr_anneal.Portfolio
+
+let test_exchange_strings () =
+  List.iter
+    (fun x ->
+      match Portfolio.exchange_of_string (Portfolio.exchange_to_string x) with
+      | Ok x' when x' = x -> ()
+      | _ -> Alcotest.failf "round trip failed for %s" (Portfolio.exchange_to_string x))
+    [ Portfolio.Independent; Portfolio.Best_exchange 1; Portfolio.Best_exchange 7 ];
+  List.iter
+    (fun s ->
+      match Portfolio.exchange_of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "best"; "best:"; "best:0"; "best:-2"; "best:x"; "worst:3" ]
+
+let test_round_of () =
+  let indep = Portfolio.create ~replicas:2 ~exchange:Portfolio.Independent () in
+  Alcotest.(check (option int)) "independent never" None (Portfolio.round_of indep ~temp_index:4);
+  let t = Portfolio.create ~replicas:2 ~exchange:(Portfolio.Best_exchange 2) () in
+  Alcotest.(check (option int)) "boundary 0" None (Portfolio.round_of t ~temp_index:0);
+  Alcotest.(check (option int)) "boundary 1" None (Portfolio.round_of t ~temp_index:1);
+  Alcotest.(check (option int)) "boundary 2" (Some 1) (Portfolio.round_of t ~temp_index:2);
+  Alcotest.(check (option int)) "boundary 3" None (Portfolio.round_of t ~temp_index:3);
+  Alcotest.(check (option int)) "boundary 6" (Some 3) (Portfolio.round_of t ~temp_index:6)
+
+(* Each synthetic replica walks six temperature boundaries with a fixed
+   metric table; the barrier must pick the same winner on every run, no
+   matter how the domains are scheduled. *)
+let synthetic_metric ~replica ~round = float_of_int (((replica * 7) + (round * 3)) mod 5)
+
+let run_synthetic_portfolio () =
+  let t = Portfolio.create ~replicas:3 ~exchange:(Portfolio.Best_exchange 2) () in
+  let adoptions = Array.make 3 [] in
+  let worker k =
+    for temp_index = 1 to 6 do
+      match Portfolio.round_of t ~temp_index with
+      | None -> ()
+      | Some round -> (
+        match
+          Portfolio.sync t ~replica:k ~temp_index
+            ~metric:(synthetic_metric ~replica:k ~round)
+            ~capture:(fun () -> Printf.sprintf "layout-%d-%d" k round)
+        with
+        | None -> ()
+        | Some r ->
+          adoptions.(k) <- (round, r.Portfolio.xr_best_replica) :: adoptions.(k))
+    done;
+    Portfolio.finished t ~replica:k
+  in
+  let outcomes = Portfolio.run_replicas ~replicas:3 worker in
+  Array.iter (function Error e -> raise e | Ok () -> ()) outcomes;
+  (Portfolio.history t, adoptions)
+
+let test_portfolio_barrier_deterministic () =
+  let history, adoptions = run_synthetic_portfolio () in
+  Alcotest.(check int) "three rounds tripped" 3 (List.length history);
+  List.iter
+    (fun (r : Portfolio.round_result) ->
+      (* The recorded winner is the true minimum (ties to the lowest
+         replica index), with its own layout as payload. *)
+      let metrics = List.init 3 (fun k -> synthetic_metric ~replica:k ~round:r.Portfolio.xr_round) in
+      let best = List.fold_left min infinity metrics in
+      Alcotest.(check (float 0.0)) "winner metric" best r.Portfolio.xr_best_metric;
+      Alcotest.(check int) "winner index"
+        (fst (List.fold_left
+                (fun (bi, i) m -> if m = best && bi < 0 then (i, i + 1) else (bi, i + 1))
+                (-1, 0) metrics))
+        r.Portfolio.xr_best_replica;
+      Alcotest.(check string) "payload is winner's"
+        (Printf.sprintf "layout-%d-%d" r.Portfolio.xr_best_replica r.Portfolio.xr_round)
+        r.Portfolio.xr_payload;
+      (* Exactly the strictly-worse replicas adopted. *)
+      for k = 0 to 2 do
+        let adopted = List.mem_assoc r.Portfolio.xr_round adoptions.(k) in
+        let should = synthetic_metric ~replica:k ~round:r.Portfolio.xr_round > best in
+        if adopted <> should then
+          Alcotest.failf "replica %d round %d: adopted=%b expected %b" k r.Portfolio.xr_round
+            adopted should
+      done)
+    history;
+  (* Scheduling independence: a second run reproduces everything. *)
+  let history2, adoptions2 = run_synthetic_portfolio () in
+  Alcotest.(check bool) "history reproducible" true (history = history2);
+  Alcotest.(check bool) "adoptions reproducible" true (adoptions = adoptions2)
+
+let test_portfolio_history_replay () =
+  let history, _ = run_synthetic_portfolio () in
+  (* A resumed coordinator serves recorded rounds immediately: one
+     replica alone (the other two never arrive) cannot deadlock. *)
+  let t = Portfolio.create ~replicas:3 ~exchange:(Portfolio.Best_exchange 2) ~history () in
+  for temp_index = 1 to 6 do
+    match Portfolio.round_of t ~temp_index with
+    | None -> ()
+    | Some round -> (
+      let metric = synthetic_metric ~replica:2 ~round in
+      match
+        Portfolio.sync t ~replica:2 ~temp_index ~metric ~capture:(fun () -> "fresh")
+      with
+      | Some r when r.Portfolio.xr_best_metric < metric -> ()
+      | Some r ->
+        Alcotest.failf "round %d: served a non-improving result (%g)" round
+          r.Portfolio.xr_best_metric
+      | None ->
+        let recorded = List.find (fun r -> r.Portfolio.xr_round = round) history in
+        if recorded.Portfolio.xr_best_replica <> 2
+           && recorded.Portfolio.xr_best_metric < metric
+        then Alcotest.failf "round %d: improving record not served" round)
+  done;
+  Portfolio.finished t ~replica:2;
+  Alcotest.(check bool) "history preserved" true (Portfolio.history t = history)
+
+let test_portfolio_finished_unblocks () =
+  let persisted = ref [] in
+  let t =
+    Portfolio.create ~replicas:2 ~exchange:(Portfolio.Best_exchange 1)
+      ~persist:(fun r -> persisted := r :: !persisted)
+      ()
+  in
+  (* Replica 1 never reaches a boundary; once it is done, replica 0 must
+     trip rounds alone instead of waiting forever. *)
+  Portfolio.finished t ~replica:1;
+  (match Portfolio.sync t ~replica:0 ~temp_index:1 ~metric:3.0 ~capture:(fun () -> "solo") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "sole participant adopted its own layout");
+  Alcotest.(check int) "round recorded" 1 (List.length (Portfolio.history t));
+  Alcotest.(check int) "round persisted" 1 (List.length !persisted)
+
+let test_portfolio_frozen () =
+  let persisted = ref [] in
+  let t =
+    Portfolio.create ~replicas:2 ~exchange:(Portfolio.Best_exchange 1)
+      ~persist:(fun r -> persisted := r :: !persisted)
+      ~frozen:(fun () -> true)
+      ()
+  in
+  (match Portfolio.sync t ~replica:0 ~temp_index:1 ~metric:1.0 ~capture:(fun () -> "x") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "frozen coordinator served a round");
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Portfolio.history t));
+  Alcotest.(check int) "nothing persisted" 0 (List.length !persisted)
+
+let test_run_replicas () =
+  let outcomes =
+    Portfolio.run_replicas ~replicas:4 (fun k ->
+        if k = 2 then failwith "boom" else k * 10)
+  in
+  Alcotest.(check int) "four outcomes" 4 (Array.length outcomes);
+  Array.iteri
+    (fun k o ->
+      match o, k with
+      | Error (Failure m), 2 -> Alcotest.(check string) "error captured" "boom" m
+      | Ok v, _ when k <> 2 -> Alcotest.(check int) "in order" (k * 10) v
+      | _ -> Alcotest.failf "unexpected outcome at %d" k)
+    outcomes
+
 let () =
   Alcotest.run "spr_anneal"
     [
@@ -184,5 +342,16 @@ let () =
           Alcotest.test_case "adaptation" `Quick test_weights_adapt;
           Alcotest.test_case "validation" `Quick test_weights_validation;
           qtest test_weights_normalized_invariant;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "exchange strings" `Quick test_exchange_strings;
+          Alcotest.test_case "round schedule" `Quick test_round_of;
+          Alcotest.test_case "barrier deterministic" `Quick
+            test_portfolio_barrier_deterministic;
+          Alcotest.test_case "history replay" `Quick test_portfolio_history_replay;
+          Alcotest.test_case "finished unblocks" `Quick test_portfolio_finished_unblocks;
+          Alcotest.test_case "frozen coordination" `Quick test_portfolio_frozen;
+          Alcotest.test_case "run_replicas" `Quick test_run_replicas;
         ] );
     ]

@@ -321,18 +321,15 @@ let test_blif_roundtrip () = List.iter blif_roundtrip_seed [ 1; 2; 3; 4; 5; 6 ]
 (* --- seeded determinism of the whole tool --- *)
 
 let quick_config ?(seed = 5) n =
-  {
-    Tool.default_config with
-    Tool.seed;
-    anneal =
-      Some
-        {
-          (Engine.default_config ~n) with
-          Engine.moves_per_temp = max 150 (2 * n);
-          warmup_moves = 150;
-          max_temperatures = 12;
-        };
-  }
+  Tool.Config.(
+    default |> with_seed seed
+    |> with_anneal
+         {
+           (Engine.default_config ~n) with
+           Engine.moves_per_temp = max 150 (2 * n);
+           warmup_moves = 150;
+           max_temperatures = 12;
+         })
 
 let test_run_deterministic_state () =
   let nl = Gen.generate (Gen.default ~n_cells:60) ~seed:9 in
@@ -359,7 +356,7 @@ let test_tool_validated_200_cells () =
   let nl = Gen.generate (Gen.default ~n_cells:200) ~seed:3 in
   let arch = Arch.size_for ~tracks:24 nl in
   let cfg =
-    { (quick_config ~seed:3 (Nl.n_cells nl)) with Tool.validate = true; validate_every = 40 }
+    Tool.Config.with_validate ~every:40 true (quick_config ~seed:3 (Nl.n_cells nl))
   in
   (* validate=true fail-fasts on any finding mid-anneal; reaching the
      result at all means every periodic audit passed. *)
@@ -394,18 +391,15 @@ let crash_preset ~n_cells ~tracks ~seed =
   let nl = Gen.generate (Gen.default ~n_cells) ~seed in
   let arch = Arch.size_for ~tracks nl in
   let config =
-    {
-      Tool.default_config with
-      Tool.seed;
-      anneal =
-        Some
-          {
-            (Engine.default_config ~n:n_cells) with
-            Engine.moves_per_temp = max 120 (2 * n_cells);
-            warmup_moves = 120;
-            max_temperatures = 8;
-          };
-    }
+    Tool.Config.(
+      default |> with_seed seed
+      |> with_anneal
+           {
+             (Engine.default_config ~n:n_cells) with
+             Engine.moves_per_temp = max 120 (2 * n_cells);
+             warmup_moves = 120;
+             max_temperatures = 8;
+           })
   in
   (arch, nl, config)
 
@@ -417,9 +411,9 @@ let crash_runner ~name ~arch ~nl ~config =
   let reference =
     lazy
       (rmrf ref_dir;
-       outcome_of (Tool.run_exn ~config:{ config with Tool.run_dir = Some ref_dir } arch nl))
+       outcome_of (Tool.run_exn ~config:(Tool.Config.with_run_dir ref_dir config) arch nl))
   in
-  let resume_config = { config with Tool.run_dir = Some dir } in
+  let resume_config = Tool.Config.with_run_dir dir config in
   let runner =
     {
       Crash.reference = (fun () -> Lazy.force reference);
@@ -428,12 +422,9 @@ let crash_runner ~name ~arch ~nl ~config =
           let r =
             Tool.run_exn
               ~config:
-                {
-                  config with
-                  Tool.run_dir = Some dir;
-                  final_checkpoint = false;
-                  stop_after_accepted = Some kill_after;
-                }
+                Tool.Config.(
+                  config |> with_run_dir dir |> with_final_checkpoint false
+                  |> with_stop_after_accepted kill_after)
               arch nl
           in
           r.Tool.status <> Tool.Completed);
@@ -478,6 +469,52 @@ let test_crash_equivalence () =
         [ 1; 2; 3 ])
     presets
 
+(* A portfolio fleet interrupted mid-run and resumed from its run
+   directory must end exactly where the uninterrupted fleet ends:
+   same per-replica layouts, same winner, same exchange history. *)
+let test_portfolio_kill_resume () =
+  List.iter
+    (fun (policy_name, exchange) ->
+      let arch, nl, base = crash_preset ~n_cells:40 ~tracks:16 ~seed:2 in
+      let config = Tool.Config.with_replicas ~exchange 3 base in
+      let ref_dir = "crash-fleet-" ^ policy_name ^ "-ref" in
+      let dir = "crash-fleet-" ^ policy_name in
+      rmrf ref_dir;
+      rmrf dir;
+      let reference =
+        Tool.run_portfolio_exn ~config:(Tool.Config.with_run_dir ref_dir config) arch nl
+      in
+      let run_config = Tool.Config.with_run_dir dir config in
+      let stopped =
+        Tool.run_portfolio_exn
+          ~config:(Tool.Config.with_stop_after_accepted 60 run_config)
+          arch nl
+      in
+      let interrupted =
+        Array.exists
+          (fun (r : Tool.result) -> r.Tool.status <> Tool.Completed)
+          stopped.Tool.p_results
+      in
+      if not interrupted then Alcotest.failf "%s: fleet was not interrupted" policy_name;
+      let resumed = Tool.run_portfolio_exn ~config:run_config ~resume_dir:dir arch nl in
+      Array.iteri
+        (fun k (r : Tool.result) ->
+          (match r.Tool.status with
+          | Tool.Completed -> ()
+          | Tool.Interrupted _ ->
+            Alcotest.failf "%s: resumed replica %d did not complete" policy_name k);
+          if Rs.snapshot r.Tool.route
+             <> Rs.snapshot reference.Tool.p_results.(k).Tool.route
+          then Alcotest.failf "%s: replica %d diverged after kill+resume" policy_name k)
+        resumed.Tool.p_results;
+      Alcotest.(check int) (policy_name ^ ": same winner") reference.Tool.p_best_replica
+        resumed.Tool.p_best_replica;
+      Alcotest.(check bool) (policy_name ^ ": same exchange history") true
+        (reference.Tool.p_exchanges = resumed.Tool.p_exchanges);
+      rmrf ref_dir;
+      rmrf dir)
+    [ ("indep", Spr_anneal.Portfolio.Independent); ("best2", Spr_anneal.Portfolio.Best_exchange 2) ]
+
 let test_graceful_stop_resume () =
   let arch, nl, config = crash_preset ~n_cells:40 ~tracks:16 ~seed:4 in
   let dir = "crash-graceful" in
@@ -485,12 +522,14 @@ let test_graceful_stop_resume () =
   rmrf dir;
   rmrf ref_dir;
   let reference =
-    outcome_of (Tool.run_exn ~config:{ config with Tool.run_dir = Some ref_dir } arch nl)
+    outcome_of (Tool.run_exn ~config:(Tool.Config.with_run_dir ref_dir config) arch nl)
   in
   (* 171 is deliberately not a multiple of the batch size, so the stop
      (and its final checkpoint) lands mid-batch. *)
   let stopped =
-    Tool.run_exn ~config:{ config with Tool.run_dir = Some dir; max_moves = Some 171 } arch nl
+    Tool.run_exn
+      ~config:Tool.Config.(config |> with_run_dir dir |> with_max_moves 171)
+      arch nl
   in
   (match stopped.Tool.status with
   | Tool.Interrupted Tool.Move_budget -> ()
@@ -498,7 +537,7 @@ let test_graceful_stop_resume () =
   match V2.load_latest nl ~dir with
   | Error e -> Alcotest.failf "no resumable snapshot after graceful stop: %s" e
   | Ok loaded -> (
-    match Tool.run ~config:{ config with Tool.run_dir = Some dir } ~resume:loaded arch nl with
+    match Tool.run ~config:(Tool.Config.with_run_dir dir config) ~resume:loaded arch nl with
     | Error e -> Alcotest.fail (Tool.error_to_string e)
     | Ok resumed ->
       (match resumed.Tool.status with
@@ -553,5 +592,7 @@ let () =
             test_crash_equivalence;
           Alcotest.test_case "graceful mid-batch stop resumes identically" `Slow
             test_graceful_stop_resume;
+          Alcotest.test_case "killed portfolio fleet resumes identically" `Slow
+            test_portfolio_kill_resume;
         ] );
     ]

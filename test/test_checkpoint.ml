@@ -141,20 +141,16 @@ let interrupted_run_dir name =
   let dir = "v2-" ^ name in
   rmrf dir;
   let config =
-    {
-      Tool.default_config with
-      Tool.seed = 3;
-      anneal =
-        Some
-          {
-            (Spr_anneal.Engine.default_config ~n:40) with
-            Spr_anneal.Engine.moves_per_temp = 120;
-            warmup_moves = 120;
-            max_temperatures = 8;
-          };
-      run_dir = Some dir;
-      max_moves = Some 400;
-    }
+    Tool.Config.(
+      default |> with_seed 3
+      |> with_anneal
+           {
+             (Spr_anneal.Engine.default_config ~n:40) with
+             Spr_anneal.Engine.moves_per_temp = 120;
+             warmup_moves = 120;
+             max_temperatures = 8;
+           }
+      |> with_run_dir dir |> with_max_moves 400)
   in
   let r = Tool.run_exn ~config arch nl in
   (match r.Tool.status with
@@ -168,7 +164,7 @@ let read_file path =
   | Error e -> Alcotest.failf "%s: %s" path e
 
 let newest_snapshot dir =
-  match Cp.V2.snapshot_files ~dir with
+  match Cp.V2.snapshot_files dir with
   | [] -> Alcotest.fail "no snapshots written"
   | (seq, path) :: _ -> (seq, path)
 
@@ -233,7 +229,7 @@ let test_v2_adversarial_inputs () =
 
 let test_v2_rotation_fallback () =
   let dir, nl, _, _ = interrupted_run_dir "fallback" in
-  let files = Cp.V2.snapshot_files ~dir in
+  let files = Cp.V2.snapshot_files dir in
   if List.length files < 2 then Alcotest.fail "setup run left fewer than 2 snapshots";
   let newest_seq, newest_path = List.nth files 0 in
   let second_seq, _ = List.nth files 1 in
@@ -264,6 +260,82 @@ let test_v2_rotation_fallback () =
       files
   | Ok _ -> Alcotest.fail "fully corrupted rotation accepted");
   ignore newest_seq;
+  rmrf dir
+
+(* Replica-tagged rotations share a run directory without seeing each
+   other (or the serial scan). *)
+let test_v2_replica_isolation () =
+  let dir = "v2-replicas" in
+  rmrf dir;
+  Spr_util.Persist.ensure_dir dir;
+  Alcotest.(check string) "replica path shape"
+    (Filename.concat dir "snap-r2-00000007.ckpt")
+    (Cp.V2.snapshot_path ~replica:2 dir 7);
+  (* fake rotation entries are enough to test the scan *)
+  let touch path = Spr_util.Persist.atomic_write path "stub" in
+  touch (Cp.V2.snapshot_path dir 3);
+  touch (Cp.V2.snapshot_path ~replica:0 dir 1);
+  touch (Cp.V2.snapshot_path ~replica:0 dir 2);
+  touch (Cp.V2.snapshot_path ~replica:1 dir 9);
+  Alcotest.(check (list int)) "serial scan sees only untagged" [ 3 ]
+    (List.map fst (Cp.V2.snapshot_files dir));
+  Alcotest.(check (list int)) "replica 0 rotation" [ 2; 1 ]
+    (List.map fst (Cp.V2.snapshot_files ~replica:0 dir));
+  Alcotest.(check (list int)) "replica 1 rotation" [ 9 ]
+    (List.map fst (Cp.V2.snapshot_files ~replica:1 dir));
+  Alcotest.(check int) "replica next_seq" 3 (Cp.V2.next_seq ~replica:0 dir);
+  Alcotest.(check int) "serial next_seq" 4 (Cp.V2.next_seq dir);
+  Alcotest.(check int) "unseen replica next_seq" 1 (Cp.V2.next_seq ~replica:7 dir);
+  rmrf dir
+
+(* --- exchange records --- *)
+
+let sample_round =
+  {
+    Spr_anneal.Portfolio.xr_round = 4;
+    xr_best_replica = 2;
+    xr_best_metric = 17.25e9 +. 0.125;
+    xr_payload = "line one\nline two\n\x00binary\xff";
+  }
+
+let test_exchange_roundtrip () =
+  let text = Cp.Exchange.encode sample_round in
+  (match Cp.Exchange.decode text with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok r -> Alcotest.(check bool) "identity" true (r = sample_round));
+  let dir = "exch-rt" in
+  rmrf dir;
+  Spr_util.Persist.ensure_dir dir;
+  let path = Cp.Exchange.write ~dir sample_round in
+  Alcotest.(check string) "round-numbered file" (Cp.Exchange.record_path dir 4) path;
+  let earlier = { sample_round with Spr_anneal.Portfolio.xr_round = 2; xr_payload = "p2" } in
+  ignore (Cp.Exchange.write ~dir earlier);
+  Alcotest.(check bool) "load_all sorted ascending" true
+    (Cp.Exchange.load_all ~dir = [ earlier; sample_round ]);
+  rmrf dir
+
+let test_exchange_corruption () =
+  let text = Cp.Exchange.encode sample_round in
+  (* truncation, checksum damage, garbage: errors, never exceptions;
+     load_all just skips the bad record *)
+  List.iter
+    (fun (label, bad) ->
+      match Cp.Exchange.decode bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s accepted" label)
+    [
+      ("truncated", String.sub text 0 (String.length text - 3));
+      ("flipped byte", String.mapi (fun i c -> if i = 30 then 'Z' else c) text);
+      ("garbage", "not a record at all");
+      ("empty", "");
+    ];
+  let dir = "exch-corrupt" in
+  rmrf dir;
+  Spr_util.Persist.ensure_dir dir;
+  ignore (Cp.Exchange.write ~dir sample_round);
+  let victim = Cp.Exchange.record_path dir 4 in
+  Crash.truncate_file victim ~keep:20;
+  Alcotest.(check bool) "torn record skipped" true (Cp.Exchange.load_all ~dir = []);
   rmrf dir
 
 (* --- Eco --- *)
@@ -410,6 +482,12 @@ let () =
             test_v2_adversarial_inputs;
           Alcotest.test_case "corrupt newest falls back to older rotation entry" `Slow
             test_v2_rotation_fallback;
+          Alcotest.test_case "replica rotations are isolated" `Quick test_v2_replica_isolation;
+        ] );
+      ( "exchange",
+        [
+          Alcotest.test_case "record roundtrip" `Quick test_exchange_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick test_exchange_corruption;
         ] );
       ( "eco",
         [

@@ -118,6 +118,61 @@ let test_move_budget_then_resume () =
     (not (has_substring ~sub:"interrupted" out));
   rmrf dir
 
+(* A two-replica portfolio end to end: per-replica reporting, a winner,
+   and per-replica snapshot rotations plus a recorded run meta that
+   lets --resume rebuild the fleet. *)
+let test_parallel_smoke () =
+  let dir = "cli-parallel" in
+  rmrf dir;
+  let status, out =
+    run_cli
+      [ "route"; "--circuit"; "s1"; "--effort"; "quick"; "--seed"; "2";
+        "--parallel"; "2"; "--exchange"; "best:4"; "--run-dir"; dir ]
+  in
+  check_exit_zero "parallel run" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "reports both replicas (got: %s)" out)
+    true
+    (has_substring ~sub:"replica 0" out && has_substring ~sub:"replica 1" out);
+  Alcotest.(check bool)
+    (Printf.sprintf "announces a winner (got: %s)" out)
+    true
+    (has_substring ~sub:"portfolio: replica" out);
+  (* fleet runs rotate per-replica snapshots, not serial ones *)
+  Alcotest.(check bool) "replica 0 snapshots" true
+    (Spr_core.Checkpoint.V2.snapshot_files ~replica:0 dir <> []);
+  Alcotest.(check bool) "replica 1 snapshots" true
+    (Spr_core.Checkpoint.V2.snapshot_files ~replica:1 dir <> []);
+  Alcotest.(check (list (pair int string))) "no serial snapshots" []
+    (Spr_core.Checkpoint.V2.snapshot_files dir);
+  (* the meta records the fleet shape for --resume *)
+  let meta =
+    match Spr_util.Persist.read_file (Filename.concat dir "meta") with
+    | Ok text -> text
+    | Error e -> Alcotest.failf "meta: %s" e
+  in
+  Alcotest.(check bool) "meta records parallel" true (has_substring ~sub:"parallel 2" meta);
+  Alcotest.(check bool) "meta records exchange" true (has_substring ~sub:"exchange best:4" meta);
+  let status, out = run_cli [ "route"; "--resume"; dir ] in
+  check_exit_zero "fleet resume" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "resume rebuilds the fleet (got: %s)" out)
+    true
+    (has_substring ~sub:"resuming portfolio of 2 replicas" out);
+  rmrf dir
+
+let test_bad_parallel_flags () =
+  let status, _ = run_cli [ "route"; "--circuit"; "s1"; "--parallel"; "0" ] in
+  (match status with
+  | Unix.WEXITED 0 -> Alcotest.fail "--parallel 0 accepted"
+  | _ -> ());
+  let status, _ =
+    run_cli [ "route"; "--circuit"; "s1"; "--parallel"; "2"; "--exchange"; "best:0" ]
+  in
+  match status with
+  | Unix.WEXITED 0 -> Alcotest.fail "--exchange best:0 accepted"
+  | _ -> ()
+
 (* SIGINT mid-anneal: the handler finishes the in-flight move, writes a
    final checkpoint, and the process exits 0 with the best-so-far
    layout instead of dying. *)
@@ -179,6 +234,11 @@ let () =
             test_time_budget_interrupts;
           Alcotest.test_case "move budget interrupts, then resumes to completion" `Slow
             test_move_budget_then_resume;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "two-replica portfolio end to end" `Slow test_parallel_smoke;
+          Alcotest.test_case "bad flags rejected" `Quick test_bad_parallel_flags;
         ] );
       ( "signals",
         [

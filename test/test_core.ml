@@ -1,5 +1,6 @@
 module Tool = Spr_core.Tool
 module Dynamics = Spr_core.Dynamics
+module Profile = Spr_core.Profile
 module Rs = Spr_route.Route_state
 module Arch = Spr_arch.Arch
 module Nl = Spr_netlist.Netlist
@@ -8,19 +9,15 @@ module Engine = Spr_anneal.Engine
 
 (* Small, quick anneal profile so the suite stays fast. *)
 let quick_config ?(seed = 1) n =
-  {
-    Tool.default_config with
-    Tool.seed;
-    validate = true;
-    anneal =
-      Some
-        {
-          (Engine.default_config ~n) with
-          Engine.moves_per_temp = max 200 (3 * n);
-          warmup_moves = 200;
-          max_temperatures = 25;
-        };
-  }
+  Tool.Config.(
+    default |> with_seed seed |> with_validate true
+    |> with_anneal
+         {
+           (Engine.default_config ~n) with
+           Engine.moves_per_temp = max 200 (3 * n);
+           warmup_moves = 200;
+           max_temperatures = 25;
+         })
 
 let small_case ?(n_cells = 60) ?(seed = 7) ?(tracks = 20) () =
   let nl = Gen.generate (Gen.default ~n_cells) ~seed in
@@ -91,7 +88,7 @@ let test_cost_improves () =
 
 let test_pinmap_moves_can_be_disabled () =
   let arch, nl = small_case () in
-  let cfg = { (quick_config (Nl.n_cells nl)) with Tool.enable_pinmap_moves = false } in
+  let cfg = Tool.Config.with_pinmap_moves false (quick_config (Nl.n_cells nl)) in
   let r = Tool.run_exn ~config:cfg arch nl in
   Alcotest.(check bool) "still completes" true (r.Tool.critical_delay > 0.0);
   (* all pinmaps stay at palette entry 0 *)
@@ -101,9 +98,7 @@ let test_pinmap_moves_can_be_disabled () =
 
 let test_timing_driven_routing () =
   let arch, nl = small_case () in
-  let cfg =
-    { (quick_config (Nl.n_cells nl)) with Tool.timing_driven_routing = true }
-  in
+  let cfg = Tool.Config.with_timing_driven_routing true (quick_config (Nl.n_cells nl)) in
   let r = Tool.run_exn ~config:cfg arch nl in
   Alcotest.(check bool) "routes with criticality ordering" true r.Tool.fully_routed;
   (match Rs.check r.Tool.route with
@@ -168,6 +163,120 @@ let test_run_rejects_overflow () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "overfull fabric accepted"
 
+(* --- configuration validation --- *)
+
+let expect_invalid_config label config =
+  let arch, nl = small_case () in
+  match Tool.run ~config arch nl with
+  | Error (Tool.Invalid_config _) -> ()
+  | Error e -> Alcotest.failf "%s: wrong error %s" label (Tool.error_to_string e)
+  | Ok _ -> Alcotest.failf "%s: accepted" label
+
+let test_config_validation () =
+  let base = quick_config 60 in
+  expect_invalid_config "pinmap prob 1.5" (Tool.Config.with_pinmap_moves ~prob:1.5 true base);
+  expect_invalid_config "pinmap prob -0.1"
+    (Tool.Config.with_pinmap_moves ~prob:(-0.1) true base);
+  expect_invalid_config "pinmap prob nan" (Tool.Config.with_pinmap_moves ~prob:Float.nan true base);
+  expect_invalid_config "swap tries 0" (Tool.Config.with_max_swap_tries 0 base);
+  expect_invalid_config "negative weight"
+    (Tool.Config.with_weights { base.Tool.Config.weights with Tool.Config.g_per_net = -1.0 } base);
+  expect_invalid_config "time budget 0" (Tool.Config.with_time_budget 0.0 base);
+  expect_invalid_config "negative moves" (Tool.Config.with_max_moves (-1) base);
+  expect_invalid_config "stop after 0" (Tool.Config.with_stop_after_accepted 0 base);
+  expect_invalid_config "0 replicas" (Tool.Config.with_replicas 0 base);
+  expect_invalid_config "negative stream" (Tool.Config.with_stream (-1) base);
+  expect_invalid_config "exchange period 0"
+    (Tool.Config.with_replicas ~exchange:(Spr_anneal.Portfolio.Best_exchange 0) 2 base);
+  (* every problem is named in one structured message *)
+  (match
+     Tool.Config.validated
+       Tool.Config.(base |> with_max_swap_tries 0 |> with_pinmap_moves ~prob:2.0 true)
+   with
+  | Ok _ -> Alcotest.fail "invalid config validated"
+  | Error msg ->
+    let has needle =
+      let nl = String.length needle and ml = String.length msg in
+      let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "mentions pinmap prob" true (has "pinmap_move_prob");
+    Alcotest.(check bool) "mentions swap tries" true (has "max_swap_tries"));
+  (* clamp-style fields are normalized, not rejected *)
+  match Tool.Config.validated (Tool.Config.with_validate ~every:0 true base) with
+  | Error e -> Alcotest.failf "clamped field rejected: %s" e
+  | Ok c -> Alcotest.(check int) "validate_every clamped" 1 c.Tool.Config.validation.Tool.Config.validate_every
+
+(* --- parallel portfolio --- *)
+
+let portfolio_config ?(seed = 1) ?(exchange = Spr_anneal.Portfolio.Independent) ~replicas n =
+  Tool.Config.(quick_config ~seed n |> with_replicas ~exchange replicas)
+
+let check_same_result label (a : Tool.result) (b : Tool.result) =
+  Alcotest.(check bool) (label ^ ": identical layout") true
+    (Rs.snapshot a.Tool.route = Rs.snapshot b.Tool.route);
+  Alcotest.(check (float 1e-12)) (label ^ ": identical delay") a.Tool.critical_delay
+    b.Tool.critical_delay;
+  Alcotest.(check int) (label ^ ": identical moves") a.Tool.anneal_report.Engine.n_moves
+    b.Tool.anneal_report.Engine.n_moves
+
+(* A one-replica portfolio takes the exact serial code path. *)
+let test_portfolio_one_is_serial () =
+  let arch, nl = small_case () in
+  let n = Nl.n_cells nl in
+  let serial = Tool.run_exn ~config:(quick_config n) arch nl in
+  let p = Tool.run_portfolio_exn ~config:(portfolio_config ~replicas:1 n) arch nl in
+  Alcotest.(check int) "one result" 1 (Array.length p.Tool.p_results);
+  Alcotest.(check int) "no exchanges" 0 (List.length p.Tool.p_exchanges);
+  check_same_result "k=1" serial (Tool.best_result p)
+
+(* Under [Independent] exchange, replica k is exactly the serial run on
+   RNG stream k — so the portfolio winner is reproducible standalone. *)
+let test_portfolio_winner_reproducible () =
+  let arch, nl = small_case () in
+  let n = Nl.n_cells nl in
+  let p = Tool.run_portfolio_exn ~config:(portfolio_config ~replicas:3 n) arch nl in
+  Alcotest.(check int) "three results" 3 (Array.length p.Tool.p_results);
+  let k = p.Tool.p_best_replica in
+  let standalone =
+    Tool.run_exn ~config:(Tool.Config.with_stream k (quick_config n)) arch nl
+  in
+  check_same_result "winner" (Tool.best_result p) standalone;
+  (* replicas genuinely explored different trajectories *)
+  let snap i = Rs.snapshot p.Tool.p_results.(i).Tool.route in
+  Alcotest.(check bool) "replicas 0/1 differ" false (snap 0 = snap 1);
+  (* merged profile sums the fleet's move counts *)
+  let total =
+    Array.fold_left (fun acc (r : Tool.result) -> acc + Profile.t_moves r.Tool.profile) 0
+      p.Tool.p_results
+  in
+  Alcotest.(check int) "profile merged" total (Profile.t_moves p.Tool.p_profile)
+
+(* [Best_exchange] trajectories depend on broadcast layouts, so the
+   whole fleet — winner, exchanges, every replica's layout — must still
+   be a pure function of the seed, independent of domain scheduling. *)
+let test_portfolio_exchange_deterministic () =
+  let arch, nl = small_case () in
+  let n = Nl.n_cells nl in
+  let config =
+    portfolio_config ~seed:2 ~exchange:(Spr_anneal.Portfolio.Best_exchange 3) ~replicas:3 n
+  in
+  let a = Tool.run_portfolio_exn ~config arch nl in
+  let b = Tool.run_portfolio_exn ~config arch nl in
+  Alcotest.(check int) "same winner" a.Tool.p_best_replica b.Tool.p_best_replica;
+  Alcotest.(check bool) "same exchange history" true (a.Tool.p_exchanges = b.Tool.p_exchanges);
+  Array.iteri
+    (fun i (ra : Tool.result) ->
+      check_same_result (Printf.sprintf "replica %d" i) ra b.Tool.p_results.(i))
+    a.Tool.p_results;
+  (* the audit subsystem accepts every replica's final state *)
+  Array.iter
+    (fun (r : Tool.result) ->
+      match Tool.audit_result r with
+      | [] -> ()
+      | findings -> Alcotest.failf "audit: %s" (Spr_check.Finding.summarize findings))
+    a.Tool.p_results
+
 let test_dynamics_module () =
   let d = Dynamics.create ~n_cells:10 in
   Dynamics.note_accepted_cells d [ 1; 2; 2; 3 ];
@@ -201,6 +310,16 @@ let () =
           Alcotest.test_case "profile covers the move pipeline" `Slow test_profile_coverage;
           Alcotest.test_case "rejects comb cycles" `Quick test_run_rejects_cycles;
           Alcotest.test_case "rejects overfull fabric" `Quick test_run_rejects_overflow;
+        ] );
+      ( "config",
+        [ Alcotest.test_case "smart constructor rejects nonsense" `Quick test_config_validation ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "one replica is the serial path" `Slow test_portfolio_one_is_serial;
+          Alcotest.test_case "winner reproducible standalone" `Slow
+            test_portfolio_winner_reproducible;
+          Alcotest.test_case "best-exchange deterministic" `Slow
+            test_portfolio_exchange_deterministic;
         ] );
       ("dynamics", [ Alcotest.test_case "bookkeeping" `Quick test_dynamics_module ]);
     ]

@@ -14,17 +14,14 @@ module Circuits = Spr_netlist.Circuits
 module Engine = Spr_anneal.Engine
 
 let quick_tool n seed =
-  {
-    Tool.default_config with
-    Tool.seed;
-    anneal =
-      Some
-        {
-          (Engine.default_config ~n) with
-          Engine.moves_per_temp = max 300 (4 * n);
-          max_temperatures = 45;
-        };
-  }
+  Tool.Config.(
+    default |> with_seed seed
+    |> with_anneal
+         {
+           (Engine.default_config ~n) with
+           Engine.moves_per_temp = max 300 (4 * n);
+           max_temperatures = 45;
+         })
 
 let quick_flow n seed =
   {

@@ -55,6 +55,48 @@ let test_rng_split_independent () =
   let b = Rng.split a in
   Alcotest.(check bool) "split streams differ" false (Rng.bits64 a = Rng.bits64 b)
 
+let test_rng_stream_zero_is_create () =
+  let a = Rng.create 17 and b = Rng.stream ~seed:17 ~index:0 in
+  for _ = 1 to 64 do
+    Alcotest.(check int64) "stream 0 = create" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_stream_determinism () =
+  let a = Rng.stream ~seed:9 ~index:3 and b = Rng.stream ~seed:9 ~index:3 in
+  for _ = 1 to 64 do
+    Alcotest.(check int64) "same (seed, index) stream" (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  Alcotest.check_raises "negative index" (Invalid_argument "Rng.stream: negative index")
+    (fun () -> ignore (Rng.stream ~seed:9 ~index:(-1)))
+
+(* The trap stream splitting avoids: with naive [create (seed + k)]
+   derivation, replica k of seed s collides with replica k-1 of seed
+   s+1. Adjacent-seed portfolios must explore genuinely different
+   trajectories on every replica. *)
+let test_rng_stream_adjacent_seeds_diverge () =
+  let prefix g = List.init 32 (fun _ -> Rng.bits64 g) in
+  for seed = 1 to 8 do
+    for k = 0 to 3 do
+      let here = prefix (Rng.stream ~seed ~index:k) in
+      for k' = 0 to 3 do
+        let there = prefix (Rng.stream ~seed:(seed + 1) ~index:k') in
+        if here = there then
+          Alcotest.failf "stream (%d,%d) collides with (%d,%d)" seed k (seed + 1) k'
+      done
+    done
+  done
+
+let test_rng_stream_indices_diverge () =
+  let prefix g = List.init 32 (fun _ -> Rng.bits64 g) in
+  let streams = List.init 6 (fun k -> (k, prefix (Rng.stream ~seed:5 ~index:k))) in
+  List.iter
+    (fun (i, a) ->
+      List.iter
+        (fun (j, b) ->
+          if i < j && a = b then Alcotest.failf "streams %d and %d coincide" i j)
+        streams)
+    streams
+
 let test_rng_shuffle_permutes =
   QCheck.Test.make ~name:"shuffle is a permutation" ~count:200 QCheck.small_int (fun seed ->
       let rng = Rng.create seed in
@@ -360,6 +402,11 @@ let () =
           Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
           Alcotest.test_case "int covers residues" `Quick test_rng_int_covers;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "stream 0 is create" `Quick test_rng_stream_zero_is_create;
+          Alcotest.test_case "stream determinism" `Quick test_rng_stream_determinism;
+          Alcotest.test_case "adjacent seeds diverge" `Quick
+            test_rng_stream_adjacent_seeds_diverge;
+          Alcotest.test_case "stream indices diverge" `Quick test_rng_stream_indices_diverge;
           Alcotest.test_case "pick" `Quick test_rng_pick;
           qtest test_rng_int_bounds;
           qtest test_rng_shuffle_permutes;
