@@ -179,32 +179,22 @@ let kernel_tests () =
    comparisons in EXPERIMENTS.md and CI smoke runs. *)
 let kernels_json_path = "BENCH_kernels.json"
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 let write_kernels_json ~effort rows =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"schema\": \"spr-bench-kernels-1\",\n  \"effort\": \"%s\",\n"
-       (E.effort_to_string effort));
-  Buffer.add_string buf "  \"unit\": \"ns/run\",\n  \"kernels\": {\n";
-  List.iteri
-    (fun i (name, ns) ->
-      Buffer.add_string buf
-        (Printf.sprintf "    \"%s\": %.1f%s\n" (json_escape name) ns
-           (if i = List.length rows - 1 then "" else ",")))
-    rows;
-  Buffer.add_string buf "  }\n}\n";
-  Spr_util.Persist.atomic_write kernels_json_path (Buffer.contents buf);
+  let open Spr_obs.Json in
+  let json =
+    Obj
+      [
+        ("schema", String "spr-bench-kernels-1");
+        ("effort", String (E.effort_to_string effort));
+        ("unit", String "ns/run");
+        ( "kernels",
+          Obj
+            (List.map
+               (fun (name, ns) -> (name, Float (Float.round (ns *. 10.) /. 10.)))
+               rows) );
+      ]
+  in
+  Spr_util.Persist.atomic_write kernels_json_path (to_string ~indent:true json ^ "\n");
   Printf.printf "kernel timings written to %s\n%!" kernels_json_path
 
 let kernels () =
@@ -295,37 +285,39 @@ let portfolio () =
         (k, exchange, p, best, moves))
       fleets
   in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"schema\": \"spr-bench-portfolio-1\",\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"effort\": \"%s\",\n  \"design\": \"big529\",\n" (E.effort_to_string effort));
-  Buffer.add_string buf
-    (Printf.sprintf "  \"cores\": %d,\n  \"moves_per_replica\": %d,\n" cores budget);
-  Buffer.add_string buf "  \"fleets\": [\n";
-  List.iteri
-    (fun i
-         ( k,
-           exchange,
-           (p : Spr_core.Tool.portfolio_result),
-           (best : Spr_core.Tool.result),
-           moves ) ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"replicas\": %d, \"exchange\": \"%s\", \"wall_s\": %.2f, \"moves\": %d, \
-            \"moves_per_s\": %.0f, \"best_replica\": %d, \"best_cost\": %.6g, \"unrouted\": %d, \
-            \"critical_delay_ns\": %.3f, \"exchange_rounds\": %d}%s\n"
-           k
-           (json_escape (Spr_anneal.Portfolio.exchange_to_string exchange))
-           p.Spr_core.Tool.p_wall_seconds moves
-           (float_of_int moves /. Float.max 1e-9 p.Spr_core.Tool.p_wall_seconds)
-           p.Spr_core.Tool.p_best_replica best.Spr_core.Tool.best_cost
-           (best.Spr_core.Tool.g + best.Spr_core.Tool.d)
-           best.Spr_core.Tool.critical_delay
-           (List.length p.Spr_core.Tool.p_exchanges)
-           (if i = List.length rows - 1 then "" else ",")))
-    rows;
-  Buffer.add_string buf "  ]\n}\n";
-  Spr_util.Persist.atomic_write portfolio_json_path (Buffer.contents buf);
+  let open Spr_obs.Json in
+  let fleet_json
+      (k, exchange, (p : Spr_core.Tool.portfolio_result), (best : Spr_core.Tool.result), moves)
+      =
+    Obj
+      [
+        ("replicas", Int k);
+        ("exchange", String (Spr_anneal.Portfolio.exchange_to_string exchange));
+        ("wall_s", Float p.Spr_core.Tool.p_wall_seconds);
+        ("moves", Int moves);
+        ( "moves_per_s",
+          Float
+            (Float.round
+               (float_of_int moves /. Float.max 1e-9 p.Spr_core.Tool.p_wall_seconds)) );
+        ("best_replica", Int p.Spr_core.Tool.p_best_replica);
+        ("best_cost", Float best.Spr_core.Tool.best_cost);
+        ("unrouted", Int (best.Spr_core.Tool.g + best.Spr_core.Tool.d));
+        ("critical_delay_ns", Float best.Spr_core.Tool.critical_delay);
+        ("exchange_rounds", Int (List.length p.Spr_core.Tool.p_exchanges));
+      ]
+  in
+  let json =
+    Obj
+      [
+        ("schema", String "spr-bench-portfolio-1");
+        ("effort", String (E.effort_to_string effort));
+        ("design", String "big529");
+        ("cores", Int cores);
+        ("moves_per_replica", Int budget);
+        ("fleets", List (List.map fleet_json rows));
+      ]
+  in
+  Spr_util.Persist.atomic_write portfolio_json_path (to_string ~indent:true json ^ "\n");
   Printf.printf "portfolio timings written to %s\n%!" portfolio_json_path
 
 let usage () =

@@ -4,11 +4,34 @@
      spr generate --cells 200 --seed 3 > c.blif
      spr route c.blif --tracks 28 --flow sim
      spr route --circuit s1 --flow both --svg die.svg --checkpoint s1.ckpt
-     spr route --circuit s1 --report 5 --clock 120
+     spr route --circuit s1 --obs-endpoints 5 --obs-clock 120
+     spr route --circuit s1 --trace s1.jsonl --report s1-report.json
+     spr report s1.jsonl
      spr min-tracks --circuit bw
-     spr dynamics --circuit s1 *)
+     spr dynamics --circuit s1
+
+   The route flag surface is grouped: observability under
+   --obs-*/--trace/--report, persistence under --run-*. The pre-grouping
+   spellings still parse as hidden deprecated aliases (one-line warning
+   on stderr); [route] below is the single place they merge into a
+   Tool.Config. *)
 
 open Cmdliner
+
+(* --- deprecated-alias plumbing --- *)
+
+let deprecated_docs = "DEPRECATED OPTIONS"
+
+let warn_deprecated ~old_name ~new_name =
+  Printf.eprintf "warning: %s is deprecated; use %s\n%!" old_name new_name
+
+let merge_flag ~old_name ~new_name old_v new_v =
+  if old_v then warn_deprecated ~old_name ~new_name;
+  old_v || new_v
+
+let merge_opt ~old_name ~new_name old_v new_v =
+  (match old_v with Some _ -> warn_deprecated ~old_name ~new_name | None -> ());
+  match new_v with Some v -> Some v | None -> old_v
 
 let load_netlist ~file ~circuit =
   match file, circuit with
@@ -248,9 +271,15 @@ let run_sim ~(config : Spr_core.Tool.config) ?resume ?resume_dir ~selfcheck ~pro
       Printf.printf "interrupted (%s): best-so-far layout follows%s\n"
         (Spr_core.Tool.stop_reason_to_string reason)
         (match run_dir with
-        | Some dir -> Printf.sprintf "; continue with: spr route --resume %s" dir
+        | Some dir -> Printf.sprintf "; continue with: spr route --run-resume %s" dir
         | None -> ""));
     report_sim nl r;
+    (match config.obs.trace_path with
+    | Some path -> Printf.printf "trace written to %s\n" path
+    | None -> ());
+    (match config.obs.report_path with
+    | Some path -> Printf.printf "report written to %s\n" path
+    | None -> ());
     if profile then begin
       Format.printf "%a" Spr_core.Profile.pp r.Spr_core.Tool.profile;
       Format.printf "per-temperature phase times:@.%a" Spr_core.Dynamics.pp_phase_series
@@ -271,17 +300,21 @@ let run_sim ~(config : Spr_core.Tool.config) ?resume ?resume_dir ~selfcheck ~pro
     post_layout nl r ~svg ~checkpoint ~ascii ~stats ~report_k ~clock;
     if audit_ok then Ok () else Error "selfcheck reported audit findings"
 
-let budget_config config ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep
-    ~selfcheck ~parallel ~exchange =
+(* The single flag→Config mapping: every route invocation (fresh or
+   resumed) builds its Tool.Config here and nowhere else. *)
+let cli_config config ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep
+    ~selfcheck ~parallel ~exchange ~trace ~report_file ~label =
   let open Spr_core.Tool.Config in
   config
   |> (if selfcheck then with_validate true else Fun.id)
   |> with_budget { time_budget; max_moves; stop_after_accepted = None }
   |> with_persistence { run_dir; snapshot_every; snapshot_keep; final_checkpoint = true }
   |> with_replicas ~exchange parallel
+  |> with_obs
+       { record = trace <> None; trace_path = trace; report_path = report_file; label = Some label }
 
 let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck ~profile
-    ~svg ~checkpoint ~ascii ~stats ~report_k ~clock =
+    ~svg ~checkpoint ~ascii ~stats ~report_k ~clock ~trace ~report_file =
   match read_run_meta dir with
   | Error e -> `Error (false, "resume failed: " ^ e)
   | Ok (tracks, scheme, seed, effort, parallel, exchange, circuit) -> (
@@ -297,10 +330,11 @@ let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~sel
       let arch = Spr_arch.Arch.size_for ~tracks ~hscheme:scheme nl in
       Format.printf "fabric:  %a@." Spr_arch.Arch.pp arch;
       let config =
-        budget_config
+        cli_config
           (Spr_experiments.Profiles.tool_config ~seed effort ~n)
           ~time_budget ~max_moves ~run_dir:(Some dir) ~snapshot_every ~snapshot_keep ~selfcheck
-          ~parallel ~exchange
+          ~parallel ~exchange ~trace ~report_file
+          ~label:(Option.value circuit ~default:"run")
       in
       if parallel > 1 then begin
         (* Fleet resume: each replica finds (or lacks) its own
@@ -327,18 +361,47 @@ let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~sel
           | Ok () -> `Ok ()
           | Error e -> `Error (false, e))))
 
-let route file circuit tracks scheme seed effort flow selfcheck profile svg checkpoint ascii
-    stats report_k clock run_dir resume time_budget max_moves snapshot_every snapshot_keep
-    parallel exchange =
+let route file circuit tracks scheme seed effort flow selfcheck (profile_n, profile_o) svg
+    checkpoint ascii (stats_n, stats_o) report_val endpoints (clock_n, clock_o) trace run_dir
+    (resume_n, resume_o) time_budget max_moves (snap_every_n, snap_every_o)
+    (snap_keep_n, snap_keep_o) parallel exchange =
+  let profile = merge_flag ~old_name:"--profile" ~new_name:"--obs-profile" profile_o profile_n in
+  let stats = merge_flag ~old_name:"--stats" ~new_name:"--obs-stats" stats_o stats_n in
+  let clock = merge_opt ~old_name:"--clock" ~new_name:"--obs-clock" clock_o clock_n in
+  let resume = merge_opt ~old_name:"--resume" ~new_name:"--run-resume" resume_o resume_n in
+  let snapshot_every =
+    Option.value ~default:1
+      (merge_opt ~old_name:"--snapshot-every" ~new_name:"--run-snapshot-every" snap_every_o
+         snap_every_n)
+  in
+  let snapshot_keep =
+    Option.value ~default:3
+      (merge_opt ~old_name:"--snapshot-keep" ~new_name:"--run-snapshot-keep" snap_keep_o
+         snap_keep_n)
+  in
+  (* --report historically meant "print the K worst timing endpoints";
+     it now names the report.json output. A bare integer is sniffed as
+     the old meaning so existing invocations keep working. *)
+  let sniffed_k, report_file =
+    match report_val with
+    | None -> (None, None)
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some k ->
+        warn_deprecated ~old_name:"--report K (timing endpoints)" ~new_name:"--obs-endpoints K";
+        (Some k, None)
+      | None -> (None, Some v))
+  in
+  let report_k = match endpoints with Some k -> Some k | None -> sniffed_k in
   if parallel < 1 then `Error (false, "--parallel must be >= 1")
   else
   match resume with
   | Some dir ->
     if file <> None || circuit <> None then
-      `Error (false, "--resume continues a saved run; do not also give a design")
+      `Error (false, "--run-resume continues a saved run; do not also give a design")
     else
       resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck
-        ~profile ~svg ~checkpoint ~ascii ~stats ~report_k ~clock
+        ~profile ~svg ~checkpoint ~ascii ~stats ~report_k ~clock ~trace ~report_file
   | None -> (
     match load_netlist ~file ~circuit with
     | Error e -> `Error (false, e)
@@ -359,12 +422,18 @@ let route file circuit tracks scheme seed effort flow selfcheck profile svg chec
       | None -> ());
       let errors = ref [] in
       let note = function Ok () -> () | Error e -> errors := e :: !errors in
+      let label =
+        match circuit, file with
+        | Some name, _ -> name
+        | None, Some path -> Filename.remove_extension (Filename.basename path)
+        | None, None -> "run"
+      in
       let sim () =
         let config =
-          budget_config
+          cli_config
             (Spr_experiments.Profiles.tool_config ~seed effort ~n)
             ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep ~selfcheck
-            ~parallel ~exchange
+            ~parallel ~exchange ~trace ~report_file ~label
         in
         note
           (run_sim ~config ~selfcheck ~profile arch nl ~run_dir ~svg ~checkpoint ~ascii ~stats
@@ -390,6 +459,9 @@ let route file circuit tracks scheme seed effort flow selfcheck profile svg chec
       | errs -> `Error (false, String.concat "\n" (List.rev errs))))
 
 let route_cmd =
+  let obs_docs = "OBSERVABILITY OPTIONS" in
+  let run_docs = "RUN PERSISTENCE OPTIONS" in
+  let pair a b = Term.(const (fun x y -> (x, y)) $ a $ b) in
   let flow =
     Arg.(value & opt string "sim" & info [ "flow" ] ~docv:"FLOW" ~doc:"sim, seq or both.")
   in
@@ -404,17 +476,42 @@ let route_cmd =
   let ascii =
     Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII die map and channel utilization.")
   in
-  let stats =
+  let stats_n =
     Arg.(value & flag
-         & info [ "stats" ] ~doc:"Print wirelength, antifuse and utilization statistics.")
+         & info [ "obs-stats" ] ~docs:obs_docs
+             ~doc:"Print wirelength, antifuse and utilization statistics.")
   in
-  let report_k =
+  let stats_o =
+    Arg.(value & flag
+         & info [ "stats" ] ~docs:deprecated_docs ~doc:"Deprecated alias for $(b,--obs-stats).")
+  in
+  let report_arg =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE" ~docs:obs_docs
+             ~doc:"Write the unified run report (report.json, machine twin of the ASCII \
+                   tables) to $(docv). A bare integer is read as the deprecated \
+                   $(b,--report K) endpoint count; use $(b,--obs-endpoints) for that.")
+  in
+  let endpoints =
     Arg.(value & opt (some int) None
-         & info [ "report" ] ~docv:"K" ~doc:"Print the K worst timing endpoints.")
+         & info [ "obs-endpoints" ] ~docv:"K" ~docs:obs_docs
+             ~doc:"Print the K worst timing endpoints.")
   in
-  let clock =
+  let clock_n =
     Arg.(value & opt (some float) None
-         & info [ "clock" ] ~docv:"NS" ~doc:"Clock period for slack in the timing report.")
+         & info [ "obs-clock" ] ~docv:"NS" ~docs:obs_docs
+             ~doc:"Clock period for slack in the timing report.")
+  in
+  let clock_o =
+    Arg.(value & opt (some float) None
+         & info [ "clock" ] ~docv:"NS" ~docs:deprecated_docs
+             ~doc:"Deprecated alias for $(b,--obs-clock).")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE" ~docs:obs_docs
+             ~doc:"Record a schema-versioned JSONL event trace (spans, per-temperature \
+                   dynamics, metrics) to $(docv); re-render it with $(b,spr report).")
   in
   let selfcheck =
     Arg.(value & flag
@@ -422,22 +519,32 @@ let route_cmd =
              ~doc:"Audit the incremental state against from-scratch recomputation during and \
                    after the run (placement bijection, routing mirrors, STA diff).")
   in
-  let profile =
+  let profile_n =
     Arg.(value & flag
-         & info [ "profile" ]
+         & info [ "obs-profile" ] ~docs:obs_docs
              ~doc:"Print the per-phase move-pipeline breakdown (propose, rip-up, reroute, \
                    retime, decide) and per-temperature phase times after the run.")
   in
+  let profile_o =
+    Arg.(value & flag
+         & info [ "profile" ] ~docs:deprecated_docs
+             ~doc:"Deprecated alias for $(b,--obs-profile).")
+  in
   let run_dir =
     Arg.(value & opt (some string) None
-         & info [ "run-dir" ] ~docv:"DIR"
+         & info [ "run-dir" ] ~docv:"DIR" ~docs:run_docs
              ~doc:"Write crash-safe resumable snapshots (and the design) into $(docv) as the \
                    run progresses.")
   in
-  let resume =
+  let resume_n =
     Arg.(value & opt (some dir) None
-         & info [ "resume" ] ~docv:"DIR"
+         & info [ "run-resume" ] ~docv:"DIR" ~docs:run_docs
              ~doc:"Continue an interrupted run from the newest good snapshot in $(docv).")
+  in
+  let resume_o =
+    Arg.(value & opt (some dir) None
+         & info [ "resume" ] ~docv:"DIR" ~docs:deprecated_docs
+             ~doc:"Deprecated alias for $(b,--run-resume).")
   in
   let time_budget =
     Arg.(value & opt (some float) None
@@ -449,15 +556,25 @@ let route_cmd =
          & info [ "max-moves" ] ~docv:"N"
              ~doc:"Stop gracefully after $(docv) annealing moves (cumulative across resumes).")
   in
-  let snapshot_every =
-    Arg.(value & opt int 1
-         & info [ "snapshot-every" ] ~docv:"N"
-             ~doc:"With --run-dir, snapshot every $(docv) temperature boundaries.")
+  let snap_every_n =
+    Arg.(value & opt (some int) None
+         & info [ "run-snapshot-every" ] ~docv:"N" ~docs:run_docs
+             ~doc:"With --run-dir, snapshot every $(docv) temperature boundaries (default 1).")
   in
-  let snapshot_keep =
-    Arg.(value & opt int 3
-         & info [ "snapshot-keep" ] ~docv:"K"
-             ~doc:"With --run-dir, keep the newest $(docv) snapshots.")
+  let snap_every_o =
+    Arg.(value & opt (some int) None
+         & info [ "snapshot-every" ] ~docv:"N" ~docs:deprecated_docs
+             ~doc:"Deprecated alias for $(b,--run-snapshot-every).")
+  in
+  let snap_keep_n =
+    Arg.(value & opt (some int) None
+         & info [ "run-snapshot-keep" ] ~docv:"K" ~docs:run_docs
+             ~doc:"With --run-dir, keep the newest $(docv) snapshots (default 3).")
+  in
+  let snap_keep_o =
+    Arg.(value & opt (some int) None
+         & info [ "snapshot-keep" ] ~docv:"K" ~docs:deprecated_docs
+             ~doc:"Deprecated alias for $(b,--run-snapshot-keep).")
   in
   let parallel =
     Arg.(value & opt int 1
@@ -484,9 +601,84 @@ let route_cmd =
     Term.(
       ret
         (const route $ file_arg $ circuit_arg $ tracks_arg $ scheme_arg $ seed_arg $ effort_arg
-        $ flow $ selfcheck $ profile $ svg $ checkpoint $ ascii $ stats $ report_k $ clock
-        $ run_dir $ resume $ time_budget $ max_moves $ snapshot_every $ snapshot_keep
-        $ parallel $ exchange))
+        $ flow $ selfcheck $ pair profile_n profile_o $ svg $ checkpoint $ ascii
+        $ pair stats_n stats_o $ report_arg $ endpoints $ pair clock_n clock_o $ trace
+        $ run_dir $ pair resume_n resume_o $ time_budget $ max_moves
+        $ pair snap_every_n snap_every_o $ pair snap_keep_n snap_keep_o $ parallel $ exchange))
+
+(* --- report: re-render a stored trace --- *)
+
+let report_trace trace_file check =
+  match Spr_obs.Trace.of_file trace_file with
+  | Error e -> `Error (false, e)
+  | Ok events -> (
+    match Spr_obs.Trace.validate events with
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" trace_file e)
+    | Ok () ->
+      if check then begin
+        Printf.printf "%s: valid %s trace (%d events)\n" trace_file
+          Spr_obs.Trace.schema_version (List.length events);
+        `Ok ()
+      end
+      else begin
+        let open Spr_obs.Trace in
+        List.iter
+          (fun e ->
+            match e.ev with
+            | Run_start { label; seed; replicas; n_cells; n_nets } ->
+              Printf.printf "run %s: seed=%d replicas=%d cells=%d nets=%d\n" label seed
+                replicas n_cells n_nets
+            | _ -> ())
+          events;
+        let replicas =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun e -> match e.ev with Temp _ -> Some e.ev_replica | _ -> None)
+               events)
+        in
+        let many = match replicas with [] | [ _ ] -> false | _ -> true in
+        List.iter
+          (fun k ->
+            let rows =
+              List.filter_map
+                (fun e ->
+                  match e.ev with Temp row when e.ev_replica = k -> Some row | _ -> None)
+                events
+            in
+            if many then Printf.printf "replica %d:\n" k;
+            Format.printf "%a" Spr_obs.Report.render_dynamics rows)
+          replicas;
+        List.iter
+          (fun e ->
+            match e.ev with
+            | Exchange { round; from_replica; metric } ->
+              Printf.printf "exchange round %d: replica %d leads (metric %.4g)\n" round
+                from_replica metric
+            | Replica_end { status; g; d; delay_ns; best_cost } when many ->
+              Printf.printf "replica %d: %s  G=%d D=%d  critical=%.2f ns  best-cost=%.4g\n"
+                e.ev_replica status g d delay_ns best_cost
+            | Run_end { status; g; d; delay_ns; best_cost; wall_seconds } ->
+              Printf.printf "run %s: G=%d D=%d  critical=%.2f ns  best-cost=%.4g  wall=%.1f s\n"
+                status g d delay_ns best_cost wall_seconds
+            | _ -> ())
+          events;
+        `Ok ()
+      end)
+
+let report_cmd =
+  let trace_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE" ~doc:"JSONL trace written by spr route --trace.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Only validate the trace against the schema; print a one-line verdict.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Validate a stored JSONL trace and re-render its dynamics tables (Figure 6).")
+    Term.(ret (const report_trace $ trace_file $ check))
 
 (* --- selfcheck (property-based differential testing) --- *)
 
@@ -616,6 +808,7 @@ let () =
           [
             generate_cmd;
             route_cmd;
+            report_cmd;
             min_tracks_cmd;
             dynamics_cmd;
             partition_cmd;

@@ -143,6 +143,10 @@ let run ?config ?resume ?(on_temperature = fun _ -> ())
   in
   let cfg = l.cfg in
   let running = ref true and stopped = ref false in
+  (* One "anneal.batch" span brackets each temperature batch; opened
+     lazily at the batch's first move so a resumed mid-batch run spans
+     only what it executes here. *)
+  let batch_open = ref false in
   let capture () =
     {
       s_config = l.cfg;
@@ -211,6 +215,10 @@ let run ?config ?resume ?(on_temperature = fun _ -> ())
      or when (already in the low-acceptance regime) the mean cost has
      stopped moving. *)
   let close_batch () =
+    if !batch_open then begin
+      Spr_obs.Obs.span_end ();
+      batch_open := false
+    end;
     on_temperature
       {
         temp_index = l.temp_index;
@@ -280,11 +288,16 @@ let run ?config ?resume ?(on_temperature = fun _ -> ())
     if !running then begin
       if l.batch_done >= batch_target () then close_batch ()
       else begin
+        if not !batch_open then begin
+          Spr_obs.Obs.span_begin ~name:"anneal.batch";
+          batch_open := true
+        end;
         step_move ();
         if should_stop ~moves:l.total_moves ~accepted:l.total_accepted then stopped := true
       end
     end
   done;
+  if !batch_open then Spr_obs.Obs.span_end ();
   if !stopped then on_checkpoint ~at:`Stop (capture ());
   {
     initial_cost = l.initial_cost;

@@ -49,6 +49,8 @@ let flush ?(phase_seconds = [||]) t ~temp_index ~temperature ~g_frac ~d_frac ~ac
 
 let samples t = List.rev t.acc
 
+let last_sample t = match t.acc with [] -> None | s :: _ -> Some s
+
 let perturbed_flags t = Array.copy t.perturbed
 
 let restore ~n_cells ~flags ~samples =
@@ -59,27 +61,43 @@ let restore ~n_cells ~flags ~samples =
   t.acc <- List.rev samples;
   t
 
-let pp_series ppf samples =
-  Format.fprintf ppf "%4s  %12s  %8s  %8s  %8s  %6s  %10s@."
-    "temp" "T" "%cells" "%G-unrt" "%unrt" "acc" "delay(ns)";
-  List.iter
-    (fun s ->
-      Format.fprintf ppf "%4d  %12.5g  %8.1f  %8.1f  %8.1f  %6.2f  %10.2f@."
-        s.dyn_temp_index s.dyn_temperature s.pct_cells_perturbed
-        s.pct_nets_globally_unrouted s.pct_nets_unrouted s.acceptance s.critical_delay)
-    samples
+(* A sample and a report dynamics row carry the same data; the report
+   row names its phase columns instead of relying on Profile's index. *)
+let to_row s =
+  {
+    Spr_obs.Report.dr_temp_index = s.dyn_temp_index;
+    dr_temperature = s.dyn_temperature;
+    dr_pct_cells = s.pct_cells_perturbed;
+    dr_pct_g_unrouted = s.pct_nets_globally_unrouted;
+    dr_pct_unrouted = s.pct_nets_unrouted;
+    dr_acceptance = s.acceptance;
+    dr_cost = s.cost;
+    dr_delay_ns = s.critical_delay;
+    dr_phase_seconds =
+      (if Array.length s.phase_seconds <> Profile.n_phases then []
+       else List.map (fun p -> (Profile.phase_name p, s.phase_seconds.(Profile.phase_index p))) Profile.phases);
+  }
+
+let of_row (r : Spr_obs.Report.dyn_row) =
+  {
+    dyn_temp_index = r.Spr_obs.Report.dr_temp_index;
+    dyn_temperature = r.dr_temperature;
+    pct_cells_perturbed = r.dr_pct_cells;
+    pct_nets_globally_unrouted = r.dr_pct_g_unrouted;
+    pct_nets_unrouted = r.dr_pct_unrouted;
+    acceptance = r.dr_acceptance;
+    cost = r.dr_cost;
+    critical_delay = r.dr_delay_ns;
+    phase_seconds =
+      (if List.length r.dr_phase_seconds <> Profile.n_phases then [||]
+       else Array.of_list (List.map snd r.dr_phase_seconds));
+  }
+
+let rows t = List.map to_row (samples t)
+
+let pp_series ppf samples = Spr_obs.Report.render_dynamics ppf (List.map to_row samples)
 
 let pp_phase_series ppf samples =
-  Format.fprintf ppf "%4s" "temp";
-  List.iter
-    (fun p -> Format.fprintf ppf "  %14s" (Profile.phase_name p ^ "(ms)"))
-    Profile.phases;
-  Format.fprintf ppf "@.";
-  List.iter
-    (fun s ->
-      if Array.length s.phase_seconds = Profile.n_phases then begin
-        Format.fprintf ppf "%4d" s.dyn_temp_index;
-        Array.iter (fun sec -> Format.fprintf ppf "  %14.3f" (sec *. 1e3)) s.phase_seconds;
-        Format.fprintf ppf "@."
-      end)
-    samples
+  Spr_obs.Report.render_phase_series ppf
+    ~phase_names:(List.map Profile.phase_name Profile.phases)
+    (List.map to_row samples)

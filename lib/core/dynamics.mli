@@ -48,6 +48,9 @@ val flush :
 val samples : t -> sample list
 (** In temperature order. *)
 
+val last_sample : t -> sample option
+(** The most recently flushed sample, without walking the series. *)
+
 val perturbed_flags : t -> bool array
 (** Copy of the per-cell perturbation marks accumulated since the last
     {!flush} — the mid-temperature state a resumable checkpoint must
@@ -57,6 +60,17 @@ val restore : n_cells:int -> flags:bool array -> samples:sample list -> t
 (** Recorder continuing exactly from a {!perturbed_flags} /
     {!samples} capture. Raises [Invalid_argument] if [flags] is not
     [n_cells] long. *)
+
+val to_row : sample -> Spr_obs.Report.dyn_row
+(** The sample as a report dynamics row (phase columns named with
+    {!Profile.phase_name}). *)
+
+val of_row : Spr_obs.Report.dyn_row -> sample
+(** Inverse of {!to_row}; rows with a foreign phase-column set decode
+    with empty [phase_seconds]. *)
+
+val rows : t -> Spr_obs.Report.dyn_row list
+(** [samples] as report rows, in temperature order. *)
 
 val pp_series : Format.formatter -> sample list -> unit
 (** The Figure 6 series as an aligned text table. *)

@@ -7,7 +7,14 @@
     remainder is inter-phase bookkeeping. {!mark}/{!since} give
     per-temperature deltas for the dynamics trace. Timing uses the
     monotonic-guarded {!Spr_util.Clock}, costing two clock reads per
-    phase per move. *)
+    phase per move.
+
+    Since the observability layer landed this is a facade over a
+    {!Spr_obs.Metrics} registry — every tally and phase clock is a
+    registry cell under a [pipeline.*] / [router.*] name, updated at
+    the same one-store cost as the mutable record it replaced, and
+    {!metrics_snapshot} exports the whole breakdown for traces and
+    reports. *)
 
 type phase = Propose | Rip_up | Global | Detail | Retime | Decide
 
@@ -67,6 +74,20 @@ val since : t -> mark -> float array * float * int
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable per-phase breakdown with counters. *)
+
+(** {1 Observability exports} *)
+
+val registry : t -> Spr_obs.Metrics.t
+(** The backing registry — for registering extra run-level metrics
+    (e.g. the annealer's acceptance histogram) next to the pipeline's
+    own, so one snapshot carries everything. *)
+
+val metrics_snapshot : t -> (string * Spr_obs.Metrics.value) list
+(** Registry snapshot, with the router attempt/success mirrors
+    refreshed from the raw {!counters} record first. *)
+
+val to_pipeline : t -> Spr_obs.Report.pipeline
+(** The move-pipeline summary block of the unified run report. *)
 
 (** {1 Mutable tallies}
 

@@ -46,6 +46,13 @@ module Config = struct
     stream : int;
   }
 
+  type obs = {
+    record : bool;
+    trace_path : string option;
+    report_path : string option;
+    label : string option;
+  }
+
   type t = {
     seed : int;
     router : Router.config;
@@ -58,6 +65,7 @@ module Config = struct
     persistence : persistence;
     validation : validation;
     parallel : parallel;
+    obs : obs;
   }
 
   let default =
@@ -74,6 +82,7 @@ module Config = struct
         { run_dir = None; snapshot_every = 1; snapshot_keep = 3; final_checkpoint = true };
       validation = { validate = false; validate_every = 50 };
       parallel = { replicas = 1; exchange = Portfolio.Independent; stream = 0 };
+      obs = { record = false; trace_path = None; report_path = None; label = None };
     }
 
   (* The one place configuration sanity lives. Nonsense is rejected
@@ -210,6 +219,16 @@ module Config = struct
     }
 
   let with_stream stream t = { t with parallel = { t.parallel with stream } }
+
+  let with_obs obs t = { t with obs }
+
+  let with_trace_recording record t = { t with obs = { t.obs with record } }
+
+  let with_trace_file path t = { t with obs = { t.obs with trace_path = Some path } }
+
+  let with_report_file path t = { t with obs = { t.obs with report_path = Some path } }
+
+  let with_run_label label t = { t with obs = { t.obs with label = Some label } }
 end
 
 type config = Config.t
@@ -263,7 +282,36 @@ type result = {
   cpu_seconds : float;
   status : status;
   best_cost : float;
+  report : Spr_obs.Report.t;
+  events : Spr_obs.Trace.event list;
 }
+
+let route_summary rs =
+  let stats = Spr_route.Route_stats.collect rs in
+  {
+    Spr_obs.Report.rt_routed_nets = stats.Spr_route.Route_stats.routed_nets;
+    rt_unrouted_nets = stats.Spr_route.Route_stats.unrouted_nets;
+    rt_h_wirelength = stats.Spr_route.Route_stats.horizontal_wirelength;
+    rt_v_wirelength = stats.Spr_route.Route_stats.vertical_wirelength;
+    rt_h_antifuses = stats.Spr_route.Route_stats.horizontal_antifuses;
+    rt_v_antifuses = stats.Spr_route.Route_stats.vertical_antifuses;
+    rt_x_antifuses = stats.Spr_route.Route_stats.cross_antifuses;
+    rt_vertical_used = stats.Spr_route.Route_stats.vertical_used;
+    rt_vertical_total = stats.Spr_route.Route_stats.vertical_total;
+    rt_channels =
+      List.map
+        (fun (cu : Spr_route.Route_stats.channel_util) ->
+          {
+            Spr_obs.Report.ch_index = cu.Spr_route.Route_stats.cu_channel;
+            ch_used_len = cu.Spr_route.Route_stats.cu_used_len;
+            ch_total_len = cu.Spr_route.Route_stats.cu_total_len;
+            ch_used_segments = cu.Spr_route.Route_stats.cu_used_segments;
+            ch_total_segments = cu.Spr_route.Route_stats.cu_total_segments;
+          })
+        stats.Spr_route.Route_stats.channels;
+  }
+
+let run_label (config : Config.t) = Option.value config.Config.obs.Config.label ~default:"run"
 
 (* One move = one transaction, run by the five-phase {!Move_pipeline}:
    [propose] applies everything (placement delta, rip-ups, reroutes,
@@ -371,6 +419,13 @@ let anneal_session ?resume ?ctx ~(config : Config.t) ~rng ~best s =
   let profile = Move_pipeline.profile s.pipeline in
   let batch_mark = ref (Profile.mark profile) in
   let replica = Option.map (fun c -> c.rep_index) ctx in
+  (* Per-temperature acceptance ratios, bucketed by decile, registered
+     next to the pipeline's metrics so one snapshot carries both. *)
+  let acceptance_hist =
+    Spr_obs.Metrics.histogram (Profile.registry profile)
+      ~bounds:[| 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 |]
+      "anneal.acceptance"
+  in
   let on_temperature (ts : Spr_anneal.Engine.temp_stats) =
     Spr_anneal.Weights.adapt s.weights;
     if config.validation.validate then validate_now s;
@@ -405,6 +460,11 @@ let anneal_session ?resume ?ctx ~(config : Config.t) ~rng ~best s =
       ~d_frac:(float_of_int (Rs.d_count s.rs) /. float_of_int n_routable)
       ~acceptance ~cost:(session_cost s)
       ~critical_delay:(Sta.critical_delay s.sta);
+    Spr_obs.Metrics.observe acceptance_hist acceptance;
+    if Spr_obs.Obs.recording () then
+      Option.iter
+        (fun sample -> Spr_obs.Obs.emit (Spr_obs.Trace.Temp (Dynamics.to_row sample)))
+        (Dynamics.last_sample s.dyn);
     (* Exchange AFTER the batch's own dynamics are flushed, so the
        trace describes what this replica actually annealed. *)
     match ctx with
@@ -554,7 +614,9 @@ let run_session ?resume ?ctx ~(config : Config.t) ~rng ~t_start s =
           Some r.Checkpoint.V2.data.Checkpoint.V2.best_layout )
       | None -> (infinity, None))
   in
-  let anneal_report, stop_reason = anneal_session ?resume ?ctx ~config ~rng ~best s in
+  let anneal_report, stop_reason =
+    Spr_obs.Obs.span ~name:"anneal" (fun () -> anneal_session ?resume ?ctx ~config ~rng ~best s)
+  in
   let status =
     match stop_reason with None -> Completed | Some reason -> Interrupted reason
   in
@@ -576,22 +638,61 @@ let run_session ?resume ?ctx ~(config : Config.t) ~rng ~t_start s =
           (s.place, s.rs, s.sta))
       | _ -> (s.place, s.rs, s.sta))
   in
-  finalize ~config rs sta;
+  Spr_obs.Obs.span ~name:"finalize" (fun () -> finalize ~config rs sta);
   if config.validation.validate && rs == s.rs then validate_now s;
+  let profile = Move_pipeline.profile s.pipeline in
+  let dynamics = Dynamics.samples s.dyn in
+  let cpu_seconds = Sys.time () -. t_start in
+  let critical_delay = Sta.critical_delay sta in
+  let g = Rs.g_count rs and d = Rs.d_count rs in
+  let best_cost = best_metric ~rs ~sta in
+  (* A serial run has no separate wall clock: one domain, one replica,
+     so cpu IS wall. The portfolio report overrides this with the
+     fleet-wide elapsed time. *)
+  let report =
+    {
+      Spr_obs.Report.r_label = run_label config;
+      r_seed = config.seed;
+      r_replicas = 1;
+      r_status = Outcome.status_to_string status;
+      r_fully_routed = Rs.fully_routed rs;
+      r_g_unrouted = g;
+      r_d_unrouted = d;
+      r_critical_delay_ns = critical_delay;
+      r_best_cost = best_cost;
+      r_initial_cost = anneal_report.Spr_anneal.Engine.initial_cost;
+      r_final_cost = anneal_report.Spr_anneal.Engine.final_cost;
+      r_moves = anneal_report.Spr_anneal.Engine.n_moves;
+      r_temperatures = anneal_report.Spr_anneal.Engine.n_temperatures;
+      r_exchange_rounds = 0;
+      r_cpu_seconds = cpu_seconds;
+      r_wall_seconds = cpu_seconds;
+      r_pipeline = Some (Profile.to_pipeline profile);
+      r_route = Some (route_summary rs);
+      r_dynamics = List.map Dynamics.to_row dynamics;
+      r_metrics = Profile.metrics_snapshot profile;
+    }
+  in
+  (* The registry dump closes the replica's own event stream; the trace
+     assembler appends the replica_end marker after it. *)
+  if Spr_obs.Obs.recording () then
+    Spr_obs.Obs.emit (Spr_obs.Trace.Metrics_dump report.Spr_obs.Report.r_metrics);
   {
     place;
     route = rs;
     sta;
-    critical_delay = Sta.critical_delay sta;
-    g = Rs.g_count rs;
-    d = Rs.d_count rs;
+    critical_delay;
+    g;
+    d;
     fully_routed = Rs.fully_routed rs;
     anneal_report;
-    dynamics = Dynamics.samples s.dyn;
-    profile = Move_pipeline.profile s.pipeline;
-    cpu_seconds = Sys.time () -. t_start;
+    dynamics;
+    profile;
+    cpu_seconds;
     status;
-    best_cost = best_metric ~rs ~sta;
+    best_cost;
+    report;
+    events = [];
   }
 
 let run_fresh ?ctx ~(config : Config.t) arch nl =
@@ -603,7 +704,8 @@ let run_fresh ?ctx ~(config : Config.t) arch nl =
     let rs = Rs.create place in
     (* Start-up transient: give every net a first chance at a (poor)
        route in the random placement. *)
-    Router.route_all ~config:config.router ~passes:2 rs;
+    Spr_obs.Obs.span ~name:"route.initial" (fun () ->
+        Router.route_all ~config:config.router ~passes:2 rs);
     let sta = Sta.create config.delay_model rs in
     let initial_delay = Float.max 1e-6 (Sta.critical_delay sta) in
     let weights =
@@ -676,6 +778,72 @@ let run_resumed ?ctx ~(config : Config.t) ~(resume : resume) nl =
     Ok (run_session ~resume ?ctx ~config ~rng ~t_start s)
   end
 
+(* --- trace assembly ---
+   One shared assembler produces [run_start :: replica streams ::
+   exchange records :: run_end] for serial and portfolio runs alike, so
+   a one-replica portfolio's trace is bit-identical to the serial
+   one. *)
+
+let replica_end_event ~replica (r : result) =
+  {
+    Spr_obs.Trace.ev_replica = replica;
+    ev =
+      Spr_obs.Trace.Replica_end
+        {
+          status = Outcome.status_to_string r.status;
+          g = r.g;
+          d = r.d;
+          delay_ns = r.critical_delay;
+          best_cost = r.best_cost;
+        };
+  }
+
+let assemble_trace ~(config : Config.t) ~nl ~replicas ~streams ~exchanges ~status ~g ~d
+    ~delay_ns ~best_cost ~wall_seconds =
+  let fleet ev = { Spr_obs.Trace.ev_replica = -1; ev } in
+  let start =
+    fleet
+      (Spr_obs.Trace.Run_start
+         {
+           label = run_label config;
+           seed = config.seed;
+           replicas;
+           n_cells = Spr_netlist.Netlist.n_cells nl;
+           n_nets = Spr_netlist.Netlist.n_nets nl;
+         })
+  in
+  let rounds =
+    List.map
+      (fun (x : Portfolio.round_result) ->
+        fleet
+          (Spr_obs.Trace.Exchange
+             {
+               round = x.Portfolio.xr_round;
+               from_replica = x.Portfolio.xr_best_replica;
+               metric = x.Portfolio.xr_best_metric;
+             }))
+      exchanges
+  in
+  let stop =
+    fleet (Spr_obs.Trace.Run_end { status; g; d; delay_ns; best_cost; wall_seconds })
+  in
+  (start :: List.concat streams) @ rounds @ [ stop ]
+
+let trace_events ~config nl (r : result) =
+  assemble_trace ~config ~nl ~replicas:1
+    ~streams:[ r.events @ [ replica_end_event ~replica:0 r ] ]
+    ~exchanges:[]
+    ~status:(Outcome.status_to_string r.status)
+    ~g:r.g ~d:r.d ~delay_ns:r.critical_delay ~best_cost:r.best_cost
+    ~wall_seconds:r.cpu_seconds
+
+let write_report_file path report =
+  Spr_util.Persist.atomic_write path
+    (Spr_obs.Json.to_string ~indent:true (Spr_obs.Report.to_json report) ^ "\n")
+
+let recording_wanted (config : Config.t) =
+  config.Config.obs.Config.record || config.Config.obs.Config.trace_path <> None
+
 let run ?(config = Config.default) ?resume arch nl =
   match Config.validated config with
   | Error msg -> Error (Invalid_config msg)
@@ -683,11 +851,28 @@ let run ?(config = Config.default) ?resume arch nl =
     match Spr_netlist.Levelize.run nl with
     | Error e -> Error (Invalid_design e)
     | Ok _ -> (
-      try
-        match resume with
-        | Some resume -> run_resumed ~config ~resume nl
-        | None -> run_fresh ~config arch nl
-      with Audit_failure findings -> Error (Audit_failed findings)))
+      let sink =
+        if recording_wanted config then Spr_obs.Sink.memory () else Spr_obs.Sink.null
+      in
+      let outcome =
+        try
+          Spr_obs.Obs.with_recording ~sink ~replica:0 (fun () ->
+              match resume with
+              | Some resume -> run_resumed ~config ~resume nl
+              | None -> run_fresh ~config arch nl)
+        with Audit_failure findings -> Error (Audit_failed findings)
+      in
+      match outcome with
+      | Error e -> Error e
+      | Ok r ->
+        let r = { r with events = Spr_obs.Sink.events sink } in
+        (match config.obs.trace_path with
+        | Some path -> Spr_obs.Trace.to_file path (trace_events ~config nl r)
+        | None -> ());
+        (match config.obs.report_path with
+        | Some path -> write_report_file path r.report
+        | None -> ());
+        Ok r))
 
 let run_exn ?config ?resume arch nl =
   match run ?config ?resume arch nl with Ok r -> r | Error e -> raise (Tool_error e)
@@ -700,9 +885,22 @@ type portfolio_result = {
   p_profile : Profile.t;
   p_exchanges : Portfolio.round_result list;
   p_wall_seconds : float;
+  p_report : Spr_obs.Report.t;
 }
 
 let best_result p = p.p_results.(p.p_best_replica)
+
+let portfolio_trace_events ~config nl (p : portfolio_result) =
+  let best = best_result p in
+  assemble_trace ~config ~nl
+    ~replicas:(Array.length p.p_results)
+    ~streams:
+      (Array.to_list
+         (Array.mapi (fun k r -> r.events @ [ replica_end_event ~replica:k r ]) p.p_results))
+    ~exchanges:p.p_exchanges
+    ~status:(Outcome.status_to_string best.status)
+    ~g:best.g ~d:best.d ~delay_ns:best.critical_delay ~best_cost:best.best_cost
+    ~wall_seconds:p.p_wall_seconds
 
 let run_portfolio ?(config = Config.default) ?resume_dir arch nl =
   match Config.validated config with
@@ -730,6 +928,10 @@ let run_portfolio ?(config = Config.default) ?resume_dir arch nl =
         Portfolio.create ~replicas ~exchange:config.parallel.exchange ~history ~persist
           ~frozen:interrupt_requested ()
       in
+      let sinks =
+        Array.init replicas (fun _ ->
+            if recording_wanted config then Spr_obs.Sink.memory () else Spr_obs.Sink.null)
+      in
       let worker k =
         (* One replica IS the serial path: no coordination, the
            configured stream, unprefixed snapshot files — bit-identical
@@ -742,21 +944,22 @@ let run_portfolio ?(config = Config.default) ?resume_dir arch nl =
         in
         let ctx = if replicas = 1 then None else Some { rep_index = k; rep_coord = coord } in
         let body () =
-          try
-            match resume_dir with
-            | Some dir -> (
-              let replica = if replicas = 1 then None else Some k in
-              match Checkpoint.V2.load_latest ?replica nl ~dir with
-              | Ok resume -> run_resumed ?ctx ~config ~resume nl
-              | Error e ->
-                (* No loadable snapshot for this replica: restart it
-                   from scratch. Determinism makes the restart replay
-                   the lost trajectory exactly, consuming any recorded
-                   exchange rounds along the way. *)
-                Log.info (fun m -> m "replica %d: %s; starting fresh" k e);
-                run_fresh ?ctx ~config arch nl)
-            | None -> run_fresh ?ctx ~config arch nl
-          with Audit_failure findings -> Error (Audit_failed findings)
+          Spr_obs.Obs.with_recording ~sink:sinks.(k) ~replica:k (fun () ->
+              try
+                match resume_dir with
+                | Some dir -> (
+                  let replica = if replicas = 1 then None else Some k in
+                  match Checkpoint.V2.load_latest ?replica nl ~dir with
+                  | Ok resume -> run_resumed ?ctx ~config ~resume nl
+                  | Error e ->
+                    (* No loadable snapshot for this replica: restart it
+                       from scratch. Determinism makes the restart replay
+                       the lost trajectory exactly, consuming any recorded
+                       exchange rounds along the way. *)
+                    Log.info (fun m -> m "replica %d: %s; starting fresh" k e);
+                    run_fresh ?ctx ~config arch nl)
+                | None -> run_fresh ?ctx ~config arch nl
+              with Audit_failure findings -> Error (Audit_failed findings))
         in
         if replicas = 1 then body ()
         else Fun.protect ~finally:(fun () -> Portfolio.finished coord ~replica:k) body
@@ -770,20 +973,48 @@ let run_portfolio ?(config = Config.default) ?resume_dir arch nl =
       | Some e -> Error e
       | None ->
         let results = Array.map (function Ok r -> r | Error _ -> assert false) settled in
+        let results =
+          Array.mapi (fun k (r : result) -> { r with events = Spr_obs.Sink.events sinks.(k) }) results
+        in
         let best = ref 0 in
         Array.iteri
           (fun i (r : result) -> if r.best_cost < results.(!best).best_cost then best := i)
           results;
         let merged = Profile.create () in
         Array.iter (fun (r : result) -> Profile.absorb merged r.profile) results;
-        Ok
+        let exchanges = Portfolio.history coord in
+        let wall_seconds = Spr_util.Clock.elapsed wall in
+        (* The fleet report: the winner's layout-facing numbers, the
+           merged pipeline/metrics, fleet-wide clocks. *)
+        let p_report =
+          {
+            results.(!best).report with
+            Spr_obs.Report.r_replicas = replicas;
+            r_exchange_rounds = List.length exchanges;
+            r_cpu_seconds =
+              Array.fold_left (fun acc (r : result) -> acc +. r.cpu_seconds) 0.0 results;
+            r_wall_seconds = wall_seconds;
+            r_pipeline = Some (Profile.to_pipeline merged);
+            r_metrics = Profile.metrics_snapshot merged;
+          }
+        in
+        let p =
           {
             p_best_replica = !best;
             p_results = results;
             p_profile = merged;
-            p_exchanges = Portfolio.history coord;
-            p_wall_seconds = Spr_util.Clock.elapsed wall;
-          })
+            p_exchanges = exchanges;
+            p_wall_seconds = wall_seconds;
+            p_report;
+          }
+        in
+        (match config.obs.trace_path with
+        | Some path -> Spr_obs.Trace.to_file path (portfolio_trace_events ~config nl p)
+        | None -> ());
+        (match config.obs.report_path with
+        | Some path -> write_report_file path p_report
+        | None -> ());
+        Ok p)
 
 let run_portfolio_exn ?config ?resume_dir arch nl =
   match run_portfolio ?config ?resume_dir arch nl with

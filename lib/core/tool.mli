@@ -116,6 +116,20 @@ module Config : sig
             [with_stream k]. Must be >= 0. *)
   }
 
+  type obs = {
+    record : bool;
+        (** Record span/temperature/metric events in memory even when
+            no trace file is requested, surfacing them on
+            [result.events]. Off by default — with recording off every
+            instrumentation point is a strict no-op. *)
+    trace_path : string option;
+        (** Write the schema-versioned JSONL event trace here
+            (implies recording). *)
+    report_path : string option;
+        (** Write the {!Spr_obs.Report} JSON here. *)
+    label : string option;  (** Run label in traces and reports. *)
+  }
+
   type t = {
     seed : int;
     router : Spr_route.Router.config;
@@ -133,6 +147,7 @@ module Config : sig
     persistence : persistence;
     validation : validation;
     parallel : parallel;
+    obs : obs;
   }
 
   val default : t
@@ -196,6 +211,16 @@ module Config : sig
   val with_replicas : ?exchange:Spr_anneal.Portfolio.exchange -> int -> t -> t
 
   val with_stream : int -> t -> t
+
+  val with_obs : obs -> t -> t
+
+  val with_trace_recording : bool -> t -> t
+
+  val with_trace_file : string -> t -> t
+
+  val with_report_file : string -> t -> t
+
+  val with_run_label : string -> t -> t
 end
 
 type config = Config.t
@@ -255,6 +280,17 @@ type result = {
       (** The delivered layout under the weight-independent best-so-far
           metric (unrouted nets dominate, critical delay breaks
           ties). *)
+  report : Spr_obs.Report.t;
+      (** The unified run report: routing summary, pipeline breakdown,
+          dynamics rows and metrics snapshot in one versioned record —
+          callers render or export this instead of re-deriving the
+          numbers from the fields above. For a serial run
+          [r_wall_seconds = r_cpu_seconds]. *)
+  events : Spr_obs.Trace.event list;
+      (** This replica's raw observability stream (spans, temperature
+          rows, metrics dump), tagged with its replica index; empty
+          unless [Config.obs] enabled recording. The run-level framing
+          is added by {!trace_events}. *)
 }
 
 type resume = Checkpoint.V2.loaded
@@ -273,6 +309,11 @@ val run :
 
 val run_exn : ?config:config -> ?resume:resume -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> result
 
+val trace_events : config:config -> Spr_netlist.Netlist.t -> result -> Spr_obs.Trace.event list
+(** The complete serial-run trace: [run_start], the replica's event
+    stream closed by its [replica_end], then [run_end]. This is exactly
+    what [Config.obs.trace_path] writes. *)
+
 (** {1 Parallel portfolio} *)
 
 type portfolio_result = {
@@ -287,10 +328,21 @@ type portfolio_result = {
   p_exchanges : Spr_anneal.Portfolio.round_result list;
       (** Every exchange round tripped or replayed, ascending. *)
   p_wall_seconds : float;  (** Whole-fleet wall clock. *)
+  p_report : Spr_obs.Report.t;
+      (** The fleet report: the winning replica's layout-facing
+          numbers with the merged pipeline/metrics, summed cpu, the
+          fleet wall clock and the exchange-round count. *)
 }
 
 val best_result : portfolio_result -> result
 (** [p.p_results.(p.p_best_replica)]. *)
+
+val portfolio_trace_events :
+  config:config -> Spr_netlist.Netlist.t -> portfolio_result -> Spr_obs.Trace.event list
+(** The merged fleet trace: [run_start], each replica's stream (closed
+    by its [replica_end]) in replica order, the exchange rounds, then
+    [run_end]. A one-replica portfolio's trace is bit-identical to the
+    serial {!trace_events} once timestamps are masked. *)
 
 val run_portfolio :
   ?config:config ->

@@ -1,0 +1,48 @@
+(** Minimal JSON values with a canonical printer and a strict parser.
+
+    The observability layer has no external dependencies, so it carries
+    its own JSON. The printer is {e canonical}: object fields keep their
+    construction order, floats print with the shortest decimal form that
+    round-trips bit-exactly, and strings escape exactly the characters
+    that must be escaped. Canonical output is what makes the trace
+    round-trip property (encode -> decode -> re-encode is bit-identical)
+    and the fixed-seed trace-determinism property testable as plain
+    string equality. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val float_repr : float -> string
+(** Shortest ["%.15g"]/["%.16g"]/["%.17g"] form that parses back to the
+    same bits. Infinities print as [1e999]/[-1e999] (syntactically valid
+    JSON numbers that overflow back to the infinities on read); NaN
+    prints as [null] and reads back through {!to_float} as [nan]. *)
+
+val to_string : ?indent:bool -> t -> string
+(** Canonical one-line form, or 2-space indented when [indent]. *)
+
+val parse : string -> (t, string) Stdlib.result
+(** Strict parse of a single JSON value (surrounding whitespace
+    allowed). Errors carry a character offset. *)
+
+(** {1 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]. *)
+
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** [Int], [Float], and — see {!float_repr} — [Null] (as [nan]). *)
+
+val to_str : t -> string option
+
+val to_bool : t -> bool option
+
+val to_list : t -> t list option

@@ -1,0 +1,59 @@
+type ctx = {
+  sink : Sink.t;
+  replica : int;
+  t0 : float;
+  mutable stack : (string * float) list;  (* open spans, innermost first *)
+}
+
+let key : ctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () =
+  match Domain.DLS.get key with
+  | Some c when Sink.enabled c.sink -> Some c
+  | _ -> None
+
+let recording () = current () <> None
+
+let with_recording ~sink ~replica f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key (Some { sink; replica; t0 = Spr_util.Clock.now (); stack = [] });
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+
+let emit payload =
+  match current () with
+  | None -> ()
+  | Some c -> Sink.emit c.sink { Trace.ev_replica = c.replica; ev = payload }
+
+let span_begin ~name =
+  match current () with
+  | None -> ()
+  | Some c ->
+    let now = Spr_util.Clock.now () in
+    let depth = List.length c.stack in
+    Sink.emit c.sink
+      { Trace.ev_replica = c.replica; ev = Trace.Span_begin { name; depth; t = now -. c.t0 } };
+    c.stack <- (name, now) :: c.stack
+
+let span_end () =
+  match current () with
+  | None -> ()
+  | Some c -> (
+    match c.stack with
+    | [] -> ()
+    | (name, t_open) :: rest ->
+      c.stack <- rest;
+      let now = Spr_util.Clock.now () in
+      Sink.emit c.sink
+        {
+          Trace.ev_replica = c.replica;
+          ev =
+            Trace.Span_end
+              { name; depth = List.length rest; t = now -. c.t0; dt = now -. t_open };
+        })
+
+let span ~name f =
+  match current () with
+  | None -> f ()
+  | Some _ ->
+    span_begin ~name;
+    Fun.protect ~finally:span_end f

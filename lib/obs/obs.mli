@@ -1,0 +1,34 @@
+(** Ambient recording context: spans and event emission.
+
+    The context lives in domain-local storage, so each portfolio
+    replica (one domain each) records into its own sink without locks
+    or plumbing — instrumented code calls {!span} / {!emit} and the
+    events land in whatever sink {!with_recording} installed on that
+    domain. When no recording is active (or the sink is the null sink)
+    every call is a strict no-op that never reads the clock, keeping
+    the move kernel's cost unchanged with tracing off.
+
+    Span timestamps are seconds since the recording started (from the
+    monotonic-guarded {!Spr_util.Clock}); nesting depth is tracked
+    automatically. *)
+
+val with_recording : sink:Sink.t -> replica:int -> (unit -> 'a) -> 'a
+(** Install a recording context on the current domain for the duration
+    of the thunk (restoring any previous context afterwards). Events
+    are tagged with [replica]. *)
+
+val recording : unit -> bool
+(** Is a live (non-null) sink installed on this domain? *)
+
+val span : name:string -> (unit -> 'a) -> 'a
+(** Bracket the thunk in a span (exception-safe). *)
+
+val span_begin : name:string -> unit
+(** Open a span by hand — for brackets that cannot wrap a closure,
+    like the annealer's batch loop. Pair with {!span_end}. *)
+
+val span_end : unit -> unit
+(** Close the innermost open span. No-op if none is open. *)
+
+val emit : Trace.payload -> unit
+(** Emit an event tagged with the current replica. *)

@@ -1,0 +1,11 @@
+type t = Null | Memory of Trace.event list ref  (* reversed *)
+
+let null = Null
+
+let memory () = Memory (ref [])
+
+let enabled = function Null -> false | Memory _ -> true
+
+let emit t ev = match t with Null -> () | Memory buf -> buf := ev :: !buf
+
+let events = function Null -> [] | Memory buf -> List.rev !buf

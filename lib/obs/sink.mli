@@ -1,0 +1,23 @@
+(** Event sinks.
+
+    A sink is where one recording domain's events go. The [null] sink
+    makes every recording call a no-op (instrumented code pays only a
+    branch), a [memory] sink buffers events in order. Each portfolio
+    replica records into its own memory sink on its own domain — no
+    locks — and the coordinator drains the buffers afterwards with
+    {!events}. *)
+
+type t
+
+val null : t
+
+val memory : unit -> t
+
+val enabled : t -> bool
+(** [false] for {!null} — the guard instrumentation checks before
+    reading the clock. *)
+
+val emit : t -> Trace.event -> unit
+
+val events : t -> Trace.event list
+(** Buffered events in emission order ([[]] for {!null}). *)

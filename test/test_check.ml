@@ -515,6 +515,95 @@ let test_portfolio_kill_resume () =
       rmrf dir)
     [ ("indep", Spr_anneal.Portfolio.Independent); ("best2", Spr_anneal.Portfolio.Best_exchange 2) ]
 
+(* --- trace determinism and schema round-trip --- *)
+
+module Trace = Spr_obs.Trace
+module Report = Spr_obs.Report
+
+(* Masked traces (every wall-clock-derived field zeroed) from a fixed
+   seed must be bit-identical as strings: across repeated runs, and
+   between the serial runner and a one-replica portfolio, whose merge
+   path is the one --parallel uses. *)
+let masked_lines events =
+  String.concat "\n" (List.map (fun e -> Trace.encode_line (Trace.mask_times e)) events)
+
+let trace_preset seed =
+  let nl = Gen.generate (Gen.default ~n_cells:48) ~seed in
+  let arch = Arch.size_for ~tracks:18 nl in
+  let config = Tool.Config.with_trace_recording true (quick_config ~seed (Nl.n_cells nl)) in
+  (arch, nl, config)
+
+let test_trace_deterministic () =
+  let arch, nl, config = trace_preset 12 in
+  let run () =
+    let r = Tool.run_exn ~config arch nl in
+    masked_lines (Tool.trace_events ~config nl r)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "non-trivial trace" true (String.length a > 0);
+  Alcotest.(check bool) "masked traces bit-identical across runs" true (a = b)
+
+let test_trace_serial_matches_portfolio_of_one () =
+  let arch, nl, config = trace_preset 13 in
+  let serial =
+    let r = Tool.run_exn ~config arch nl in
+    masked_lines (Tool.trace_events ~config nl r)
+  in
+  let fleet =
+    let config = Tool.Config.with_replicas ~exchange:Spr_anneal.Portfolio.Independent 1 config in
+    let p = Tool.run_portfolio_exn ~config arch nl in
+    masked_lines (Tool.portfolio_trace_events ~config nl p)
+  in
+  Alcotest.(check bool) "serial trace == one-replica portfolio trace" true (serial = fleet)
+
+let test_trace_portfolio_deterministic () =
+  let arch, nl, config = trace_preset 14 in
+  let config = Tool.Config.with_replicas ~exchange:Spr_anneal.Portfolio.Independent 2 config in
+  let run () =
+    let p = Tool.run_portfolio_exn ~config arch nl in
+    masked_lines (Tool.portfolio_trace_events ~config nl p)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "masked K=2 traces bit-identical across runs" true (a = b);
+  (* The merged stream carries both replicas and validates structurally. *)
+  let p = Tool.run_portfolio_exn ~config arch nl in
+  let events = Tool.portfolio_trace_events ~config nl p in
+  (match Trace.validate events with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "merged trace invalid: %s" e);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "replica %d present in merged trace" k)
+        true
+        (List.exists (fun e -> e.Trace.ev_replica = k) events))
+    [ 0; 1 ]
+
+let test_trace_roundtrip () =
+  let arch, nl, config = trace_preset 15 in
+  let r = Tool.run_exn ~config arch nl in
+  let events = Tool.trace_events ~config nl r in
+  (match Trace.validate events with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "trace invalid: %s" e);
+  (* encode -> decode -> re-encode is bit-identical, unmasked. *)
+  List.iter
+    (fun e ->
+      let line = Trace.encode_line e in
+      match Trace.decode_line line with
+      | Error err -> Alcotest.failf "decode failed: %s\n%s" err line
+      | Ok e2 ->
+        Alcotest.(check string) "re-encoded line identical" line (Trace.encode_line e2))
+    events;
+  (* The report round-trips through its JSON twin the same way. *)
+  let j = Report.to_json r.Tool.report in
+  match Report.of_json j with
+  | Error e -> Alcotest.failf "report decode failed: %s" e
+  | Ok rep2 ->
+    Alcotest.(check string) "re-encoded report identical"
+      (Spr_obs.Json.to_string j)
+      (Spr_obs.Json.to_string (Report.to_json rep2))
+
 let test_graceful_stop_resume () =
   let arch, nl, config = crash_preset ~n_cells:40 ~tracks:16 ~seed:4 in
   let dir = "crash-graceful" in
@@ -585,6 +674,17 @@ let () =
         [
           Alcotest.test_case "200-cell run under continuous audit" `Slow
             test_tool_validated_200_cells;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "fixed-seed masked trace is bit-identical" `Slow
+            test_trace_deterministic;
+          Alcotest.test_case "serial trace == --parallel 1 trace" `Slow
+            test_trace_serial_matches_portfolio_of_one;
+          Alcotest.test_case "K=2 merged trace deterministic and valid" `Slow
+            test_trace_portfolio_deterministic;
+          Alcotest.test_case "trace encode -> decode -> re-encode fixpoint" `Slow
+            test_trace_roundtrip;
         ] );
       ( "crash",
         [

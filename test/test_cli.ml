@@ -87,7 +87,7 @@ let test_time_budget_interrupts () =
     (Printf.sprintf "reports the interruption (got: %s)" out)
     true
     (has_substring ~sub:"interrupted (time budget)" out);
-  Alcotest.(check bool) "points at --resume" true (has_substring ~sub:"--resume" out);
+  Alcotest.(check bool) "points at --run-resume" true (has_substring ~sub:"--run-resume" out);
   let _ = load_run_dir dir in
   rmrf dir
 
@@ -106,8 +106,13 @@ let test_move_budget_then_resume () =
     (Printf.sprintf "reports the interruption (got: %s)" out)
     true
     (has_substring ~sub:"interrupted (move budget)" out);
+  (* the pre-grouping spelling still works, with a deprecation note *)
   let status, out = run_cli [ "route"; "--resume"; dir ] in
   check_exit_zero "resumed run" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "deprecated --resume warns (got: %s)" out)
+    true
+    (has_substring ~sub:"--resume is deprecated" out);
   Alcotest.(check bool)
     (Printf.sprintf "resume announces its snapshot (got: %s)" out)
     true
@@ -153,13 +158,52 @@ let test_parallel_smoke () =
   in
   Alcotest.(check bool) "meta records parallel" true (has_substring ~sub:"parallel 2" meta);
   Alcotest.(check bool) "meta records exchange" true (has_substring ~sub:"exchange best:4" meta);
-  let status, out = run_cli [ "route"; "--resume"; dir ] in
+  let status, out = run_cli [ "route"; "--run-resume"; dir ] in
   check_exit_zero "fleet resume" status;
   Alcotest.(check bool)
     (Printf.sprintf "resume rebuilds the fleet (got: %s)" out)
     true
     (has_substring ~sub:"resuming portfolio of 2 replicas" out);
   rmrf dir
+
+(* --trace/--report leave artifacts behind that spr report validates
+   against the trace schema and re-renders as the dynamics table. *)
+let test_trace_report_artifacts () =
+  let trace = Filename.temp_file "spr_cli_trace" ".jsonl" in
+  let report = Filename.temp_file "spr_cli_report" ".json" in
+  let status, out =
+    run_cli
+      [ "route"; "--circuit"; "s1"; "--effort"; "quick"; "--seed"; "2";
+        "--trace"; trace; "--report"; report ]
+  in
+  check_exit_zero "traced run" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "announces the artifacts (got: %s)" out)
+    true
+    (has_substring ~sub:"trace written to" out && has_substring ~sub:"report written to" out);
+  let status, out = run_cli [ "report"; trace; "--check" ] in
+  check_exit_zero "spr report --check" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "schema-valid trace (got: %s)" out)
+    true
+    (has_substring ~sub:"valid spr-trace-1 trace" out);
+  let status, out = run_cli [ "report"; trace ] in
+  check_exit_zero "spr report" status;
+  Alcotest.(check bool)
+    (Printf.sprintf "re-renders the dynamics table (got: %s)" out)
+    true
+    (has_substring ~sub:"%G-unrt" out);
+  (match Spr_util.Persist.read_file report with
+  | Error e -> Alcotest.failf "report.json unreadable: %s" e
+  | Ok text -> (
+    match Spr_obs.Json.parse text with
+    | Error e -> Alcotest.failf "report.json does not parse: %s" e
+    | Ok j -> (
+      match Spr_obs.Report.of_json j with
+      | Error e -> Alcotest.failf "report.json does not decode: %s" e
+      | Ok _ -> ())));
+  Sys.remove trace;
+  Sys.remove report
 
 let test_bad_parallel_flags () =
   let status, _ = run_cli [ "route"; "--circuit"; "s1"; "--parallel"; "0" ] in
@@ -239,6 +283,11 @@ let () =
         [
           Alcotest.test_case "two-replica portfolio end to end" `Slow test_parallel_smoke;
           Alcotest.test_case "bad flags rejected" `Quick test_bad_parallel_flags;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "--trace/--report artifacts round-trip through spr report" `Slow
+            test_trace_report_artifacts;
         ] );
       ( "signals",
         [

@@ -1,0 +1,207 @@
+(* Unit tests for the spr_obs observability layer: canonical JSON
+   printing/parsing, the metrics registry (including cross-registry
+   absorb), span recording, and the shared dynamics renderer. *)
+
+module Json = Spr_obs.Json
+module Metrics = Spr_obs.Metrics
+module Report = Spr_obs.Report
+module Trace = Spr_obs.Trace
+module Sink = Spr_obs.Sink
+module Obs = Spr_obs.Obs
+
+(* --- canonical JSON --- *)
+
+let roundtrip s =
+  match Json.parse s with
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+  | Ok v -> Json.to_string v
+
+let test_json_canonical () =
+  Alcotest.(check string) "object order preserved" {|{"b":1,"a":2}|} (roundtrip {| {"b": 1, "a": 2} |});
+  Alcotest.(check string) "nested" {|{"x":[1,2.5,"s",null,true]}|}
+    (roundtrip {|{"x":[1, 2.5, "s", null, true]}|});
+  Alcotest.(check string) "string escapes" "\"a\\n\\\"b\\\\\"" (roundtrip "\"a\\n\\\"b\\\\\"");
+  Alcotest.(check string) "unicode escape becomes utf-8" "\"\xc3\xa9\"" (roundtrip {|"é"|});
+  Alcotest.(check string) "empty containers" {|{"a":[],"b":{}}|} (roundtrip {|{"a":[],"b":{}}|})
+
+let test_json_floats () =
+  List.iter
+    (fun f ->
+      let s = Json.float_repr f in
+      match float_of_string_opt s with
+      | None -> Alcotest.failf "%h printed unparseable %S" f s
+      | Some f2 ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%h round-trips via %S" f s)
+          true
+          (Int64.bits_of_float f = Int64.bits_of_float f2))
+    [ 0.; 1.; -1.; 0.1; 1e-300; 1.7976931348623157e308; 4.12; 128.955875; 3.0000000000000004 ];
+  Alcotest.(check string) "infinity" "1e999" (Json.float_repr infinity);
+  Alcotest.(check string) "neg infinity" "-1e999" (Json.float_repr neg_infinity);
+  Alcotest.(check string) "nan is null" "null" (Json.float_repr nan);
+  (* 1e999 overflows back to infinity on read; to_float maps Null to nan. *)
+  (match Json.parse "1e999" with
+  | Ok v -> Alcotest.(check bool) "1e999 reads as inf" true (Json.to_float v = Some infinity)
+  | Error e -> Alcotest.failf "1e999 did not parse: %s" e);
+  match Json.parse "null" with
+  | Ok v ->
+    Alcotest.(check bool) "null reads as nan" true
+      (match Json.to_float v with Some f -> Float.is_nan f | None -> false)
+  | Error e -> Alcotest.failf "null did not parse: %s" e
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}"; "nan" ]
+
+(* --- metrics registry --- *)
+
+let test_metrics_registry () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "moves" in
+  let g = Metrics.gauge reg "seconds" in
+  let h = Metrics.histogram reg ~bounds:[| 0.5 |] "acc" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Metrics.gauge_add g 1.5;
+  Metrics.observe h 0.25;
+  Metrics.observe h 0.75;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  Alcotest.(check bool) "gauge" true (Metrics.gauge_value g = 1.5);
+  Alcotest.(check int) "histogram total" 2 (Metrics.histogram_total h);
+  (* get-or-create returns the same cell; conflicting kinds are refused *)
+  Metrics.incr (Metrics.counter reg "moves");
+  Alcotest.(check int) "same cell" 6 (Metrics.counter_value c);
+  (match Metrics.counter reg "seconds" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind conflict not detected");
+  (* snapshot preserves registration order *)
+  Alcotest.(check (list string)) "registration order" [ "moves"; "seconds"; "acc" ]
+    (List.map fst (Metrics.snapshot reg))
+
+let test_metrics_absorb () =
+  let mk () =
+    let reg = Metrics.create () in
+    let c = Metrics.counter reg "n" in
+    let h = Metrics.histogram reg ~bounds:[| 1.0; 2.0 |] "hist" in
+    (reg, c, h)
+  in
+  let a, ca, ha = mk () in
+  let b, cb, hb = mk () in
+  Metrics.add ca 3;
+  Metrics.add cb 4;
+  Metrics.observe ha 0.5;
+  Metrics.observe hb 1.5;
+  Metrics.observe hb 9.0;
+  (* b also has a metric a has never seen *)
+  Metrics.gauge_set (Metrics.gauge b "only_b") 2.25;
+  Metrics.absorb a b;
+  Alcotest.(check int) "counters sum" 7 (Metrics.counter_value ca);
+  Alcotest.(check int) "histogram totals sum" 3 (Metrics.histogram_total ha);
+  (match List.assoc_opt "only_b" (Metrics.snapshot a) with
+  | Some (Metrics.Value v) -> Alcotest.(check bool) "foreign gauge adopted" true (v = 2.25)
+  | _ -> Alcotest.fail "absorb dropped a metric unique to the source");
+  match List.assoc_opt "hist" (Metrics.snapshot a) with
+  | Some (Metrics.Buckets { counts; _ }) ->
+    Alcotest.(check (list int)) "bucket-wise sum" [ 1; 1; 1 ] (Array.to_list counts)
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+(* --- spans --- *)
+
+let test_spans_nest_and_balance () =
+  let sink = Sink.memory () in
+  Obs.with_recording ~sink ~replica:3 (fun () ->
+      Obs.span ~name:"outer" (fun () -> Obs.span ~name:"inner" (fun () -> ())));
+  let events = Sink.events sink in
+  let shape =
+    List.map
+      (fun e ->
+        match e.Trace.ev with
+        | Trace.Span_begin { name; depth; _ } -> Printf.sprintf "b:%s@%d" name depth
+        | Trace.Span_end { name; depth; _ } -> Printf.sprintf "e:%s@%d" name depth
+        | _ -> "?")
+      events
+  in
+  Alcotest.(check (list string)) "nested spans balance"
+    [ "b:outer@0"; "b:inner@1"; "e:inner@1"; "e:outer@0" ]
+    shape;
+  List.iter
+    (fun e -> Alcotest.(check int) "events tagged with the replica" 3 e.Trace.ev_replica)
+    events;
+  (* outside with_recording, spans are free no-ops that still run f *)
+  let hit = ref false in
+  Obs.span ~name:"ignored" (fun () -> hit := true);
+  Alcotest.(check bool) "span body ran without a sink" true !hit;
+  Alcotest.(check bool) "nothing recorded without a sink" true (not (Obs.recording ()))
+
+(* --- shared dynamics renderer --- *)
+
+let row i =
+  {
+    Report.dr_temp_index = i;
+    dr_temperature = 0.5 /. float_of_int (i + 1);
+    dr_pct_cells = 90.0 -. float_of_int i;
+    dr_pct_g_unrouted = 8.0;
+    dr_pct_unrouted = 21.0;
+    dr_acceptance = 0.8;
+    dr_cost = 3.25;
+    dr_delay_ns = 250.0;
+    dr_phase_seconds = [ ("propose", 0.001); ("decide", 0.002) ];
+  }
+
+let render f rows =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf rows;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_render_dynamics () =
+  let text = render Report.render_dynamics [ row 0; row 1 ] in
+  let lines = String.split_on_char '\n' (String.trim text) in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check bool) "header names the Figure-6 columns" true
+    (match lines with h :: _ -> String.length h > 0 && String.trim h <> "" | [] -> false);
+  (* the row from a Trace.Temp event renders identically to the same
+     row rendered via Dynamics.pp_series -- single renderer *)
+  let via_dynamics =
+    render Spr_core.Dynamics.pp_series (List.map Spr_core.Dynamics.of_row [ row 0; row 1 ])
+  in
+  let direct = render Report.render_dynamics [ row 0; row 1 ] in
+  (* of_row drops the phase columns (foreign names), which the dynamics
+     table doesn't show, so the tables agree *)
+  Alcotest.(check string) "Dynamics.pp_series delegates here" direct via_dynamics
+
+let test_phase_series_skips_partial_rows () =
+  let names = [ "propose"; "decide" ] in
+  let full = row 0 in
+  let partial = { (row 1) with Report.dr_phase_seconds = [] } in
+  let text = render (fun ppf -> Report.render_phase_series ppf ~phase_names:names) [ full; partial ] in
+  let lines = String.split_on_char '\n' (String.trim text) in
+  Alcotest.(check int) "header + only the complete row" 2 (List.length lines)
+
+let () =
+  Alcotest.run "spr_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "canonical print/parse round trip" `Quick test_json_canonical;
+          Alcotest.test_case "float repr shortest round-trip" `Quick test_json_floats;
+          Alcotest.test_case "malformed inputs rejected" `Quick test_json_parse_errors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry get-or-create and snapshot" `Quick test_metrics_registry;
+          Alcotest.test_case "absorb merges by name" `Quick test_metrics_absorb;
+        ] );
+      ("spans", [ Alcotest.test_case "nesting, tagging, no-op without sink" `Quick test_spans_nest_and_balance ]);
+      ( "render",
+        [
+          Alcotest.test_case "dynamics table via the one renderer" `Quick test_render_dynamics;
+          Alcotest.test_case "phase series skips partial rows" `Quick
+            test_phase_series_skips_partial_rows;
+        ] );
+    ]
