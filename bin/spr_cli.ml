@@ -303,18 +303,21 @@ let run_sim ~(config : Spr_core.Tool.config) ?resume ?resume_dir ~selfcheck ~pro
 (* The single flag→Config mapping: every route invocation (fresh or
    resumed) builds its Tool.Config here and nowhere else. *)
 let cli_config config ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep
-    ~selfcheck ~parallel ~exchange ~trace ~report_file ~label =
+    ~selfcheck ~parallel ~exchange ~route_workers ~route_grain ~trace ~report_file ~label =
   let open Spr_core.Tool.Config in
   config
   |> (if selfcheck then with_validate true else Fun.id)
   |> with_budget { time_budget; max_moves; stop_after_accepted = None }
   |> with_persistence { run_dir; snapshot_every; snapshot_keep; final_checkpoint = true }
   |> with_replicas ~exchange parallel
+  |> with_route_workers route_workers
+  |> with_route_grain route_grain
   |> with_obs
        { record = trace <> None; trace_path = trace; report_path = report_file; label = Some label }
 
 let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck ~profile
-    ~svg ~checkpoint ~ascii ~stats ~report_k ~clock ~trace ~report_file =
+    ~svg ~checkpoint ~ascii ~stats ~report_k ~clock ~route_workers ~route_grain ~trace
+    ~report_file =
   match read_run_meta dir with
   | Error e -> `Error (false, "resume failed: " ^ e)
   | Ok (tracks, scheme, seed, effort, parallel, exchange, circuit) -> (
@@ -333,7 +336,7 @@ let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~sel
         cli_config
           (Spr_experiments.Profiles.tool_config ~seed effort ~n)
           ~time_budget ~max_moves ~run_dir:(Some dir) ~snapshot_every ~snapshot_keep ~selfcheck
-          ~parallel ~exchange ~trace ~report_file
+          ~parallel ~exchange ~route_workers ~route_grain ~trace ~report_file
           ~label:(Option.value circuit ~default:"run")
       in
       if parallel > 1 then begin
@@ -364,7 +367,7 @@ let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~sel
 let route file circuit tracks scheme seed effort flow selfcheck (profile_n, profile_o) svg
     checkpoint ascii (stats_n, stats_o) report_val endpoints (clock_n, clock_o) trace run_dir
     (resume_n, resume_o) time_budget max_moves (snap_every_n, snap_every_o)
-    (snap_keep_n, snap_keep_o) parallel exchange =
+    (snap_keep_n, snap_keep_o) parallel exchange route_workers route_grain =
   let profile = merge_flag ~old_name:"--profile" ~new_name:"--obs-profile" profile_o profile_n in
   let stats = merge_flag ~old_name:"--stats" ~new_name:"--obs-stats" stats_o stats_n in
   let clock = merge_opt ~old_name:"--clock" ~new_name:"--obs-clock" clock_o clock_n in
@@ -394,6 +397,8 @@ let route file circuit tracks scheme seed effort flow selfcheck (profile_n, prof
   in
   let report_k = match endpoints with Some k -> Some k | None -> sniffed_k in
   if parallel < 1 then `Error (false, "--parallel must be >= 1")
+  else if route_workers < 1 then `Error (false, "--route-workers must be >= 1")
+  else if route_grain < 1 then `Error (false, "--route-grain must be >= 1")
   else
   match resume with
   | Some dir ->
@@ -401,7 +406,8 @@ let route file circuit tracks scheme seed effort flow selfcheck (profile_n, prof
       `Error (false, "--run-resume continues a saved run; do not also give a design")
     else
       resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck
-        ~profile ~svg ~checkpoint ~ascii ~stats ~report_k ~clock ~trace ~report_file
+        ~profile ~svg ~checkpoint ~ascii ~stats ~report_k ~clock ~route_workers ~route_grain
+        ~trace ~report_file
   | None -> (
     match load_netlist ~file ~circuit with
     | Error e -> `Error (false, e)
@@ -433,7 +439,7 @@ let route file circuit tracks scheme seed effort flow selfcheck (profile_n, prof
           cli_config
             (Spr_experiments.Profiles.tool_config ~seed effort ~n)
             ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep ~selfcheck
-            ~parallel ~exchange ~trace ~report_file ~label
+            ~parallel ~exchange ~route_workers ~route_grain ~trace ~report_file ~label
         in
         note
           (run_sim ~config ~selfcheck ~profile arch nl ~run_dir ~svg ~checkpoint ~ascii ~stats
@@ -582,6 +588,18 @@ let route_cmd =
              ~doc:"Anneal $(docv) independent replicas in parallel (one per domain) and keep \
                    the best result. $(docv)=1 is the plain serial run.")
   in
+  let route_workers =
+    Arg.(value & opt int 1
+         & info [ "route-workers" ] ~docv:"N"
+             ~doc:"Reroute dirty nets on $(docv) worker domains per replica (split across \
+                   replicas when --parallel > 1). Results are bit-identical to the serial \
+                   router at any $(docv); this is purely a throughput knob.")
+  in
+  let route_grain =
+    Arg.(value & opt int 8
+         & info [ "route-grain" ] ~docv:"G"
+             ~doc:"Dispatch reroute batches to workers in chunks of $(docv) nets.")
+  in
   let exchange =
     let parse s =
       match Spr_anneal.Portfolio.exchange_of_string s with
@@ -604,7 +622,8 @@ let route_cmd =
         $ flow $ selfcheck $ pair profile_n profile_o $ svg $ checkpoint $ ascii
         $ pair stats_n stats_o $ report_arg $ endpoints $ pair clock_n clock_o $ trace
         $ run_dir $ pair resume_n resume_o $ time_budget $ max_moves
-        $ pair snap_every_n snap_every_o $ pair snap_keep_n snap_keep_o $ parallel $ exchange))
+        $ pair snap_every_n snap_every_o $ pair snap_keep_n snap_keep_o $ parallel $ exchange
+        $ route_workers $ route_grain))
 
 (* --- report: re-render a stored trace --- *)
 

@@ -1,0 +1,74 @@
+module Parallel = Spr_route.Parallel
+
+type op = Spr_ops.op
+
+type state = { serial : Spr_ops.state; par : Spr_ops.state }
+
+(* One pool for the whole test process: states are created afresh on
+   every shrink replay, and spawning (then abandoning) a pair of worker
+   domains per replay would pile up. Shutdown is hooked on exit; the
+   pool is idle between jobs so sharing it across states is safe. *)
+let pool =
+  lazy
+    (let p = Parallel.Pool.create ~workers:3 in
+     at_exit (fun () -> Parallel.Pool.shutdown p);
+     p)
+
+let make ?n_cells ?tracks ~seed () =
+  let serial = Spr_ops.make ?n_cells ?tracks ~seed () in
+  (* The dispatch handle wraps the twin's own routing state, which only
+     exists once [Spr_ops.make] returns — so bind it on first use. *)
+  let handle = ref None in
+  let reroute rs j =
+    let t =
+      match !handle with
+      | Some t -> t
+      | None ->
+        let t = Parallel.create ~pool:(Lazy.force pool) rs in
+        handle := Some t;
+        t
+    in
+    Parallel.reroute t j
+  in
+  let par = Spr_ops.make ?n_cells ?tracks ~reroute ~seed () in
+  { serial; par }
+
+let apply st op =
+  Spr_ops.apply st.serial op;
+  Spr_ops.apply st.par op
+
+(* Point at the first fingerprint line where the twins disagree — for a
+   routing divergence that line names the net (and channel/track claim)
+   the batched commit got wrong, so the shrunk op list plus this pair of
+   lines is the minimal conflicting-net witness. *)
+let divergence a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec first = function
+    | x :: xs, y :: ys ->
+      if String.equal x y then first (xs, ys)
+      else Printf.sprintf "serial %S vs parallel %S" x y
+    | x :: _, [] -> Printf.sprintf "serial has extra %S" x
+    | [], y :: _ -> Printf.sprintf "parallel has extra %S" y
+    | [], [] -> "snapshots differ"
+  in
+  "parallel reroute diverged from serial: " ^ first (la, lb)
+
+let check st =
+  match Spr_ops.check st.serial with
+  | Error e -> Error ("serial twin: " ^ e)
+  | Ok () -> (
+    match Spr_ops.check st.par with
+    | Error e -> Error ("parallel twin: " ^ e)
+    | Ok () ->
+      let a = Spr_ops.snapshot st.serial and b = Spr_ops.snapshot st.par in
+      if String.equal a b then Ok () else Error (divergence a b))
+
+let spec ?n_cells ?tracks () =
+  {
+    Prop.name = "parallel reroute mirrors serial reroute";
+    init = (fun seed -> make ?n_cells ?tracks ~seed ());
+    gen = Spr_ops.gen;
+    apply;
+    check;
+    show = Spr_ops.show_op;
+  }

@@ -1,0 +1,34 @@
+(** Differential property: the batched parallel reroute is
+    observationally equal to the serial router.
+
+    A {!state} is a pair of {!Spr_ops} twins built from the same seed —
+    identical circuit, placement, initial routing and STA. Every random
+    operation is applied to both; the only difference is the
+    [Route_pass] implementation: the serial twin runs
+    {!Spr_route.Router.reroute}, the parallel twin runs
+    {!Spr_route.Parallel.reroute} on a real worker-domain pool. After
+    each step both twins must pass their own full audits {e and} their
+    observable fingerprints (placement, routing snapshot, critical
+    delay) must be string-equal.
+
+    Plugged into {!Prop.run} this shrinks any divergence to a minimal
+    operation sequence, and the reported error quotes the first
+    fingerprint line the twins disagree on — which names the net whose
+    claim the conflict-checked commit mishandled, i.e. the minimal
+    conflicting-net witness. *)
+
+type op = Spr_ops.op
+
+type state
+
+val make : ?n_cells:int -> ?tracks:int -> seed:int -> unit -> state
+(** Twin deterministic systems (see {!Spr_ops.make}); the parallel twin
+    dispatches to a lazily created process-wide 3-worker pool (shut down
+    at exit) so shrink replays do not leak domains. *)
+
+val apply : state -> op -> unit
+
+val check : state -> (unit, string) Stdlib.result
+
+val spec : ?n_cells:int -> ?tracks:int -> unit -> (state, op) Prop.spec
+(** The whole thing packaged for {!Prop.run}. *)

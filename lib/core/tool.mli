@@ -114,6 +114,18 @@ module Config : sig
             {!run_portfolio} overrides this per replica, so re-running
             the winning replica standalone is just a serial run with
             [with_stream k]. Must be >= 0. *)
+    route_workers : int;
+        (** Fleet-wide domain budget for the intra-move parallel reroute
+            ({!Spr_route.Parallel}): each replica gets
+            [Spr_anneal.Portfolio.worker_share ~budget:route_workers
+            ~replicas] workers, and a share of 1 routes inline with no
+            pool. Results are bit-identical for every setting — the
+            batch planner and its trace counters never depend on the
+            worker count — so this is purely a throughput knob. Must be
+            >= 1 (the default). *)
+    route_grain : int;
+        (** Chunk size of the pool's parallel-for dispatch; affects
+            scheduling only, never results. Must be >= 1 (default 8). *)
   }
 
   type obs = {
@@ -156,7 +168,8 @@ module Config : sig
       validation ([validate_every = 50]), no budgets, no checkpointing
       ([snapshot_every = 1], [snapshot_keep = 3],
       [final_checkpoint = true]), serial ([replicas = 1],
-      [Independent], [stream = 0]). *)
+      [Independent], [stream = 0], [route_workers = 1],
+      [route_grain = 8]). *)
 
   val validated : t -> (t, string) Stdlib.result
   (** The smart constructor: rejects out-of-range fields (move
@@ -211,6 +224,10 @@ module Config : sig
   val with_replicas : ?exchange:Spr_anneal.Portfolio.exchange -> int -> t -> t
 
   val with_stream : int -> t -> t
+
+  val with_route_workers : int -> t -> t
+
+  val with_route_grain : int -> t -> t
 
   val with_obs : obs -> t -> t
 

@@ -18,13 +18,19 @@ let best_track ?(antifuse_weight = 3.0) st ~channel ~span =
   done;
   !best
 
-let attempt ?antifuse_weight st j ~net ~channel =
+let plan ?antifuse_weight st ~net ~channel =
   match List.assoc_opt channel (Route_state.h_demands st net) with
-  | None -> false
+  | None -> None
   | Some span -> (
     match best_track ?antifuse_weight st ~channel ~span with
-    | None -> false
+    | None -> None
     | Some (track, slo, shi, _) ->
-      Route_state.claim_detail st j net
-        { Route_state.h_channel = channel; h_track = track; h_slo = slo; h_shi = shi; h_span = span };
-      true)
+      Some
+        { Route_state.h_channel = channel; h_track = track; h_slo = slo; h_shi = shi; h_span = span })
+
+let attempt ?antifuse_weight st j ~net ~channel =
+  match plan ?antifuse_weight st ~net ~channel with
+  | None -> false
+  | Some hr ->
+    Route_state.claim_detail st j net hr;
+    true

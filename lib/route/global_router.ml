@@ -38,16 +38,31 @@ let fold_candidates ~max_candidates ~lo ~hi ~min_col ~max_col ~margin f =
   in
   loop 0 0
 
-let attempt ?(margin = 2) ?(max_candidates = default_max_candidates) st j net =
+(* Pin bounding box: ((clo, chi), (xlo, xhi)), or None below two pins. *)
+let pin_bbox st net =
   let place = Route_state.place st in
-  let arch = Route_state.arch st in
   let pins = Spr_layout.Placement.net_pin_positions place net in
   match pins with
-  | [] | [ _ ] -> false
-  | _ -> (
+  | [] | [ _ ] -> None
+  | _ ->
     let chans = List.map fst pins and cols = List.map snd pins in
     let clo = List.fold_left min max_int chans and chi = List.fold_left max min_int chans in
     let xlo = List.fold_left min max_int cols and xhi = List.fold_left max min_int cols in
+    Some ((clo, chi), (xlo, xhi))
+
+let column_window ?(margin = 2) st net =
+  match pin_bbox st net with
+  | None -> None
+  | Some (_, (xlo, xhi)) ->
+    let arch = Route_state.arch st in
+    let lo = max 0 (xlo - margin) and hi = min (arch.Spr_arch.Arch.cols - 1) (xhi + margin) in
+    Some (I.make lo hi)
+
+let plan ?(margin = 2) ?(max_candidates = default_max_candidates) st net =
+  let arch = Route_state.arch st in
+  match pin_bbox st net with
+  | None -> None
+  | Some ((clo, chi), (xlo, xhi)) ->
     let span = I.make clo chi in
     let try_col x =
       let rec try_vtrack vt =
@@ -69,11 +84,12 @@ let attempt ?(margin = 2) ?(max_candidates = default_max_candidates) st j net =
       in
       try_vtrack 0
     in
-    match
-      fold_candidates ~max_candidates ~lo:xlo ~hi:xhi ~min_col:0
-        ~max_col:(arch.Spr_arch.Arch.cols - 1) ~margin try_col
-    with
-    | Some vr ->
-      Route_state.claim_global st j net vr;
-      true
-    | None -> false)
+    fold_candidates ~max_candidates ~lo:xlo ~hi:xhi ~min_col:0
+      ~max_col:(arch.Spr_arch.Arch.cols - 1) ~margin try_col
+
+let attempt ?margin ?max_candidates st j net =
+  match plan ?margin ?max_candidates st net with
+  | Some vr ->
+    Route_state.claim_global st j net vr;
+    true
+  | None -> false

@@ -1,0 +1,498 @@
+module I = Spr_util.Interval
+
+(* ------------------------------------------------------------------ *)
+(* Worker-domain pool                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  (* A generation-stamped parallel-for: the caller publishes a job under
+     the mutex and bumps [gen]; workers that observe the bump grab chunk
+     indices from the shared atomic cursor. Workers are pure helpers —
+     the caller always chews too, so a job completes even if every
+     worker oversleeps, and the completion wait is only for workers
+     already inside the job ([active > 0]). All plan-buffer writes a
+     worker makes are published to the caller by the mutex round-trip
+     that decrements [active]. *)
+  type t = {
+    m : Mutex.t;
+    work : Condition.t;
+    donec : Condition.t;
+    mutable job : (int -> unit) option;
+    mutable hi : int;
+    mutable grain : int;
+    next : int Atomic.t;
+    mutable active : int;
+    mutable gen : int;
+    mutable stop : bool;
+    mutable busy : float;
+    mutable domains : unit Domain.t list;
+  }
+
+  let chew t f =
+    let grain = t.grain and hi = t.hi in
+    let rec loop () =
+      let i = Atomic.fetch_and_add t.next grain in
+      if i < hi then begin
+        let stop_at = min hi (i + grain) in
+        for k = i to stop_at - 1 do
+          f k
+        done;
+        loop ()
+      end
+    in
+    loop ()
+
+  let worker t =
+    let rec wait gen =
+      Mutex.lock t.m;
+      while (not t.stop) && t.gen = gen do
+        Condition.wait t.work t.m
+      done;
+      if t.stop then Mutex.unlock t.m
+      else begin
+        let seen = t.gen in
+        match t.job with
+        | None ->
+          Mutex.unlock t.m;
+          wait seen
+        | Some f ->
+          t.active <- t.active + 1;
+          Mutex.unlock t.m;
+          let sw = Spr_util.Clock.start () in
+          chew t f;
+          let dt = Spr_util.Clock.elapsed sw in
+          Mutex.lock t.m;
+          t.busy <- t.busy +. dt;
+          t.active <- t.active - 1;
+          if t.active = 0 then Condition.signal t.donec;
+          Mutex.unlock t.m;
+          wait seen
+      end
+    in
+    wait 0
+
+  let create ~workers =
+    let workers = max 1 workers in
+    let t =
+      {
+        m = Mutex.create ();
+        work = Condition.create ();
+        donec = Condition.create ();
+        job = None;
+        hi = 0;
+        grain = 1;
+        next = Atomic.make 0;
+        active = 0;
+        gen = 0;
+        stop = false;
+        busy = 0.0;
+        domains = [];
+      }
+    in
+    t.domains <- List.init (workers - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let size t = 1 + List.length t.domains
+
+  let parallel_for t ~grain ~n f =
+    if n > 0 then begin
+      Mutex.lock t.m;
+      t.job <- Some f;
+      t.hi <- n;
+      t.grain <- max 1 grain;
+      Atomic.set t.next 0;
+      t.gen <- t.gen + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.m;
+      chew t f;
+      Mutex.lock t.m;
+      while t.active > 0 do
+        Condition.wait t.donec t.m
+      done;
+      t.job <- None;
+      Mutex.unlock t.m
+    end
+
+  let busy_seconds t =
+    Mutex.lock t.m;
+    let b = t.busy in
+    Mutex.unlock t.m;
+    b
+
+  let shutdown t =
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Batch statistics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable s_batches : int;
+  mutable s_planned : int;
+  mutable s_max_batch : int;
+  mutable s_conflicts : int;
+  mutable s_retries : int;
+  s_size_hist : int array;
+}
+
+let size_hist_bounds = [| 1; 2; 4; 8; 16 |]
+
+let fresh_stats () =
+  {
+    s_batches = 0;
+    s_planned = 0;
+    s_max_batch = 0;
+    s_conflicts = 0;
+    s_retries = 0;
+    s_size_hist = Array.make (Array.length size_hist_bounds + 1) 0;
+  }
+
+(* Per batch, before execution — a function of the planner output only,
+   so the counts cannot depend on the pool size. *)
+let note_batch stats n =
+  match stats with
+  | None -> ()
+  | Some s ->
+    s.s_batches <- s.s_batches + 1;
+    s.s_planned <- s.s_planned + n;
+    if n > s.s_max_batch then s.s_max_batch <- n;
+    let rec bucket i =
+      if i >= Array.length size_hist_bounds || n <= size_hist_bounds.(i) then i else bucket (i + 1)
+    in
+    let b = bucket 0 in
+    s.s_size_hist.(b) <- s.s_size_hist.(b) + 1
+
+let note_conflict stats =
+  match stats with
+  | None -> ()
+  | Some s -> s.s_conflicts <- s.s_conflicts + 1
+
+let note_retry stats =
+  match stats with
+  | None -> ()
+  | Some s -> s.s_retries <- s.s_retries + 1
+
+(* ------------------------------------------------------------------ *)
+(* Conflict footprints and the batch planner                           *)
+(* ------------------------------------------------------------------ *)
+
+type footprint =
+  | Empty
+  | Window of { group : int; lo : int; hi : int }
+
+let conflict a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> false
+  | Window a, Window b -> a.group = b.group && a.lo <= b.hi && b.lo <= a.hi
+
+let global_footprint ?margin st net =
+  match Global_router.column_window ?margin st net with
+  | None -> Empty
+  | Some w -> Window { group = -1; lo = w.I.lo; hi = w.I.hi }
+
+let channel_extension st ~channel =
+  let arch = Route_state.arch st in
+  let m = ref 1 in
+  for track = 0 to arch.Spr_arch.Arch.tracks - 1 do
+    let segs = Spr_arch.Arch.hsegments arch ~channel ~track in
+    Array.iter
+      (fun s ->
+        let l = I.length s in
+        if l > !m then m := l)
+      segs
+  done;
+  !m - 1
+
+let detail_footprint st ~ext ~channel net =
+  match List.assoc_opt channel (Route_state.h_demands st net) with
+  | None -> Empty
+  | Some span -> Window { group = channel; lo = span.I.lo - ext; hi = span.I.hi + ext }
+
+let plan_batches fps queue =
+  let n = Array.length queue in
+  if n = 0 then []
+  else begin
+    let batch_of = Array.make n 0 in
+    let n_batches = ref 1 in
+    for i = 1 to n - 1 do
+      let b = ref 0 in
+      for k = 0 to i - 1 do
+        if batch_of.(k) >= !b && conflict fps.(i) fps.(k) then b := batch_of.(k) + 1
+      done;
+      batch_of.(i) <- !b;
+      if !b + 1 > !n_batches then n_batches := !b + 1
+    done;
+    let sizes = Array.make !n_batches 0 in
+    Array.iter (fun b -> sizes.(b) <- sizes.(b) + 1) batch_of;
+    let batches = Array.init !n_batches (fun b -> Array.make sizes.(b) 0) in
+    let fill = Array.make !n_batches 0 in
+    Array.iteri
+      (fun i net ->
+        let b = batch_of.(i) in
+        batches.(b).(fill.(b)) <- net;
+        fill.(b) <- fill.(b) + 1)
+      queue;
+    Array.to_list batches
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Conflict-forced serial retries                                      *)
+(* ------------------------------------------------------------------ *)
+
+type conflict_entry = { cf_channel : int; cf_key : int; cf_net : int }
+
+(* Canonical position, not discovery order: the serial queues would
+   re-present a conflicted net at (key desc, id desc) within its
+   channel's sweep slot, so the retries must run there too. *)
+let retry_order entries =
+  List.stable_sort
+    (fun a b ->
+      let c = compare a.cf_channel b.cf_channel in
+      if c <> 0 then c
+      else
+        let c = compare b.cf_key a.cf_key in
+        if c <> 0 then c else compare b.cf_net a.cf_net)
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* The parallel router                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  st : Route_state.t;
+  p : Pool.t option;
+  grain : int;
+  ext : int array;  (* per channel: sound detail-footprint widening *)
+}
+
+let create ?pool ?(grain = 8) st =
+  let arch = Route_state.arch st in
+  let ext =
+    Array.init arch.Spr_arch.Arch.n_channels (fun channel -> channel_extension st ~channel)
+  in
+  { st; p = pool; grain = max 1 grain; ext }
+
+let pool t = t.p
+
+let bump_g_attempt = function
+  | Some (c : Router.counters) -> c.c_global_attempts <- c.c_global_attempts + 1
+  | None -> ()
+
+let bump_g_routed = function
+  | Some (c : Router.counters) -> c.c_global_routed <- c.c_global_routed + 1
+  | None -> ()
+
+let bump_d_attempt = function
+  | Some (c : Router.counters) -> c.c_detail_attempts <- c.c_detail_attempts + 1
+  | None -> ()
+
+let bump_d_routed = function
+  | Some (c : Router.counters) -> c.c_detail_routed <- c.c_detail_routed + 1
+  | None -> ()
+
+(* A batch dispatches to the pool only when both the pool and the batch
+   have headroom; the choice steers execution strategy alone — results,
+   counters and stats are identical either way. *)
+let dispatchable t n = n >= 2 && (match t.p with Some p -> Pool.size p > 1 | None -> false)
+
+let commit_global ?(config = Router.default_config) ?counters ?stats t j plans =
+  let st = t.st in
+  let routed = ref [] in
+  let conflicts = ref [] in
+  Array.iter
+    (fun (net, plan) ->
+      match plan with
+      | None ->
+        bump_g_attempt counters;
+        Route_state.note_global_failure st net
+      | Some (vr : Route_state.vroute) ->
+        if Route_state.vrun_free st ~col:vr.v_col ~vtrack:vr.v_vtrack ~slo:vr.v_slo ~shi:vr.v_shi
+        then begin
+          bump_g_attempt counters;
+          bump_g_routed counters;
+          Route_state.claim_global st j net vr;
+          routed := net :: !routed
+        end
+        else begin
+          note_conflict stats;
+          let key = Spr_layout.Placement.half_perimeter (Route_state.place st) net in
+          conflicts := { cf_channel = -1; cf_key = key; cf_net = net } :: !conflicts
+        end)
+    plans;
+  List.iter
+    (fun { cf_net = net; _ } ->
+      note_retry stats;
+      bump_g_attempt counters;
+      if
+        Global_router.attempt ~margin:config.spine_margin
+          ~max_candidates:config.spine_candidates st j net
+      then begin
+        bump_g_routed counters;
+        routed := net :: !routed
+      end
+      else Route_state.note_global_failure st net)
+    (retry_order !conflicts);
+  List.rev !routed
+
+let commit_detail ?(config = Router.default_config) ?counters ?stats t j plans =
+  let st = t.st in
+  let routed = ref [] in
+  let conflicts = ref [] in
+  Array.iter
+    (fun (channel, net, plan) ->
+      match plan with
+      | None ->
+        bump_d_attempt counters;
+        Route_state.note_detail_failure st net ~channel
+      | Some (hr : Route_state.hroute) ->
+        if Route_state.hrun_free st ~channel:hr.h_channel ~track:hr.h_track ~slo:hr.h_slo
+             ~shi:hr.h_shi
+        then begin
+          bump_d_attempt counters;
+          bump_d_routed counters;
+          Route_state.claim_detail st j net hr;
+          routed := net :: !routed
+        end
+        else begin
+          note_conflict stats;
+          let key = Router.detail_demand_length st ~channel net in
+          conflicts := { cf_channel = channel; cf_key = key; cf_net = net } :: !conflicts
+        end)
+    plans;
+  List.iter
+    (fun { cf_channel = channel; cf_net = net; _ } ->
+      note_retry stats;
+      bump_d_attempt counters;
+      if Detail_router.attempt ~antifuse_weight:config.antifuse_weight st j ~net ~channel then begin
+        bump_d_routed counters;
+        routed := net :: !routed
+      end
+      else Route_state.note_detail_failure st net ~channel)
+    (retry_order !conflicts);
+  List.rev !routed
+
+let reroute_global ?(config = Router.default_config) ?counters ?stats t j =
+  let st = t.st in
+  match Router.ordered_global_queue config st with
+  | [] -> []
+  | queue ->
+    let arr = Array.of_list queue in
+    let n = Array.length arr in
+    (* Singleton queues skip footprint computation outright — the
+       planner output (one batch of one) is the same either way. *)
+    let batches =
+      if n = 1 then [ arr ]
+      else
+        plan_batches (Array.map (fun net -> global_footprint ~margin:config.spine_margin st net) arr) arr
+    in
+    let changed = ref [] in
+    let serial net =
+      bump_g_attempt counters;
+      if
+        Global_router.attempt ~margin:config.spine_margin
+          ~max_candidates:config.spine_candidates st j net
+      then begin
+        bump_g_routed counters;
+        changed := net :: !changed
+      end
+      else Route_state.note_global_failure st net
+    in
+    List.iter
+      (fun batch ->
+        let nb = Array.length batch in
+        note_batch stats nb;
+        if dispatchable t nb then begin
+          let plans = Array.make nb None in
+          (match t.p with
+          | Some p ->
+            Pool.parallel_for p ~grain:t.grain ~n:nb (fun i ->
+                plans.(i) <-
+                  Global_router.plan ~margin:config.spine_margin
+                    ~max_candidates:config.spine_candidates st batch.(i))
+          | None -> assert false);
+          let entries = Array.mapi (fun i net -> (net, plans.(i))) batch in
+          changed := List.rev_append (commit_global ~config ?counters ?stats t j entries) !changed
+        end
+        else Array.iter serial batch)
+      batches;
+    List.sort_uniq compare !changed
+
+let reroute_detail ?(config = Router.default_config) ?counters ?stats t j =
+  let st = t.st in
+  let arch = Route_state.arch st in
+  let n_channels = arch.Spr_arch.Arch.n_channels in
+  (* All channel queues snapshot up front — legal because detail claims
+     in one channel never touch another channel's queue, demands or
+     failure memo, so the snapshots equal what the serial sweep would
+     compute lazily. *)
+  let chan_batches =
+    Array.init n_channels (fun channel ->
+        match Router.ordered_detail_queue config st ~channel with
+        | [] -> [||]
+        | [ net ] -> [| [| net |] |]
+        | queue ->
+          let arr = Array.of_list queue in
+          let ext = t.ext.(channel) in
+          let fps = Array.map (fun net -> detail_footprint st ~ext ~channel net) arr in
+          Array.of_list (plan_batches fps arr))
+  in
+  let rounds = Array.fold_left (fun m b -> max m (Array.length b)) 0 chan_batches in
+  let changed = ref [] in
+  let serial ~channel net =
+    bump_d_attempt counters;
+    if Detail_router.attempt ~antifuse_weight:config.antifuse_weight st j ~net ~channel then begin
+      bump_d_routed counters;
+      changed := net :: !changed
+    end
+    else Route_state.note_detail_failure st net ~channel
+  in
+  (* Round r unites every channel's r-th batch: channels own disjoint
+     horizontal resources, so the union is itself conflict-free and one
+     pool dispatch covers the whole sweep width. *)
+  for r = 0 to rounds - 1 do
+    let work = ref [] in
+    let total = ref 0 in
+    for channel = n_channels - 1 downto 0 do
+      if r < Array.length chan_batches.(channel) then begin
+        let batch = chan_batches.(channel).(r) in
+        work := (channel, batch) :: !work;
+        total := !total + Array.length batch
+      end
+    done;
+    let work = !work in
+    List.iter (fun (_, batch) -> note_batch stats (Array.length batch)) work;
+    if dispatchable t !total then begin
+      let tasks = Array.make !total (0, 0) in
+      let fill = ref 0 in
+      List.iter
+        (fun (channel, batch) ->
+          Array.iter
+            (fun net ->
+              tasks.(!fill) <- (channel, net);
+              incr fill)
+            batch)
+        work;
+      let plans = Array.make !total None in
+      (match t.p with
+      | Some p ->
+        Pool.parallel_for p ~grain:t.grain ~n:!total (fun i ->
+            let channel, net = tasks.(i) in
+            plans.(i) <- Detail_router.plan ~antifuse_weight:config.antifuse_weight st ~net ~channel)
+      | None -> assert false);
+      let entries = Array.mapi (fun i (channel, net) -> (channel, net, plans.(i))) tasks in
+      changed := List.rev_append (commit_detail ~config ?counters ?stats t j entries) !changed
+    end
+    else List.iter (fun (channel, batch) -> Array.iter (serial ~channel) batch) work
+  done;
+  List.sort_uniq compare !changed
+
+let reroute ?(config = Router.default_config) ?counters ?stats t j =
+  let g = reroute_global ~config ?counters ?stats t j in
+  let d = reroute_detail ~config ?counters ?stats t j in
+  List.sort_uniq compare (List.rev_append g d)

@@ -1,0 +1,207 @@
+(** Parallel intra-move rip-up-and-reroute on a shared domain pool.
+
+    After a move's rip-up phase the dirty-net queues are partitioned
+    into {e conflict-disjoint batches}: two nets land in the same batch
+    only when no routing resource either of them could possibly claim is
+    reachable by the other. Each batch is then {e planned} concurrently
+    — the read-only search halves {!Global_router.plan} /
+    {!Detail_router.plan} run on the pool's domains — and {e committed}
+    serially on the calling domain in canonical queue order, through the
+    journal, exactly as the serial router would have. Claims are
+    re-validated at commit time; a plan whose resources were taken by a
+    concurrently committed net (impossible when the conflict footprints
+    are sound — kept as defense in depth) is retried serially in the
+    canonical key-descending/id-descending order.
+
+    Determinism argument (DESIGN §7): batches are derived purely from
+    the queue snapshots of {!Router.ordered_global_queue} /
+    {!Router.ordered_detail_queue} and from footprints of the current
+    state, never from the worker count; in-batch nets touch disjoint
+    resources, so planning them against the batch-start state yields the
+    plans serial execution would; commits happen in queue order on one
+    domain. Hence the routed result — and every counter exported to
+    [spr-trace-1] — is bit-identical for any pool size, including no
+    pool at all. *)
+
+(** Persistent worker-domain pool, created once per run and reused for
+    every move (and shut down at run end — domains are never spawned per
+    move). The calling domain always participates in a dispatch, so a
+    pool of size 1 is the inline no-domain configuration. *)
+module Pool : sig
+  type t
+
+  val create : workers:int -> t
+  (** Pool of [max 1 workers] total workers: the caller plus
+      [workers - 1] spawned domains. *)
+
+  val size : t -> int
+  (** Total workers including the calling domain. *)
+
+  val parallel_for : t -> grain:int -> n:int -> (int -> unit) -> unit
+  (** Run [f 0 .. f (n-1)] across the pool in chunks of [grain],
+      returning when all are done. [f] must only write state disjoint
+      from other indices' writes (the batch planner guarantees this for
+      plan buffers). The completion barrier gives the caller a
+      happens-before edge over every worker write. *)
+
+  val busy_seconds : t -> float
+  (** Cumulative seconds spawned workers (not the caller) spent inside
+      [parallel_for] bodies — the utilization gauge's numerator. *)
+
+  val shutdown : t -> unit
+  (** Stop and join the spawned domains. Idempotent. Must not be called
+      concurrently with {!parallel_for}. *)
+end
+
+(** {1 Batch statistics}
+
+    Every count here is a pure function of the routing trajectory and
+    the batch planner — never of the pool size — so the mirrored
+    [router.par.*] trace counters stay bit-identical across
+    [--route-workers] settings. Worker-dependent quantities (busy time,
+    utilization) are reported as gauges, which trace masking zeroes. *)
+
+type stats = {
+  mutable s_batches : int;  (** Batches the planner emitted. *)
+  mutable s_planned : int;  (** Net attempts that went through batches. *)
+  mutable s_max_batch : int;  (** Largest batch seen. *)
+  mutable s_conflicts : int;  (** Commit-time claim collisions. *)
+  mutable s_retries : int;  (** Conflict-forced serial retries. *)
+  s_size_hist : int array;
+      (** Batch-size histogram; bucket [i] counts batches of size
+          [<= size_hist_bounds.(i)], the last bucket the overflow. *)
+}
+
+val size_hist_bounds : int array
+
+val fresh_stats : unit -> stats
+
+(** {1 Conflict footprints}
+
+    Over-approximations of the resources one routing attempt may claim.
+    Exposed so the conflict-detector unit tests can probe adversarial
+    geometry directly. *)
+
+type footprint =
+  | Empty  (** Claims nothing; conflicts with nothing. *)
+  | Window of { group : int; lo : int; hi : int }
+      (** Column window [lo..hi] within resource group [group]:
+          [group = -1] is the vertical (feedthrough spine) fabric, any
+          other value the horizontal tracks of that channel. Vertical
+          and horizontal segments are disjoint resources, so footprints
+          in different groups never conflict. *)
+
+val conflict : footprint -> footprint -> bool
+(** Whether the two attempts could contend for a segment: same group and
+    overlapping windows. *)
+
+val global_footprint : ?margin:int -> Route_state.t -> int -> footprint
+(** {!Global_router.column_window} as a vertical-fabric footprint: every
+    spine {!Global_router.plan} may claim for the net lies inside it. *)
+
+val detail_footprint : Route_state.t -> ext:int -> channel:int -> int -> footprint
+(** The net's queued demand span in [channel], widened by [ext] columns
+    on each side. With [ext >= ] (the channel's longest track segment
+    [- 1]), any run {!Detail_router.plan} may claim for the span lies
+    inside the window, because the claimed run's end segments contain
+    the span endpoints. [Empty] when the net has no demand there. *)
+
+val channel_extension : Route_state.t -> channel:int -> int
+(** That sound widening: the channel's longest horizontal segment minus
+    one (at least 0). {!create} caches it per channel. *)
+
+val plan_batches : footprint array -> int array -> int array list
+(** [plan_batches fps queue] partitions the queue (attempt order, with
+    [fps.(i)] the footprint of [queue.(i)]) into the canonical greedy
+    batches: each net joins the earliest batch after every earlier
+    conflicting net — batch index [1 + max] over conflicting
+    predecessors. Batches preserve queue order internally and are
+    pairwise conflict-free, so planning a batch concurrently commutes. *)
+
+(** {1 Conflict-forced serial retries} *)
+
+type conflict_entry = {
+  cf_channel : int;  (** [-1] for the global (vertical) phase. *)
+  cf_key : int;  (** Canonical retry key: estimated/demand length. *)
+  cf_net : int;
+}
+
+val retry_order : conflict_entry list -> conflict_entry list
+(** Canonical order for conflict-forced serial retries: channel
+    ascending (the serial sweep order; global first), then key
+    descending, then net id descending — the position the net's queue
+    would have re-presented it at, {e not} the tail-append order the
+    commit loop discovered the conflicts in. *)
+
+(** {1 The parallel router} *)
+
+type t
+(** Per-run planner handle: the route state it serves, the optional
+    shared pool, the dispatch grain, and per-channel footprint caches —
+    the reusable scratch the reroute phases need, created once per
+    pipeline rather than per move. *)
+
+val create : ?pool:Pool.t -> ?grain:int -> Route_state.t -> t
+(** [grain] (default 8) is the [parallel_for] chunk size; it affects
+    scheduling only, never results or counters. The pool, when given, is
+    borrowed — the caller shuts it down. *)
+
+val pool : t -> Pool.t option
+
+val commit_global :
+  ?config:Router.config ->
+  ?counters:Router.counters ->
+  ?stats:stats ->
+  t ->
+  Spr_util.Journal.t ->
+  (int * Route_state.vroute option) array ->
+  int list
+(** Conflict-checked commit of planned spines, in array (= queue) order:
+    [None] plans record a failure, valid plans are claimed, and plans
+    whose segments are no longer free are retried serially — replanned
+    from the post-commit state — in {!retry_order}. Returns the nets
+    that gained a spine. Exposed so tests can inject adversarially
+    ordered colliding plans. *)
+
+val commit_detail :
+  ?config:Router.config ->
+  ?counters:Router.counters ->
+  ?stats:stats ->
+  t ->
+  Spr_util.Journal.t ->
+  (int * int * Route_state.hroute option) array ->
+  int list
+(** Same for detailed plans; entries are [(channel, net, plan)]. *)
+
+val reroute_global :
+  ?config:Router.config ->
+  ?counters:Router.counters ->
+  ?stats:stats ->
+  t ->
+  Spr_util.Journal.t ->
+  int list
+(** Batched equivalent of {!Router.reroute_global}: bit-identical
+    result, counters and failure memo for any pool size. *)
+
+val reroute_detail :
+  ?config:Router.config ->
+  ?counters:Router.counters ->
+  ?stats:stats ->
+  t ->
+  Spr_util.Journal.t ->
+  int list
+(** Batched equivalent of {!Router.reroute_detail}. Channels are swept
+    in rounds — round [r] takes every channel's [r]-th batch, which are
+    mutually disjoint since channels own disjoint track resources — so
+    one dispatch covers all channels while per-channel attempt order is
+    preserved exactly. *)
+
+val reroute :
+  ?config:Router.config ->
+  ?counters:Router.counters ->
+  ?stats:stats ->
+  t ->
+  Spr_util.Journal.t ->
+  int list
+(** {!reroute_global} then {!reroute_detail}; the union of changed nets,
+    like {!Router.reroute}. *)

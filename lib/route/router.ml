@@ -59,7 +59,13 @@ let criticality_order config ~len queue =
   | None -> queue
   | Some _ -> List.map snd (sort_queue config (List.map (fun net -> (len net, net)) queue))
 
-let reroute_global ?(config = default_config) ?counters st j =
+(* The two queue snapshots below are the single source of truth for
+   which nets a pass attempts and in which order; the serial pass here
+   and the batched pass in {!Parallel} both consume them, which is what
+   makes the bit-identity argument between the two a statement about
+   execution strategy alone. *)
+
+let ordered_global_queue config st =
   let place = Route_state.place st in
   (* U_G arrives "sorted based on the estimated length of its contents
      ... giving priority to the longer unroutable nets" (paper §3.3). *)
@@ -70,6 +76,25 @@ let reroute_global ?(config = default_config) ?counters st j =
     criticality_order config ~len:(fun net -> Spr_layout.Placement.half_perimeter place net)
       queue
   in
+  take config.retry_cap queue
+
+let detail_demand_length st ~channel net =
+  match List.assoc_opt channel (Route_state.h_demands st net) with
+  | Some span -> Spr_util.Interval.length span
+  | None -> 0
+
+let ordered_detail_queue config st ~channel =
+  let queue =
+    List.filter
+      (fun net ->
+        Route_state.detail_attempt_pending st net ~channel
+        && List.mem_assoc channel (Route_state.h_demands st net))
+      (Route_state.u_d st channel)
+  in
+  let queue = criticality_order config ~len:(detail_demand_length st ~channel) queue in
+  take config.retry_cap queue
+
+let reroute_global ?(config = default_config) ?counters st j =
   let changed = ref [] in
   List.iter
     (fun net ->
@@ -86,7 +111,7 @@ let reroute_global ?(config = default_config) ?counters st j =
         changed := net :: !changed
       end
       else Route_state.note_global_failure st net)
-    (take config.retry_cap queue);
+    (ordered_global_queue config st);
   List.sort_uniq compare !changed
 
 let reroute_detail ?(config = default_config) ?counters st j =
@@ -94,21 +119,6 @@ let reroute_detail ?(config = default_config) ?counters st j =
   let changed = ref [] in
   (* Each channel's queue, longest span first. *)
   for channel = 0 to arch.Spr_arch.Arch.n_channels - 1 do
-    let queue =
-      List.filter
-        (fun net ->
-          Route_state.detail_attempt_pending st net ~channel
-          && List.mem_assoc channel (Route_state.h_demands st net))
-        (Route_state.u_d st channel)
-    in
-    let queue =
-      criticality_order config
-        ~len:(fun net ->
-          match List.assoc_opt channel (Route_state.h_demands st net) with
-          | Some span -> Spr_util.Interval.length span
-          | None -> 0)
-        queue
-    in
     List.iter
       (fun net ->
         (match counters with
@@ -122,7 +132,7 @@ let reroute_detail ?(config = default_config) ?counters st j =
           changed := net :: !changed
         end
         else Route_state.note_detail_failure st net ~channel)
-      (take config.retry_cap queue)
+      (ordered_detail_queue config st ~channel)
   done;
   List.sort_uniq compare !changed
 
