@@ -421,9 +421,154 @@ let route_parallel () =
   Spr_util.Persist.atomic_write route_parallel_json_path (to_string ~indent:true json ^ "\n");
   Printf.printf "parallel reroute timings written to %s\n%!" route_parallel_json_path
 
+(* --- job service overhead --- *)
+
+let serve_json_path = "BENCH_serve.json"
+
+let rec rmrf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rmrf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* The spr serve daemon measured as plumbing: accept latency (connect +
+   submit + durable job admission, no P&R work yet) and end-to-end
+   throughput of a batch of small concurrent jobs against 2 workers.
+   The daemon runs as a real forked process over a throwaway state dir,
+   exercising the same fork/select/frame path production uses. *)
+let serve () =
+  section "Service bench (spr serve: accept latency + concurrent throughput)";
+  let module Client = Spr_serve.Client in
+  let module Protocol = Spr_serve.Protocol in
+  let effort = effort_of_env E.Quick in
+  let n_seq, n_conc, moves =
+    match effort with
+    | E.Quick -> (4, 6, 2_000)
+    | E.Standard -> (8, 12, 5_000)
+    | E.Thorough -> (16, 24, 10_000)
+  in
+  let state_dir = ".spr-serve-bench" in
+  rmrf state_dir;
+  let config =
+    { (Spr_serve.Daemon.default_config ~state_dir) with
+      Spr_serve.Daemon.max_workers = 2;
+      max_queue = n_seq + n_conc + 4
+    }
+  in
+  let socket = Spr_serve.Daemon.socket_path config in
+  let daemon =
+    match Unix.fork () with
+    | 0 ->
+      (* the daemon's progress log is noise here; the bench prints its
+         own summary lines *)
+      (try
+         let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+         Unix.dup2 null Unix.stdout;
+         Unix.dup2 null Unix.stderr;
+         Unix.close null;
+         Spr_serve.Daemon.run config
+       with _ -> exit 125);
+      exit 0
+    | pid -> pid
+  in
+  let rec wait_ready n =
+    if n > 100 then failwith "bench daemon did not come up"
+    else
+      match Client.ping ~socket with
+      | Ok () -> ()
+      | Error _ ->
+        Unix.sleepf 0.1;
+        wait_ready (n + 1)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill daemon Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (try Unix.waitpid [] daemon with Unix.Unix_error _ -> (0, Unix.WEXITED 0));
+      rmrf state_dir)
+    (fun () ->
+      wait_ready 0;
+      let spec seed =
+        { Spr_serve.Job.default_spec with
+          Spr_serve.Job.circuit = Some "s1";
+          label = Printf.sprintf "bench-%d" seed;
+          seed;
+          effort = "quick";
+          max_moves = Some moves
+        }
+      in
+      let submit_or_fail s =
+        match Client.open_submit ~socket s with
+        | Ok (conn, id) -> (conn, id)
+        | Error (`Rejected _) -> failwith "bench job rejected"
+        | Error (`Error e) -> failwith ("bench submit: " ^ e)
+      in
+      let await_or_fail conn =
+        match Client.await conn with
+        | Ok (Protocol.Job_done _) -> ()
+        | Ok r ->
+          failwith
+            ("bench job ended badly: " ^ Spr_obs.Json.to_string (Protocol.response_to_json r))
+        | Error e -> failwith ("bench await: " ^ e)
+      in
+      (* sequential: per-job accept latency and turnaround *)
+      let accepts = ref [] in
+      let turnarounds = ref [] in
+      for i = 1 to n_seq do
+        let t0 = Spr_util.Clock.now () in
+        let conn, _id = submit_or_fail (spec i) in
+        accepts := (Spr_util.Clock.now () -. t0) :: !accepts;
+        await_or_fail conn;
+        turnarounds := (Spr_util.Clock.now () -. t0) :: !turnarounds
+      done;
+      let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+      let accept_mean_ms = 1000. *. mean !accepts in
+      let accept_max_ms = 1000. *. List.fold_left Float.max 0.0 !accepts in
+      let turnaround_mean_s = mean !turnarounds in
+      Printf.printf
+        "sequential: %d jobs  accept %.2f ms mean (%.2f ms max)  turnaround %.2f s mean\n%!"
+        n_seq accept_mean_ms accept_max_ms turnaround_mean_s;
+      (* concurrent: all submitted up front, 2 workers drain the queue *)
+      let t0 = Spr_util.Clock.now () in
+      let conns = List.init n_conc (fun i -> fst (submit_or_fail (spec (100 + i)))) in
+      List.iter await_or_fail conns;
+      let conc_wall = Spr_util.Clock.now () -. t0 in
+      let jobs_per_s = float_of_int n_conc /. Float.max 1e-9 conc_wall in
+      Printf.printf "concurrent: %d jobs over %d workers  wall %.2f s  %.2f jobs/s\n%!" n_conc
+        config.Spr_serve.Daemon.max_workers conc_wall jobs_per_s;
+      let open Spr_obs.Json in
+      let round2 x = Float.round (x *. 100.) /. 100. in
+      let json =
+        Obj
+          [
+            ("schema", String "spr-bench-serve-1");
+            ("effort", String (E.effort_to_string effort));
+            ("workers", Int config.Spr_serve.Daemon.max_workers);
+            ("max_moves", Int moves);
+            ( "sequential",
+              Obj
+                [
+                  ("jobs", Int n_seq);
+                  ("accept_ms_mean", Float (round2 accept_mean_ms));
+                  ("accept_ms_max", Float (round2 accept_max_ms));
+                  ("turnaround_s_mean", Float (round2 turnaround_mean_s));
+                ] );
+            ( "concurrent",
+              Obj
+                [
+                  ("jobs", Int n_conc);
+                  ("wall_s", Float (round2 conc_wall));
+                  ("jobs_per_s", Float (round2 jobs_per_s));
+                ] );
+          ]
+      in
+      Spr_util.Persist.atomic_write serve_json_path (to_string ~indent:true json ^ "\n");
+      Printf.printf "service timings written to %s\n%!" serve_json_path)
+
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|fig6|fig7|ablation-seg|ablation-pinmap|ablation-ordering|rice|kernels|portfolio|route-parallel|all]";
+    "usage: main.exe [table1|table2|fig6|fig7|ablation-seg|ablation-pinmap|ablation-ordering|rice|kernels|portfolio|route-parallel|serve|all]";
   print_endline "env: SPR_BENCH_EFFORT=quick|standard|thorough"
 
 let () =
@@ -441,7 +586,8 @@ let () =
     rice_check ();
     kernels ();
     portfolio ();
-    route_parallel ()
+    route_parallel ();
+    serve ()
   | [ "table1" ] -> table1 ()
   | [ "table2" ] -> table2 ()
   | [ "fig6" ] -> fig6 ()
@@ -453,5 +599,6 @@ let () =
   | [ "kernels" ] -> kernels ()
   | [ "portfolio" ] -> portfolio ()
   | [ "route-parallel" ] -> route_parallel ()
+  | [ "serve" ] -> serve ()
   | _ -> usage ());
   Printf.printf "\ntotal bench cpu: %.1f s\n%!" (Sys.time () -. t0)

@@ -307,13 +307,19 @@ let cli_config config ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot
   let open Spr_core.Tool.Config in
   config
   |> (if selfcheck then with_validate true else Fun.id)
-  |> with_budget { time_budget; max_moves; stop_after_accepted = None }
+  |> with_budget { time_budget; max_moves; stop_after_accepted = None; poll = None }
   |> with_persistence { run_dir; snapshot_every; snapshot_keep; final_checkpoint = true }
   |> with_replicas ~exchange parallel
   |> with_route_workers route_workers
   |> with_route_grain route_grain
   |> with_obs
-       { record = trace <> None; trace_path = trace; report_path = report_file; label = Some label }
+       {
+         record = trace <> None;
+         trace_path = trace;
+         report_path = report_file;
+         label = Some label;
+         on_event = None;
+       }
 
 let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck ~profile
     ~svg ~checkpoint ~ascii ~stats ~report_k ~clock ~route_workers ~route_grain ~trace
@@ -816,6 +822,225 @@ let dynamics_cmd =
     (Cmd.info "dynamics" ~doc:"Trace the annealing dynamics per temperature (Figure 6).")
     Term.(ret (const dynamics $ circuit_arg $ seed_arg $ effort_arg))
 
+(* --- serve / submit / jobs: the persistent P&R job service --- *)
+
+let state_dir_arg =
+  Arg.(
+    value
+    & opt string ".spr-serve"
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:"Service state directory: job records, run directories, snapshots. Everything the \
+              daemon needs to recover after a crash lives here.")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (default $(b,STATE-DIR/serve.sock)).")
+
+let serve state_dir socket workers max_queue job_timeout kill_grace drain_grace =
+  if workers < 1 then `Error (false, "--workers must be >= 1")
+  else if max_queue < 1 then `Error (false, "--max-queue must be >= 1")
+  else begin
+    Spr_serve.Daemon.run
+      {
+        Spr_serve.Daemon.state_dir;
+        socket_path = socket;
+        max_workers = workers;
+        max_queue;
+        default_time_budget = job_timeout;
+        kill_grace;
+        drain_grace;
+        timeout_slack = 5.0;
+      };
+    `Ok ()
+  end
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Concurrent worker processes.")
+  in
+  let max_queue =
+    Arg.(value & opt int 16
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Queued-job bound; submissions beyond it are rejected with a suggested backoff.")
+  in
+  let job_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "job-timeout" ] ~docv:"SECONDS"
+             ~doc:"Default wall-clock budget for jobs that do not set one. The worker stops \
+                   itself gracefully at the budget; the daemon adds a hard backstop.")
+  in
+  let kill_grace =
+    Arg.(value & opt float 5.0
+         & info [ "kill-grace" ] ~docv:"SECONDS"
+             ~doc:"Grace between SIGTERM and SIGKILL when stopping a worker.")
+  in
+  let drain_grace =
+    Arg.(value & opt float 10.0
+         & info [ "drain-grace" ] ~docv:"SECONDS"
+             ~doc:"How long a SIGTERM drain waits for workers to checkpoint before killing them.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the fault-tolerant place-and-route job daemon. Jobs survive daemon crashes: \
+             on restart, interrupted runs resume from their snapshots bit-identically.")
+    Term.(
+      ret
+        (const serve $ state_dir_arg $ socket_arg $ workers $ max_queue $ job_timeout
+        $ kill_grace $ drain_grace))
+
+let require_socket socket =
+  match socket with
+  | Some s -> Ok s
+  | None ->
+    if Sys.file_exists (Filename.concat ".spr-serve" "serve.sock") then
+      Ok (Filename.concat ".spr-serve" "serve.sock")
+    else Error "provide --socket PATH (no ./.spr-serve/serve.sock found)"
+
+let submit file circuit tracks scheme seed effort parallel exchange time_budget max_moves socket
+    quiet =
+  match require_socket socket with
+  | Error e -> `Error (false, e)
+  | Ok socket -> (
+    let label =
+      match circuit, file with
+      | Some name, _ -> name
+      | None, Some path -> Filename.remove_extension (Filename.basename path)
+      | None, None -> "job"
+    in
+    let blif =
+      match file with
+      | None -> Ok None
+      | Some path -> (
+        match Spr_util.Persist.read_file path with
+        | Ok text -> Ok (Some text)
+        | Error e -> Error e)
+    in
+    match blif with
+    | Error e -> `Error (false, e)
+    | Ok blif -> (
+      let spec =
+        {
+          Spr_serve.Job.label;
+          circuit;
+          blif;
+          tracks;
+          scheme = Spr_arch.Segmentation.scheme_to_string scheme;
+          seed;
+          effort = Spr_experiments.Profiles.effort_to_string effort;
+          replicas = parallel;
+          exchange;
+          time_budget;
+          max_moves;
+        }
+      in
+      let on_event ev =
+        if not quiet then begin
+          let open Spr_obs.Trace in
+          match ev.ev with
+          | Exchange { round; from_replica; metric } ->
+            Printf.printf "exchange round %d: replica %d leads (metric %.4g)\n%!" round
+              from_replica metric
+          | Replica_end { status; g; d; delay_ns; _ } ->
+            Printf.printf "replica %d: %s  G=%d D=%d  critical=%.2f ns\n%!" ev.ev_replica
+              status g d delay_ns
+          | _ -> ()
+        end
+      in
+      match Spr_serve.Client.open_submit ~socket spec with
+      | Error (`Rejected (Spr_serve.Protocol.Overloaded { queued; backoff_s })) ->
+        `Error
+          ( false,
+            Printf.sprintf "rejected: %d jobs queued; retry in ~%.0f s" queued backoff_s )
+      | Error (`Rejected Spr_serve.Protocol.Draining) ->
+        `Error (false, "rejected: daemon is draining")
+      | Error (`Rejected (Spr_serve.Protocol.Invalid msg)) ->
+        `Error (false, "rejected: " ^ msg)
+      | Error (`Error e) -> `Error (false, e)
+      | Ok (fd, id) -> (
+        Printf.printf "accepted as %s\n%!" id;
+        match Spr_serve.Client.await ~on_event fd with
+        | Ok (Spr_serve.Protocol.Job_done { status; _ }) ->
+          Printf.printf "%s: %s\n" id status;
+          `Ok ()
+        | Ok (Spr_serve.Protocol.Job_failed { error; _ }) ->
+          `Error (false, Printf.sprintf "%s failed: %s" id error)
+        | Ok (Spr_serve.Protocol.Job_parked { message; _ }) ->
+          `Error (false, Printf.sprintf "%s parked: %s" id message)
+        | Ok (Spr_serve.Protocol.Job_cancelled _) ->
+          `Error (false, Printf.sprintf "%s cancelled" id)
+        | Ok _ -> `Error (false, "unexpected terminal reply")
+        | Error e -> `Error (false, e))))
+
+let submit_cmd =
+  let parallel =
+    Arg.(value & opt int 1
+         & info [ "parallel" ] ~docv:"K" ~doc:"Portfolio width (annealing replicas).")
+  in
+  let exchange =
+    Arg.(value & opt string "independent"
+         & info [ "exchange" ] ~docv:"POLICY"
+             ~doc:"Portfolio exchange policy: $(b,independent) or $(b,best:N).")
+  in
+  let time_budget =
+    Arg.(value & opt (some float) None
+         & info [ "time-budget" ] ~docv:"SECONDS" ~doc:"Wall-clock budget for the run.")
+  in
+  let max_moves =
+    Arg.(value & opt (some int) None
+         & info [ "max-moves" ] ~docv:"N" ~doc:"Move budget for the run.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress streamed progress events.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a place-and-route job to a running $(b,spr serve) daemon and stream its \
+             progress until it finishes.")
+    Term.(
+      ret
+        (const submit $ file_arg $ circuit_arg $ tracks_arg $ scheme_arg $ seed_arg $ effort_arg
+        $ parallel $ exchange $ time_budget $ max_moves $ socket_arg $ quiet))
+
+let jobs_cli socket cancel =
+  match require_socket socket with
+  | Error e -> `Error (false, e)
+  | Ok socket -> (
+    match cancel with
+    | Some id -> (
+      match Spr_serve.Client.cancel ~socket id with
+      | Ok (Spr_serve.Protocol.Job_cancelled id) ->
+        Printf.printf "%s: cancellation requested\n" id;
+        `Ok ()
+      | Ok (Spr_serve.Protocol.Error e) -> `Error (false, e)
+      | Ok _ -> `Error (false, "unexpected reply")
+      | Error e -> `Error (false, e))
+    | None -> (
+      match Spr_serve.Client.jobs ~socket with
+      | Error e -> `Error (false, e)
+      | Ok [] ->
+        Printf.printf "no jobs\n";
+        `Ok ()
+      | Ok rows ->
+        List.iter
+          (fun r ->
+            Printf.printf "%-14s %-12s %s\n" r.Spr_serve.Protocol.row_id
+              r.Spr_serve.Protocol.row_label r.Spr_serve.Protocol.row_state)
+          rows;
+        `Ok ()))
+
+let jobs_cmd =
+  let cancel =
+    Arg.(value & opt (some string) None
+         & info [ "cancel" ] ~docv:"ID" ~doc:"Cancel the given job instead of listing.")
+  in
+  Cmd.v
+    (Cmd.info "jobs" ~doc:"List (or cancel) jobs on a running $(b,spr serve) daemon.")
+    Term.(ret (const jobs_cli $ socket_arg $ cancel))
+
 let () =
   let info =
     Cmd.info "spr" ~version:"1.0.0"
@@ -833,4 +1058,7 @@ let () =
             partition_cmd;
             stats_cmd;
             selfcheck_cmd;
+            serve_cmd;
+            submit_cmd;
+            jobs_cmd;
           ]))

@@ -1,0 +1,134 @@
+(* --- adversarial frame bytes --- *)
+
+let junk_byte rng =
+  (* Bias toward bytes that stress a parser: digits, braces, newlines,
+     NULs, and high bits. *)
+  match Spr_util.Rng.int rng 6 with
+  | 0 -> Char.chr (Char.code '0' + Spr_util.Rng.int rng 10)
+  | 1 -> [| '{'; '}'; '['; ']'; '"'; ':' |].(Spr_util.Rng.int rng 6)
+  | 2 -> '\n'
+  | 3 -> '\000'
+  | 4 -> Char.chr (128 + Spr_util.Rng.int rng 128)
+  | _ -> Char.chr (32 + Spr_util.Rng.int rng 95)
+
+let junk rng len = String.init len (fun _ -> junk_byte rng)
+
+let garbage_frames ~rng ~n =
+  List.init n (fun _ ->
+      match Spr_util.Rng.int rng 7 with
+      | 0 ->
+        (* Length line that never terminates. *)
+        String.init (10 + Spr_util.Rng.int rng 20) (fun _ ->
+            Char.chr (Char.code '0' + Spr_util.Rng.int rng 10))
+      | 1 ->
+        (* Non-numeric length line. *)
+        junk rng (1 + Spr_util.Rng.int rng 6) ^ "\n"
+      | 2 ->
+        (* Absurd announced length. *)
+        Printf.sprintf "%d\n" (1_000_000_000 + Spr_util.Rng.int rng 1_000_000_000)
+      | 3 ->
+        (* Valid header over a non-JSON payload. *)
+        let p = junk rng (1 + Spr_util.Rng.int rng 40) in
+        Printf.sprintf "%d\n%s" (String.length p) p
+      | 4 ->
+        (* Valid header, payload cut short (stream then closed). *)
+        let p = "{\"req\":\"ping\"}" in
+        Printf.sprintf "%d\n%s" (String.length p + 5 + Spr_util.Rng.int rng 100) p
+      | 5 ->
+        (* Negative length. *)
+        Printf.sprintf "-%d\n" (1 + Spr_util.Rng.int rng 1000)
+      | _ ->
+        (* Pure binary junk. *)
+        junk rng (1 + Spr_util.Rng.int rng 64))
+
+(* --- fault vocabulary --- *)
+
+type fault = Kill_worker | Kill_daemon | Client_disconnect | Garbage_frame
+
+let fault_to_string = function
+  | Kill_worker -> "kill-worker"
+  | Kill_daemon -> "kill-daemon"
+  | Client_disconnect -> "client-disconnect"
+  | Garbage_frame -> "garbage-frame"
+
+let all_faults = [ Kill_worker; Kill_daemon; Client_disconnect; Garbage_frame ]
+
+(* --- recovery equivalence --- *)
+
+type runner = {
+  reference : unit -> (Crash.outcome, string) Stdlib.result;
+  interrupted : kill_after_snapshots:int -> (bool, string) Stdlib.result;
+  recover : unit -> (Crash.outcome, string) Stdlib.result;
+  reset : unit -> unit;
+}
+
+type failure = {
+  f_kill_after : int;
+  f_shrunk_from : int;
+  f_error : string;
+}
+
+let failure_to_string f =
+  Printf.sprintf "service recovery failed at kill_after_snapshots=%d (shrunk from %d): %s"
+    f.f_kill_after f.f_shrunk_from f.f_error
+
+(* One interrupt+recover cycle. [Ok true]: property held. [Ok false]:
+   vacuous (job finished first). [Error]: mismatch or harness trouble. *)
+let attempt runner ~reference ~kill_after =
+  match
+    runner.reset ();
+    match runner.interrupted ~kill_after_snapshots:kill_after with
+    | Error e -> Error ("interrupt: " ^ e)
+    | Ok false -> Ok false
+    | Ok true -> (
+      match runner.recover () with
+      | Error e -> Error ("recover: " ^ e)
+      | Ok got -> (
+        match Crash.compare_outcomes ~reference got with
+        | Ok () -> Ok true
+        | Error e -> Error e))
+  with
+  | r -> r
+  | exception exn -> Error ("runner raised: " ^ Printexc.to_string exn)
+
+let check_recovery ?(attempts = 2) ~rng ~max_kill runner =
+  let max_kill = max 1 max_kill in
+  match runner.reference () with
+  | Error e ->
+    Error { f_kill_after = 0; f_shrunk_from = 0; f_error = "reference: " ^ e }
+  | exception exn ->
+    Error
+      { f_kill_after = 0; f_shrunk_from = 0; f_error = "reference raised: " ^ Printexc.to_string exn }
+  | Ok reference ->
+    (* Same shrink discipline as {!Crash}: candidates 1 / half /
+       predecessor, each replayed through a full interrupt+recover
+       cycle, keeping the smallest that still fails. *)
+    let shrink ~kill_after ~error =
+      let rec go k err =
+        let candidates =
+          List.sort_uniq compare [ 1; k / 2; k - 1 ] |> List.filter (fun c -> c >= 1 && c < k)
+        in
+        let rec first_failing = function
+          | [] -> None
+          | c :: rest -> (
+            match attempt runner ~reference ~kill_after:c with
+            | Ok _ -> first_failing rest
+            | Error e -> Some (c, e))
+        in
+        match first_failing candidates with
+        | Some (c, e) -> go c e
+        | None -> (k, err)
+      in
+      go kill_after error
+    in
+    let rec go i =
+      if i >= attempts then Ok ()
+      else
+        let kill_after = 1 + Spr_util.Rng.int rng max_kill in
+        match attempt runner ~reference ~kill_after with
+        | Ok _ -> go (i + 1)
+        | Error error ->
+          let k, e = shrink ~kill_after ~error in
+          Error { f_kill_after = k; f_shrunk_from = kill_after; f_error = e }
+    in
+    go 0

@@ -710,7 +710,10 @@ module V2 = struct
   let write ?replica ~dir ~seq ~keep p ~current =
     Spr_util.Persist.ensure_dir dir;
     let path = snapshot_path ?replica dir seq in
-    Spr_util.Persist.atomic_write path (encode p ~current);
+    (* Durable: a rotated-away predecessor may be removed right after
+       this write lands, so the rename itself must survive power loss
+       or a reboot could find neither snapshot. *)
+    Spr_util.Persist.atomic_write ~durable:true path (encode p ~current);
     (* Drop rotation entries beyond the newest [keep]. *)
     let keep = max 1 keep in
     List.iteri
@@ -812,7 +815,10 @@ module Exchange = struct
   let write ~dir (r : Pf.round_result) =
     Spr_util.Persist.ensure_dir dir;
     let path = record_path dir r.Pf.xr_round in
-    Spr_util.Persist.atomic_write path (encode r);
+    (* Durable for the same reason as snapshots: replicas act on the
+       round as soon as this returns, so a lost rename would leave the
+       resumed fleet without a round the live fleet already adopted. *)
+    Spr_util.Persist.atomic_write ~durable:true path (encode r);
     path
 
   let load_all ~dir =

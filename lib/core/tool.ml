@@ -27,6 +27,7 @@ module Config = struct
     time_budget : float option;
     max_moves : int option;
     stop_after_accepted : int option;
+    poll : (unit -> bool) option;
   }
 
   type persistence = {
@@ -54,6 +55,7 @@ module Config = struct
     trace_path : string option;
     report_path : string option;
     label : string option;
+    on_event : (Spr_obs.Trace.event -> unit) option;
   }
 
   type t = {
@@ -80,7 +82,7 @@ module Config = struct
       anneal = None;
       moves = { pinmap_move_prob = 0.15; enable_pinmap_moves = true; max_swap_tries = 8 };
       weights = { g_per_net = 0.04; d_per_net = 0.02; t_emphasis = 1.0 };
-      budget = { time_budget = None; max_moves = None; stop_after_accepted = None };
+      budget = { time_budget = None; max_moves = None; stop_after_accepted = None; poll = None };
       persistence =
         { run_dir = None; snapshot_every = 1; snapshot_keep = 3; final_checkpoint = true };
       validation = { validate = false; validate_every = 50 };
@@ -92,7 +94,8 @@ module Config = struct
           route_workers = 1;
           route_grain = 8;
         };
-      obs = { record = false; trace_path = None; report_path = None; label = None };
+      obs =
+        { record = false; trace_path = None; report_path = None; label = None; on_event = None };
     }
 
   (* The one place configuration sanity lives. Nonsense is rejected
@@ -188,6 +191,8 @@ module Config = struct
   let with_stop_after_accepted k t =
     { t with budget = { t.budget with stop_after_accepted = Some k } }
 
+  let with_cancel_poll f t = { t with budget = { t.budget with poll = Some f } }
+
   let with_persistence persistence t = { t with persistence }
 
   let with_run_dir ?snapshot_every ?snapshot_keep dir t =
@@ -247,6 +252,8 @@ module Config = struct
   let with_report_file path t = { t with obs = { t.obs with report_path = Some path } }
 
   let with_run_label label t = { t with obs = { t.obs with label = Some label } }
+
+  let with_on_event f t = { t with obs = { t.obs with on_event = Some f } }
 end
 
 type config = Config.t
@@ -285,6 +292,20 @@ let install_signal_handlers () =
   let handle _ = request_interrupt () in
   Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+
+(* Re-entrant variant for embedders (the service daemon, tests, any
+   host process with its own signal discipline): the previous SIGINT
+   and SIGTERM behaviours are saved and restored however the thunk
+   exits, so a nested run cannot clobber the host's handlers. *)
+let with_signal_handlers f =
+  let handle _ = request_interrupt () in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle handle) in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle handle) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint prev_int;
+      Sys.set_signal Sys.sigterm prev_term)
+    f
 
 type result = {
   place : P.t;
@@ -514,6 +535,8 @@ let anneal_session ?resume ?ctx ~(config : Config.t) ~rng ~best s =
     | None ->
       stop_reason :=
         (if interrupt_requested () then Some Interrupt
+         else if (match config.budget.poll with Some f -> f () | None -> false) then
+           Some Interrupt
          else
            match config.budget.max_moves with
            | Some m when moves >= m -> Some Move_budget
@@ -534,6 +557,7 @@ let anneal_session ?resume ?ctx ~(config : Config.t) ~rng ~best s =
     || config.budget.time_budget <> None
     || config.budget.max_moves <> None
     || config.budget.stop_after_accepted <> None
+    || config.budget.poll <> None
   in
   let ckpt_dir =
     match config.persistence.run_dir with
@@ -887,7 +911,20 @@ let write_report_file path report =
     (Spr_obs.Json.to_string ~indent:true (Spr_obs.Report.to_json report) ^ "\n")
 
 let recording_wanted (config : Config.t) =
-  config.Config.obs.Config.record || config.Config.obs.Config.trace_path <> None
+  config.Config.obs.Config.record
+  || config.Config.obs.Config.trace_path <> None
+  || config.Config.obs.Config.on_event <> None
+
+(* The recording sink for one replica: a live [on_event] hook gets a
+   streaming sink (buffered copy still feeds trace assembly); plain
+   recording buffers in memory; otherwise the null sink keeps every
+   instrumentation point a strict no-op. The hook runs on the emitting
+   domain — portfolio replicas share it, so it must do its own
+   locking. *)
+let replica_sink (config : Config.t) =
+  match config.Config.obs.Config.on_event with
+  | Some f when recording_wanted config -> Spr_obs.Sink.stream f
+  | _ -> if recording_wanted config then Spr_obs.Sink.memory () else Spr_obs.Sink.null
 
 let run ?(config = Config.default) ?resume arch nl =
   match Config.validated config with
@@ -896,9 +933,7 @@ let run ?(config = Config.default) ?resume arch nl =
     match Spr_netlist.Levelize.run nl with
     | Error e -> Error (Invalid_design e)
     | Ok _ -> (
-      let sink =
-        if recording_wanted config then Spr_obs.Sink.memory () else Spr_obs.Sink.null
-      in
+      let sink = replica_sink config in
       let outcome =
         try
           Spr_obs.Obs.with_recording ~sink ~replica:0 (fun () ->
@@ -973,10 +1008,7 @@ let run_portfolio ?(config = Config.default) ?resume_dir arch nl =
         Portfolio.create ~replicas ~exchange:config.parallel.exchange ~history ~persist
           ~frozen:interrupt_requested ()
       in
-      let sinks =
-        Array.init replicas (fun _ ->
-            if recording_wanted config then Spr_obs.Sink.memory () else Spr_obs.Sink.null)
-      in
+      let sinks = Array.init replicas (fun _ -> replica_sink config) in
       let worker k =
         (* One replica IS the serial path: no coordination, the
            configured stream, unprefixed snapshot files — bit-identical

@@ -74,6 +74,13 @@ module Config : sig
             moves have been accepted, cumulative across resumes. In a
             portfolio, any replica tripping a budget stops the whole
             fleet. *)
+    poll : (unit -> bool) option;
+        (** External cancellation hook, polled between moves alongside
+            the budgets: the first poll returning [true] stops the run
+            gracefully as [Interrupt] (final checkpoint, best-so-far
+            result) — the service layer's per-job cancellation rides
+            this. The closure runs on every replica's domain and must
+            be cheap and thread-safe. *)
   }
 
   type persistence = {
@@ -140,6 +147,14 @@ module Config : sig
     report_path : string option;
         (** Write the {!Spr_obs.Report} JSON here. *)
     label : string option;  (** Run label in traces and reports. *)
+    on_event : (Spr_obs.Trace.event -> unit) option;
+        (** Live event hook (implies recording): every trace event is
+            handed to the callback synchronously as it is emitted, on
+            the emitting replica's domain — this is how the service
+            daemon streams [spr-trace-1] events to a client while the
+            job runs. Portfolio replicas share the one callback, so it
+            must lock any shared state; exceptions it raises abort the
+            run. *)
   }
 
   type t = {
@@ -209,6 +224,8 @@ module Config : sig
 
   val with_stop_after_accepted : int -> t -> t
 
+  val with_cancel_poll : (unit -> bool) -> t -> t
+
   val with_persistence : persistence -> t -> t
 
   val with_run_dir : ?snapshot_every:int -> ?snapshot_keep:int -> string -> t -> t
@@ -238,6 +255,8 @@ module Config : sig
   val with_report_file : string -> t -> t
 
   val with_run_label : string -> t -> t
+
+  val with_on_event : (Spr_obs.Trace.event -> unit) -> t -> t
 end
 
 type config = Config.t
@@ -406,4 +425,12 @@ val reset_interrupt : unit -> unit
 val interrupt_requested : unit -> bool
 
 val install_signal_handlers : unit -> unit
-(** Route SIGINT and SIGTERM to {!request_interrupt}. *)
+(** Route SIGINT and SIGTERM to {!request_interrupt}. Process-wide and
+    permanent — for a plain CLI run that owns the process. Embedders
+    should prefer {!with_signal_handlers}. *)
+
+val with_signal_handlers : (unit -> 'a) -> 'a
+(** Re-entrant form: install the interrupt handlers for the duration of
+    the thunk and restore the {e previous} SIGINT/SIGTERM behaviours
+    afterwards (exception-safe), so nested or daemon-hosted runs do not
+    clobber the host process's signal discipline. *)

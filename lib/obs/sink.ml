@@ -1,11 +1,22 @@
-type t = Null | Memory of Trace.event list ref  (* reversed *)
+type t =
+  | Null
+  | Memory of Trace.event list ref  (* reversed *)
+  | Stream of { buf : Trace.event list ref; deliver : Trace.event -> unit }
 
 let null = Null
 
 let memory () = Memory (ref [])
 
-let enabled = function Null -> false | Memory _ -> true
+let stream deliver = Stream { buf = ref []; deliver }
 
-let emit t ev = match t with Null -> () | Memory buf -> buf := ev :: !buf
+let enabled = function Null -> false | Memory _ | Stream _ -> true
 
-let events = function Null -> [] | Memory buf -> List.rev !buf
+let emit t ev =
+  match t with
+  | Null -> ()
+  | Memory buf -> buf := ev :: !buf
+  | Stream { buf; deliver } ->
+    buf := ev :: !buf;
+    deliver ev
+
+let events = function Null -> [] | Memory buf | Stream { buf; _ } -> List.rev !buf

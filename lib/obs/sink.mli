@@ -13,6 +13,16 @@ val null : t
 
 val memory : unit -> t
 
+val stream : (Trace.event -> unit) -> t
+(** A memory sink that additionally hands every event to the callback
+    synchronously as it is emitted — the live per-job sink of the
+    service layer, which forwards events to a subscribed client while
+    the buffered copy still feeds the end-of-run trace assembly. The
+    callback runs on the emitting domain: when several replicas share
+    one callback it must do its own locking. Exceptions it raises
+    propagate to the instrumentation point, so callbacks that can fail
+    (sockets, pipes) should swallow their own errors. *)
+
 val enabled : t -> bool
 (** [false] for {!null} — the guard instrumentation checks before
     reading the clock. *)

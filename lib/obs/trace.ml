@@ -143,6 +143,10 @@ let event_of_json j =
   with
   | ev -> Ok ev
   | exception Decode msg -> Error msg
+  (* Adversarial input must produce a structured error, never a raise:
+     a field decoder surprised by a shape the Decode guards above did
+     not anticipate is a diagnostic, not a crash. *)
+  | exception exn -> Error ("malformed event: " ^ Printexc.to_string exn)
 
 let encode_line ev = to_string (event_to_json ev)
 
@@ -181,20 +185,20 @@ let to_file path events =
     events;
   Spr_util.Persist.atomic_write path (Buffer.contents buf)
 
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | [ "" ] -> Ok (List.rev acc)  (* trailing newline *)
+    | line :: rest -> (
+      match decode_line line with
+      | Ok ev -> go (lineno + 1) (ev :: acc) rest
+      | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go 1 [] lines
+
 let of_file path =
-  match Spr_util.Persist.read_file path with
-  | Error e -> Error e
-  | Ok text ->
-    let lines = String.split_on_char '\n' text in
-    let rec go lineno acc = function
-      | [] -> Ok (List.rev acc)
-      | [ "" ] -> Ok (List.rev acc)  (* trailing newline *)
-      | line :: rest -> (
-        match decode_line line with
-        | Ok ev -> go (lineno + 1) (ev :: acc) rest
-        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
-    in
-    go 1 [] lines
+  match Spr_util.Persist.read_file path with Error e -> Error e | Ok text -> of_string text
 
 let validate events =
   match events with

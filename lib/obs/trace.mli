@@ -64,8 +64,15 @@ val mask_times : event -> event
 val to_file : string -> event list -> unit
 (** Atomic write (temp file + rename) of the whole trace. *)
 
+val of_string : string -> (event list, string) Stdlib.result
+(** Decode a whole trace from one string (JSONL, optional trailing
+    newline); errors carry the 1-based line number. Total: truncated
+    lines, interleaved garbage, and shape-violating events all come
+    back as [Error], never an exception. *)
+
 val of_file : string -> (event list, string) Stdlib.result
-(** Decode every line; errors carry the 1-based line number. *)
+(** {!of_string} on the file's contents; errors carry the 1-based line
+    number. *)
 
 val validate : event list -> (unit, string) Stdlib.result
 (** Structural check: non-empty, starts with [Run_start] (known

@@ -1,0 +1,103 @@
+type conn = { fd : Unix.file_descr; dec : Frame.decoder; mutable closed : bool }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok { fd; dec = Frame.decoder (); closed = false }
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "connect %s: %s" socket (Unix.error_message err))
+
+let close c =
+  if not c.closed then begin
+    c.closed <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let send c req =
+  match Frame.write c.fd (Protocol.request_to_json req) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (err, _, _) -> Error ("send: " ^ Unix.error_message err)
+
+let recv c =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Frame.next c.dec with
+    | `Frame json -> Protocol.response_of_json json
+    | `Corrupt msg -> Error ("corrupt reply: " ^ msg)
+    | `Need_more -> (
+      match Unix.read c.fd buf 0 (Bytes.length buf) with
+      | 0 -> Error "connection closed by daemon"
+      | n ->
+        Frame.feed c.dec (Bytes.sub_string buf 0 n);
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (err, _, _) -> Error ("recv: " ^ Unix.error_message err))
+  in
+  go ()
+
+let request ~socket req =
+  match connect ~socket with
+  | Error e -> Error e
+  | Ok c ->
+    Fun.protect
+      ~finally:(fun () -> close c)
+      (fun () -> match send c req with Ok () -> recv c | Error e -> Error e)
+
+let ping ~socket =
+  match request ~socket Protocol.Ping with
+  | Ok Protocol.Pong -> Ok ()
+  | Ok r -> Error (Spr_obs.Json.to_string (Protocol.response_to_json r))
+  | Error e -> Error e
+
+let jobs ~socket =
+  match request ~socket Protocol.Jobs with
+  | Ok (Protocol.Jobs_list rows) -> Ok rows
+  | Ok (Protocol.Error e) -> Error e
+  | Ok r -> Error ("unexpected reply: " ^ Spr_obs.Json.to_string (Protocol.response_to_json r))
+  | Error e -> Error e
+
+let cancel ~socket id = request ~socket (Protocol.Cancel id)
+
+let open_submit ~socket spec =
+  match connect ~socket with
+  | Error e -> Error (`Error e)
+  | Ok c -> (
+    let fail e =
+      close c;
+      Error (`Error e)
+    in
+    match send c (Protocol.Submit spec) with
+    | Error e -> fail e
+    | Ok () -> (
+      match recv c with
+      | Ok (Protocol.Accepted id) -> Ok (c, id)
+      | Ok (Protocol.Rejected r) ->
+        close c;
+        Error (`Rejected r)
+      | Ok (Protocol.Error e) -> fail e
+      | Ok r ->
+        fail ("unexpected reply: " ^ Spr_obs.Json.to_string (Protocol.response_to_json r))
+      | Error e -> fail e))
+
+let await ?(on_event = fun _ -> ()) c =
+  Fun.protect
+    ~finally:(fun () -> close c)
+    (fun () ->
+      let rec go () =
+        match recv c with
+        | Error e -> Error e
+        | Ok (Protocol.Event ev) ->
+          on_event ev;
+          go ()
+        | Ok r when Protocol.is_terminal r -> Ok r
+        | Ok (Protocol.Error e) -> Error e
+        | Ok _ -> go ()
+      in
+      go ())
+
+let submit ?on_event ~socket spec =
+  match open_submit ~socket spec with
+  | Ok (c, _id) -> await ?on_event c
+  | Error (`Rejected r) -> Ok (Protocol.Rejected r)
+  | Error (`Error e) -> Error e

@@ -1,0 +1,84 @@
+let max_frame_bytes = 16 * 1024 * 1024
+
+(* The length line is at most 8 digits (16 MiB) plus the newline; a
+   stream showing more than [max_header] bytes without a newline is not
+   speaking this protocol. *)
+let max_header = 9
+
+let encode json =
+  let payload = Spr_obs.Json.to_string json in
+  Printf.sprintf "%d\n%s" (String.length payload) payload
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+    end
+  in
+  go 0
+
+let write fd json = write_all fd (encode json)
+
+type decoder = {
+  mutable pending : string;  (* unconsumed bytes *)
+  mutable corrupt : string option;
+}
+
+let decoder () = { pending = ""; corrupt = None }
+
+let feed d s = if s <> "" then d.pending <- d.pending ^ s
+
+let fail d msg =
+  d.corrupt <- Some msg;
+  `Corrupt msg
+
+let next d =
+  match d.corrupt with
+  | Some msg -> `Corrupt msg
+  | None -> (
+    let s = d.pending in
+    match String.index_opt s '\n' with
+    | None ->
+      if String.length s > max_header then
+        fail d "frame header: no length delimiter within 9 bytes"
+      else `Need_more
+    | Some nl -> (
+      if nl = 0 || nl > max_header - 1 then fail d "frame header: bad length line"
+      else
+        let digits = String.sub s 0 nl in
+        match
+          if String.for_all (fun c -> c >= '0' && c <= '9') digits then
+            int_of_string_opt digits
+          else None
+        with
+        | None -> fail d (Printf.sprintf "frame header: %S is not a length" digits)
+        | Some len when len > max_frame_bytes ->
+          fail d (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" len max_frame_bytes)
+        | Some len ->
+          if String.length s - nl - 1 < len then `Need_more
+          else begin
+            let payload = String.sub s (nl + 1) len in
+            d.pending <- String.sub s (nl + 1 + len) (String.length s - nl - 1 - len);
+            match Spr_obs.Json.parse payload with
+            | Ok json -> `Frame json
+            | Error e -> fail d ("frame payload: " ^ e)
+          end))
+
+let read fd =
+  let d = decoder () in
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match next d with
+    | `Frame json -> Ok json
+    | `Corrupt msg -> Error (`Corrupt msg)
+    | `Need_more -> (
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> if d.pending = "" then Error `Closed else Error (`Corrupt "EOF mid-frame")
+      | n ->
+        feed d (Bytes.sub_string buf 0 n);
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()

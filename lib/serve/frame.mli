@@ -1,0 +1,47 @@
+(** Length-prefixed JSON framing for the [spr serve] socket protocol.
+
+    One frame is an ASCII decimal byte count, a newline, and exactly
+    that many bytes of one canonical-JSON value ({!Spr_obs.Json}):
+
+    {v <len>\n<len bytes of JSON> v}
+
+    The length line makes framing self-describing without escaping, and
+    the strict JSON parser behind it means a frame either decodes or is
+    rejected with a diagnostic — adversarial bytes (truncated length
+    lines, absurd lengths, non-JSON payloads, binary junk) surface as
+    {!Corrupt}, never as an exception, so one bad client cannot take
+    down the daemon. *)
+
+val max_frame_bytes : int
+(** Upper bound on a frame's payload (16 MiB — a big BLIF fits with
+    room to spare). Larger announced lengths are rejected as corrupt
+    before any allocation. *)
+
+val encode : Spr_obs.Json.t -> string
+(** The full wire form, header included. *)
+
+val write : Unix.file_descr -> Spr_obs.Json.t -> unit
+(** Blocking write of one whole frame. Raises [Unix.Unix_error] (e.g.
+    [EPIPE]) like any socket write; callers own the error policy. *)
+
+(** {1 Incremental decoding}
+
+    The daemon reads sockets and worker pipes non-blockingly; each fd
+    owns a decoder that is fed whatever bytes arrived and yields
+    complete frames as they materialize. *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> string -> unit
+(** Append received bytes. *)
+
+val next : decoder -> [ `Frame of Spr_obs.Json.t | `Need_more | `Corrupt of string ]
+(** Pop the next complete frame. [`Corrupt] is sticky: a stream that
+    lied about its framing cannot be resynchronized, so every
+    subsequent call keeps returning it. *)
+
+val read : Unix.file_descr -> (Spr_obs.Json.t, [ `Closed | `Corrupt of string ]) result
+(** Blocking convenience for clients: read one whole frame. [`Closed]
+    on clean EOF at a frame boundary; EOF mid-frame is [`Corrupt]. *)

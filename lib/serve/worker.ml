@@ -1,0 +1,150 @@
+module J = Spr_obs.Json
+
+let outcome_schema = "spr-serve-outcome-1"
+
+let outcome_to_json ~ok ~status ~error ~report =
+  J.Obj
+    [
+      ("schema", J.String outcome_schema);
+      ("ok", J.Bool ok);
+      ("status", match status with Some s -> J.String s | None -> J.Null);
+      ("error", match error with Some e -> J.String e | None -> J.Null);
+      ("report", match report with Some r -> r | None -> J.Null);
+    ]
+
+let read_outcome path =
+  match Spr_util.Persist.read_file path with
+  | Error e -> Error e
+  | Ok text -> (
+    match J.parse text with
+    | Error e -> Error (path ^ ": " ^ e)
+    | Ok j -> (
+      let str name = Option.bind (J.member name j) J.to_str in
+      match Option.bind (J.member "schema" j) J.to_str with
+      | Some s when s = outcome_schema -> (
+        match Option.bind (J.member "ok" j) (function J.Bool b -> Some b | _ -> None) with
+        | Some true -> (
+          match str "status" with
+          | Some status ->
+            let report =
+              match J.member "report" j with None | Some J.Null -> None | Some r -> Some r
+            in
+            Ok (`Ok (status, report))
+          | None -> Error (path ^ ": ok outcome without a status"))
+        | Some false -> (
+          match str "error" with
+          | Some e -> Ok (`Error e)
+          | None -> Error (path ^ ": failed outcome without an error"))
+        | _ -> Error (path ^ ": missing ok flag"))
+      | Some s -> Error (path ^ ": unknown outcome schema " ^ s)
+      | None -> Error (path ^ ": missing schema")))
+
+let write_outcome ~state_dir ~job json =
+  Spr_util.Persist.atomic_write ~durable:true
+    (Job.outcome_file ~state_dir job)
+    (J.to_string ~indent:true json ^ "\n")
+
+(* Serialize pipe writes: with a portfolio running, [on_event] fires on
+   whichever replica domain emitted the event. After the first EPIPE
+   (daemon gone) streaming stops for good but the run carries on — the
+   durable outcome file is what recovery reads. *)
+let make_streamer pipe =
+  let lock = Mutex.create () in
+  let dead = ref false in
+  fun msg ->
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        if not !dead then
+          try Frame.write pipe (Protocol.worker_to_json msg)
+          with Unix.Unix_error _ | Sys_error _ -> dead := true)
+
+let redirect_to_log ~state_dir ~job =
+  let fd =
+    Unix.openfile (Job.log_file ~state_dir job)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+      0o644
+  in
+  Unix.dup2 fd Unix.stdout;
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd
+
+let build_netlist (spec : Job.spec) ~state_dir ~job =
+  match spec.Job.circuit with
+  | Some name -> (
+    match Spr_netlist.Circuits.find name with
+    | Some _ -> Ok (Spr_netlist.Circuits.make_by_name name)
+    | None -> Error ("unknown circuit " ^ name))
+  | None -> (
+    match Spr_util.Persist.read_file (Job.design_file ~state_dir job) with
+    | Error e -> Error ("design.blif: " ^ e)
+    | Ok text -> Spr_netlist.Blif.parse_string text)
+
+let job_config (spec : Job.spec) ~state_dir ~job ~n ~stream =
+  let open Spr_core.Tool.Config in
+  let effort =
+    match Spr_experiments.Profiles.effort_of_string spec.Job.effort with
+    | Some e -> e
+    | None -> Spr_experiments.Profiles.Quick
+  in
+  let exchange =
+    match Spr_anneal.Portfolio.exchange_of_string spec.Job.exchange with
+    | Ok e -> e
+    | Error _ -> Spr_anneal.Portfolio.Independent
+  in
+  Spr_experiments.Profiles.tool_config ~seed:spec.Job.seed effort ~n
+  |> (match spec.Job.time_budget with Some b -> with_time_budget b | None -> Fun.id)
+  |> (match spec.Job.max_moves with Some m -> with_max_moves m | None -> Fun.id)
+  |> with_run_dir (Job.run_dir ~state_dir job)
+  |> with_replicas ~exchange spec.Job.replicas
+  |> with_run_label spec.Job.label
+  |> with_trace_file (Job.trace_file ~state_dir job)
+  |> with_report_file (Job.report_file ~state_dir job)
+  |> with_on_event (fun ev -> stream (Protocol.W_event ev))
+
+let finish_error ~state_dir ~job ~stream msg =
+  write_outcome ~state_dir ~job (outcome_to_json ~ok:false ~status:None ~error:(Some msg) ~report:None);
+  stream (Protocol.W_error msg);
+  exit 1
+
+let main ~state_dir ~job ~pipe =
+  redirect_to_log ~state_dir ~job;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stream = make_streamer pipe in
+  let spec = job.Job.spec in
+  match build_netlist spec ~state_dir ~job with
+  | Error e -> finish_error ~state_dir ~job ~stream ("netlist: " ^ e)
+  | Ok nl -> (
+    let n = Spr_netlist.Netlist.n_cells nl in
+    let hscheme =
+      match Spr_arch.Segmentation.scheme_of_string spec.Job.scheme with
+      | Some s -> s
+      | None -> Spr_arch.Segmentation.Actel_like
+    in
+    let arch = Spr_arch.Arch.size_for ~tracks:spec.Job.tracks ~hscheme nl in
+    let run_dir = Job.run_dir ~state_dir job in
+    Spr_util.Persist.ensure_dir run_dir;
+    let config = job_config spec ~state_dir ~job ~n ~stream in
+    match
+      (* Resume-or-fresh is one call: replicas with snapshots in the
+         run dir pick up where they stopped, replicas without start
+         deterministically from scratch. SIGTERM lands in Tool's
+         handler and stops the run gracefully between moves. *)
+      Spr_core.Tool.with_signal_handlers (fun () ->
+          Spr_core.Tool.run_portfolio ~config ~resume_dir:run_dir arch nl)
+    with
+    | Ok p ->
+      let best = Spr_core.Tool.best_result p in
+      Spr_core.Checkpoint.save best.Spr_core.Tool.route (Job.layout_file ~state_dir job);
+      let status = Spr_core.Outcome.status_to_string best.Spr_core.Tool.status in
+      let report = Spr_obs.Report.to_json p.Spr_core.Tool.p_report in
+      (* Outcome before result frame: if the daemon dies between the
+         two, restart recovery still finds the result on disk. *)
+      write_outcome ~state_dir ~job
+        (outcome_to_json ~ok:true ~status:(Some status) ~error:None ~report:(Some report));
+      stream (Protocol.W_result { status; report = Some report });
+      exit 0
+    | Error e -> finish_error ~state_dir ~job ~stream (Spr_core.Tool.error_to_string e)
+    | exception exn ->
+      finish_error ~state_dir ~job ~stream ("worker raised: " ^ Printexc.to_string exn))

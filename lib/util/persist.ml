@@ -25,17 +25,29 @@ let int64_to_hex i = Printf.sprintf "%016Lx" i
 let int64_of_hex s =
   if String.length s <> 16 then None else Int64.of_string_opt ("0x" ^ s)
 
-let atomic_write path text =
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let atomic_write ?(durable = false) path text =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
      output_string oc text;
+     if durable then begin
+       flush oc;
+       Unix.fsync (Unix.descr_of_out_channel oc)
+     end;
      close_out oc
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  if durable then fsync_dir (Filename.dirname path)
 
 let read_file path =
   match open_in_bin path with

@@ -25,11 +25,24 @@ val int64_to_hex : int64 -> string
 
 val int64_of_hex : string -> int64 option
 
-val atomic_write : string -> string -> unit
+val atomic_write : ?durable:bool -> string -> string -> unit
 (** [atomic_write path text] writes [text] to [path ^ ".tmp"], then
     [Sys.rename]s it over [path], so a crash mid-write can never leave a
     half-written [path] — readers see the old contents or the new, never
-    a mix. The temp file is removed on write failure. *)
+    a mix. The temp file is removed on write failure.
+
+    With [~durable:true] (default false) the temp file is fsynced
+    before the rename and the containing directory is fsynced after it,
+    so the update survives power loss, not just process crash — without
+    the directory sync the rename itself can be lost and the file
+    reappear under its old contents (or not at all) after a reboot.
+    Checkpoint rotation and service job records use this; throwaway
+    artifacts (reports, bench JSON) do not pay for it. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory so recently renamed/created entries in it survive
+    power loss. Best-effort: errors (e.g. on filesystems that refuse
+    directory fsync) are swallowed. *)
 
 val read_file : string -> (string, string) Stdlib.result
 (** Whole-file read; [Error] (with the system message) instead of an

@@ -183,6 +183,81 @@ let test_phase_series_skips_partial_rows () =
   let lines = String.split_on_char '\n' (String.trim text) in
   Alcotest.(check int) "header + only the complete row" 2 (List.length lines)
 
+(* --- adversarial trace input ---
+
+   A trace file arriving over the service socket or from a crashed
+   run's disk can be truncated mid-line, interleaved with garbage,
+   duplicated, or binary junk. Decoding and validation must answer
+   every such input with Ok/Error — never an exception. *)
+
+let valid_trace_text () =
+  let ev p = { Trace.ev_replica = 0; ev = p } in
+  let events =
+    (ev (Trace.Run_start { label = "fuzz"; seed = 1; replicas = 1; n_cells = 4; n_nets = 3 })
+    :: List.init 4 (fun i -> ev (Trace.Temp (row i))))
+    @ [
+        ev (Trace.Replica_end { status = "completed"; g = 0; d = 0; delay_ns = 1.5; best_cost = 2.0 });
+        ev
+          (Trace.Run_end
+             { status = "completed"; g = 0; d = 0; delay_ns = 1.5; best_cost = 2.0; wall_seconds = 0.1 });
+      ]
+  in
+  String.concat "\n" (List.map Trace.encode_line events) ^ "\n"
+
+let corrupt_trace rng text =
+  let lines () = String.split_on_char '\n' text in
+  let splice_line insert =
+    let ls = lines () in
+    let at = Spr_util.Rng.int rng (List.length ls) in
+    String.concat "\n" (List.concat (List.mapi (fun i l -> if i = at then [ insert; l ] else [ l ]) ls))
+  in
+  match Spr_util.Rng.int rng 6 with
+  | 0 -> String.sub text 0 (Spr_util.Rng.int rng (String.length text))  (* truncation *)
+  | 1 -> splice_line "this is not json"
+  | 2 -> splice_line (String.init 16 (fun _ -> Char.chr (Spr_util.Rng.int rng 256)))
+  | 3 ->
+    (* duplicate the run_end row *)
+    let ls = List.filter (fun l -> String.trim l <> "") (lines ()) in
+    String.concat "\n" (ls @ [ List.nth ls (List.length ls - 1) ])
+  | 4 ->
+    (* drop a random line: structurally wrong, must be a clean Error *)
+    let ls = lines () in
+    let at = Spr_util.Rng.int rng (List.length ls) in
+    String.concat "\n" (List.filteri (fun i _ -> i <> at) ls)
+  | _ ->
+    (* flip one byte *)
+    let b = Bytes.of_string text in
+    if Bytes.length b = 0 then text
+    else begin
+      let at = Spr_util.Rng.int rng (Bytes.length b) in
+      Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0xff));
+      Bytes.to_string b
+    end
+
+let test_trace_fuzz_total () =
+  let rng = Spr_util.Rng.create 42 in
+  let base = valid_trace_text () in
+  (match Trace.of_string base with
+  | Error e -> Alcotest.failf "valid trace rejected: %s" e
+  | Ok events -> (
+    match Trace.validate events with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "valid trace failed validation: %s" e));
+  for i = 1 to 200 do
+    (* stack up to three corruptions *)
+    let text = ref base in
+    for _ = 0 to Spr_util.Rng.int rng 3 do
+      text := corrupt_trace rng !text
+    done;
+    match Trace.of_string !text with
+    | Ok events -> (
+      (* decode may survive (e.g. a duplicated row is valid JSON);
+         validation must still answer structurally, without raising *)
+      match Trace.validate events with Ok () | Error _ -> ())
+    | Error msg ->
+      if String.trim msg = "" then Alcotest.failf "case %d: empty diagnostic" i
+  done
+
 let () =
   Alcotest.run "spr_obs"
     [
@@ -198,6 +273,10 @@ let () =
           Alcotest.test_case "absorb merges by name" `Quick test_metrics_absorb;
         ] );
       ("spans", [ Alcotest.test_case "nesting, tagging, no-op without sink" `Quick test_spans_nest_and_balance ]);
+      ( "trace",
+        [
+          Alcotest.test_case "adversarial input decodes totally" `Quick test_trace_fuzz_total;
+        ] );
       ( "render",
         [
           Alcotest.test_case "dynamics table via the one renderer" `Quick test_render_dynamics;
