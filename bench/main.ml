@@ -49,6 +49,25 @@ let fig7 () =
   let t = Spr_experiments.Big_design.run ~effort:(effort_of_env E.Thorough) () in
   print_string (Spr_experiments.Big_design.render t)
 
+(* --- flow presets: seeded vs cold-start anneal --- *)
+
+let flows_json_path = "BENCH_flows.json"
+
+let flows () =
+  section "Flow presets: analytical seed vs cold-start anneal";
+  let effort = effort_of_env E.Quick in
+  let rows = Spr_experiments.Flows_sweep.run ~effort () in
+  print_string (Spr_experiments.Flows_sweep.render rows);
+  let cmp = Spr_experiments.Flows_sweep.compare_seeded rows in
+  Printf.printf
+    "ap+sa vs sa over %d circuit-seed cells: %.2fx the annealing moves, quality held on %d\n%!"
+    cmp.Spr_experiments.Flows_sweep.cells cmp.Spr_experiments.Flows_sweep.move_ratio
+    cmp.Spr_experiments.Flows_sweep.quality_held;
+  Spr_util.Persist.atomic_write flows_json_path
+    (Spr_obs.Json.to_string ~indent:true (Spr_experiments.Flows_sweep.to_json ~effort rows)
+    ^ "\n");
+  Printf.printf "flow sweep written to %s\n%!" flows_json_path
+
 let ablation_ordering () =
   section "Ablation A3: rip-up queue ordering (cse)";
   let t = Spr_experiments.Ordering_ablation.run ~effort:(effort_of_env E.Quick) () in
@@ -568,7 +587,8 @@ let serve () =
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|fig6|fig7|ablation-seg|ablation-pinmap|ablation-ordering|rice|kernels|portfolio|route-parallel|serve|all]";
+    "usage: main.exe \
+     [table1|table2|fig6|fig7|flows|ablation-seg|ablation-pinmap|ablation-ordering|rice|kernels|portfolio|route-parallel|serve|all]";
   print_endline "env: SPR_BENCH_EFFORT=quick|standard|thorough"
 
 let () =
@@ -580,6 +600,7 @@ let () =
     table2 ();
     fig6 ();
     fig7 ();
+    flows ();
     ablation_seg ();
     ablation_pinmap ();
     ablation_ordering ();
@@ -592,6 +613,7 @@ let () =
   | [ "table2" ] -> table2 ()
   | [ "fig6" ] -> fig6 ()
   | [ "fig7" ] -> fig7 ()
+  | [ "flows" ] -> flows ()
   | [ "ablation-seg" ] -> ablation_seg ()
   | [ "ablation-pinmap" ] -> ablation_pinmap ()
   | [ "ablation-ordering" ] -> ablation_ordering ()

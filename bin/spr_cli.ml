@@ -1,20 +1,24 @@
-(* spr — command-line driver for the simultaneous place-and-route tool
-   and the sequential baseline.
+(* spr — command-line driver for the flow-stage engine: the
+   simultaneous place-and-route tool, the sequential baseline, and the
+   analytically seeded pipelines between them.
 
      spr generate --cells 200 --seed 3 > c.blif
-     spr route c.blif --tracks 28 --flow sim
-     spr route --circuit s1 --flow both --svg die.svg --checkpoint s1.ckpt
+     spr route c.blif --tracks 28 --flow sa
+     spr route --circuit s1 --flow ap+sa --stage-budget sa=30 --run-dir runs/f
+     spr route --circuit s1 --svg die.svg --checkpoint s1.ckpt
      spr route --circuit s1 --obs-endpoints 5 --obs-clock 120
      spr route --circuit s1 --trace s1.jsonl --report s1-report.json
      spr report s1.jsonl
+     spr flows -o BENCH_flows.json
      spr min-tracks --circuit bw
      spr dynamics --circuit s1
 
    The route flag surface is grouped: observability under
-   --obs-*/--trace/--report, persistence under --run-*. The pre-grouping
-   spellings still parse as hidden deprecated aliases (one-line warning
-   on stderr); [route] below is the single place they merge into a
-   Tool.Config. *)
+   --obs-*/--trace/--report, persistence under --run-*, flow selection
+   under --flow/--stage-budget. The pre-grouping spellings (including
+   --flow sim/both) still parse as hidden deprecated aliases (one-line
+   warning on stderr); [route] below is the single place they merge
+   into a Tool.Config. *)
 
 open Cmdliner
 
@@ -127,33 +131,45 @@ let report_sim nl (r : Spr_core.Tool.result) =
     (String.concat " -> "
        (List.map (fun c -> (Spr_netlist.Netlist.cell nl c).Spr_netlist.Netlist.cell_name) path))
 
-let report_seq (r : Spr_seq.Flow.result) =
-  Printf.printf "sequential:   routed=%b (G=%d D=%d)  critical=%.2f ns  cpu=%.1f s\n"
-    r.Spr_seq.Flow.fully_routed r.Spr_seq.Flow.g r.Spr_seq.Flow.d r.Spr_seq.Flow.critical_delay
-    r.Spr_seq.Flow.cpu_seconds
+let report_flow ~flow nl (r : Spr_flow.result) =
+  List.iter
+    (fun s ->
+      Printf.printf "  stage %-7s %7.1f s  %s\n" s.Spr_flow.sg_name s.Spr_flow.sg_seconds
+        s.Spr_flow.sg_detail)
+    r.Spr_flow.f_stages;
+  (match r.Spr_flow.f_seed_temperature with
+  | Some t -> Printf.printf "  seeded anneal start temperature %.4g\n" t
+  | None -> ());
+  Printf.printf "flow %-16s routed=%b (G=%d D=%d)  critical=%.2f ns  %.1f s\n" flow
+    r.Spr_flow.f_fully_routed r.Spr_flow.f_g r.Spr_flow.f_d r.Spr_flow.f_critical_delay
+    (Spr_flow.stage_seconds r);
+  let path = Spr_timing.Sta.critical_path r.Spr_flow.f_sta in
+  Printf.printf "critical path: %s\n"
+    (String.concat " -> "
+       (List.map (fun c -> (Spr_netlist.Netlist.cell nl c).Spr_netlist.Netlist.cell_name) path))
 
-let post_layout nl (r : Spr_core.Tool.result) ~svg ~checkpoint ~ascii ~stats ~report_k ~clock =
+(* Layout-facing outputs shared by every flow: stats, SVG, checkpoint,
+   ASCII die plot and the worst-endpoints table need only the routed
+   state and its STA, whatever produced them. *)
+let post_layout nl ~route ~sta ~svg ~checkpoint ~ascii ~stats ~report_k ~clock =
   if stats then
-    Format.printf "%a" Spr_route.Route_stats.pp
-      (Spr_route.Route_stats.collect r.Spr_core.Tool.route);
+    Format.printf "%a" Spr_route.Route_stats.pp (Spr_route.Route_stats.collect route);
   (match svg with
   | None -> ()
   | Some path ->
-    let hot = Spr_render.Die_plot.critical_nets r.Spr_core.Tool.sta r.Spr_core.Tool.route in
-    Spr_render.Die_plot.save_svg ~highlight:hot r.Spr_core.Tool.route path;
+    let hot = Spr_render.Die_plot.critical_nets sta route in
+    Spr_render.Die_plot.save_svg ~highlight:hot route path;
     Printf.printf "die plot written to %s\n" path);
   (match checkpoint with
   | None -> ()
   | Some path ->
-    Spr_core.Checkpoint.save r.Spr_core.Tool.route path;
+    Spr_core.Checkpoint.save route path;
     Printf.printf "checkpoint written to %s\n" path);
-  if ascii then print_string (Spr_render.Die_plot.to_ascii r.Spr_core.Tool.route);
+  if ascii then print_string (Spr_render.Die_plot.to_ascii route);
   match report_k with
   | None -> ()
   | Some k ->
-    let paths =
-      Spr_timing.Path_report.worst_paths ~k ?clock_period:clock r.Spr_core.Tool.sta
-    in
+    let paths = Spr_timing.Path_report.worst_paths ~k ?clock_period:clock sta in
     Printf.printf "\nworst %d endpoints:\n%s" k (Spr_timing.Path_report.render nl paths)
 
 (* A run directory holds everything needed to continue an interrupted
@@ -170,7 +186,7 @@ let design_file dir = Filename.concat dir "design.blif"
    identical bytes is deterministic); a built-in circuit is recorded by
    name and rebuilt from its spec, because re-parsing a re-serialization
    can permute net ids. *)
-let write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~parallel ~exchange ~source nl =
+let write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~parallel ~exchange ~flow ~source nl =
   Spr_util.Persist.ensure_dir dir;
   (match source with
   | `File path ->
@@ -184,14 +200,15 @@ let write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~parallel ~exchange ~source
       (Spr_netlist.Blif.to_string ~model_name:"run" nl));
   let circuit_line = match source with `Circuit name -> "circuit " ^ name ^ "\n" | `File _ -> "" in
   Spr_util.Persist.atomic_write (meta_file dir)
-    (Printf.sprintf "spr-run-meta 1\ntracks %d\nscheme %s\nseed %d\neffort %s\nparallel %d\nexchange %s\n%s"
+    (Printf.sprintf
+       "spr-run-meta 1\ntracks %d\nscheme %s\nseed %d\neffort %s\nparallel %d\nexchange %s\nflow %s\n%s"
        tracks
        (Spr_arch.Segmentation.scheme_to_string scheme)
        seed
        (Spr_experiments.Profiles.effort_to_string effort)
        parallel
        (Spr_anneal.Portfolio.exchange_to_string exchange)
-       circuit_line)
+       flow circuit_line)
 
 let read_run_meta dir =
   match Spr_util.Persist.read_file (meta_file dir) with
@@ -230,7 +247,10 @@ let read_run_meta dir =
           in
           match parallel, exchange with
           | Some parallel, Some exchange ->
-            Ok (tracks, scheme, seed, effort, parallel, exchange, find "circuit")
+            (* Run dirs written before the flow engine existed carry no
+               flow line: the plain simultaneous anneal. *)
+            let flow = Option.value (find "flow") ~default:"sa" in
+            Ok (tracks, scheme, seed, effort, parallel, exchange, flow, find "circuit")
           | _ -> fail "malformed parallel/exchange field")
         | _ -> fail "malformed field value")
       | _ -> fail "missing tracks/scheme/seed/effort field")
@@ -297,8 +317,34 @@ let run_sim ~(config : Spr_core.Tool.config) ?resume ?resume_dir ~selfcheck ~pro
           false
       end
     in
-    post_layout nl r ~svg ~checkpoint ~ascii ~stats ~report_k ~clock;
+    post_layout nl ~route:r.Spr_core.Tool.route ~sta:r.Spr_core.Tool.sta ~svg ~checkpoint
+      ~ascii ~stats ~report_k ~clock;
     if audit_ok then Ok () else Error "selfcheck reported audit findings"
+
+(* Multi-stage flows go through the flow engine; the classic [--flow sa]
+   path stays on [run_sim] above, bit-identical to what it always
+   produced. *)
+let run_flow ~flow ~(config : Spr_core.Tool.config) ?resume_dir arch nl ~svg ~checkpoint ~ascii
+    ~stats ~report_k ~clock =
+  Spr_core.Tool.install_signal_handlers ();
+  match Spr_flow.run ~config ?resume_dir arch nl with
+  | Error e ->
+    Error (Printf.sprintf "flow %s failed: %s" flow (Spr_core.Tool.error_to_string e))
+  | Ok r ->
+    (match r.Spr_flow.f_portfolio with
+    | Some p when Array.length p.Spr_core.Tool.p_results > 1 -> report_portfolio p
+    | _ -> ());
+    report_flow ~flow nl r;
+    (match config.obs.trace_path with
+    | Some path -> Printf.printf "trace written to %s\n" path
+    | None -> ());
+    (match config.obs.report_path with
+    | Some path when r.Spr_flow.f_tool <> None || r.Spr_flow.f_portfolio <> None ->
+      Printf.printf "report written to %s\n" path
+    | _ -> ());
+    post_layout nl ~route:r.Spr_flow.f_route ~sta:r.Spr_flow.f_sta ~svg ~checkpoint ~ascii
+      ~stats ~report_k ~clock;
+    Ok ()
 
 (* The single flag→Config mapping: every route invocation (fresh or
    resumed) builds its Tool.Config here and nowhere else. *)
@@ -323,10 +369,10 @@ let cli_config config ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot
 
 let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck ~profile
     ~svg ~checkpoint ~ascii ~stats ~report_k ~clock ~route_workers ~route_grain ~trace
-    ~report_file =
+    ~report_file ~stage_budgets =
   match read_run_meta dir with
   | Error e -> `Error (false, "resume failed: " ^ e)
-  | Ok (tracks, scheme, seed, effort, parallel, exchange, circuit) -> (
+  | Ok (tracks, scheme, seed, effort, parallel, exchange, flow, circuit) -> (
     match
       match circuit with
       | Some name -> load_netlist ~file:None ~circuit:(Some name)
@@ -345,7 +391,25 @@ let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~sel
           ~parallel ~exchange ~route_workers ~route_grain ~trace ~report_file
           ~label:(Option.value circuit ~default:"run")
       in
-      if parallel > 1 then begin
+      if flow <> "sa" then begin
+        (* Multi-stage resume: the flow engine reads flow.json to skip
+           completed stages and hands an in-flight sa its V2
+           snapshots. *)
+        let config =
+          List.fold_left
+            (fun c (stage, b) -> Spr_core.Tool.Config.with_stage_budget stage b c)
+            (Spr_core.Tool.Config.with_flow_preset flow config)
+            stage_budgets
+        in
+        Printf.printf "resuming flow %s from %s\n%!" flow dir;
+        match
+          run_flow ~flow ~config ~resume_dir:dir arch nl ~svg ~checkpoint ~ascii ~stats
+            ~report_k ~clock
+        with
+        | Ok () -> `Ok ()
+        | Error e -> `Error (false, e)
+      end
+      else if parallel > 1 then begin
         (* Fleet resume: each replica finds (or lacks) its own
            snapshots; recorded exchange rounds replay from the run
            directory. *)
@@ -370,10 +434,27 @@ let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~sel
           | Ok () -> `Ok ()
           | Error e -> `Error (false, e))))
 
-let route file circuit tracks scheme seed effort flow selfcheck (profile_n, profile_o) svg
-    checkpoint ascii (stats_n, stats_o) report_val endpoints (clock_n, clock_o) trace run_dir
-    (resume_n, resume_o) time_budget max_moves (snap_every_n, snap_every_o)
-    (snap_keep_n, snap_keep_o) parallel exchange route_workers route_grain =
+(* --stage-budget is repeatable: each occurrence is STAGE=SECONDS. *)
+let parse_stage_budgets specs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+      match String.index_opt s '=' with
+      | None -> Error (Printf.sprintf "--stage-budget %s: expected STAGE=SECONDS" s)
+      | Some i -> (
+        let stage = String.sub s 0 i in
+        let v = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt v with
+        | None -> Error (Printf.sprintf "--stage-budget %s: %s is not a number" s v)
+        | Some b -> go ((stage, b) :: acc) rest))
+  in
+  go [] specs
+
+let route file circuit tracks scheme seed effort flow stage_budget_specs selfcheck
+    (profile_n, profile_o) svg checkpoint ascii (stats_n, stats_o) report_val endpoints
+    (clock_n, clock_o) trace run_dir (resume_n, resume_o) time_budget max_moves
+    (snap_every_n, snap_every_o) (snap_keep_n, snap_keep_o) parallel exchange route_workers
+    route_grain =
   let profile = merge_flag ~old_name:"--profile" ~new_name:"--obs-profile" profile_o profile_n in
   let stats = merge_flag ~old_name:"--stats" ~new_name:"--obs-stats" stats_o stats_n in
   let clock = merge_opt ~old_name:"--clock" ~new_name:"--obs-clock" clock_o clock_n in
@@ -402,6 +483,20 @@ let route file circuit tracks scheme seed effort flow selfcheck (profile_n, prof
       | None -> (None, Some v))
   in
   let report_k = match endpoints with Some k -> Some k | None -> sniffed_k in
+  (* --flow historically named the tool to run (sim | seq | both); it
+     now names a flow preset. The old spellings keep working: sim was
+     the simultaneous anneal (preset sa), seq is a preset of the same
+     name, both runs them in sequence. *)
+  let flow =
+    match flow with
+    | "sim" ->
+      warn_deprecated ~old_name:"--flow sim" ~new_name:"--flow sa";
+      "sa"
+    | f -> f
+  in
+  match parse_stage_budgets stage_budget_specs with
+  | Error e -> `Error (false, e)
+  | Ok stage_budgets -> (
   if parallel < 1 then `Error (false, "--parallel must be >= 1")
   else if route_workers < 1 then `Error (false, "--route-workers must be >= 1")
   else if route_grain < 1 then `Error (false, "--route-grain must be >= 1")
@@ -413,7 +508,7 @@ let route file circuit tracks scheme seed effort flow selfcheck (profile_n, prof
     else
       resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~selfcheck
         ~profile ~svg ~checkpoint ~ascii ~stats ~report_k ~clock ~route_workers ~route_grain
-        ~trace ~report_file
+        ~trace ~report_file ~stage_budgets
   | None -> (
     match load_netlist ~file ~circuit with
     | Error e -> `Error (false, e)
@@ -430,7 +525,11 @@ let route file circuit tracks scheme seed effort flow selfcheck (profile_n, prof
           | None, Some name -> `Circuit name
           | None, None -> assert false (* load_netlist succeeded *)
         in
-        write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~parallel ~exchange ~source nl
+        (* Under the legacy "both" only the simultaneous leg persists,
+           so that is what a later --run-resume continues. *)
+        write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~parallel ~exchange
+          ~flow:(if flow = "both" then "sa" else flow)
+          ~source nl
       | None -> ());
       let errors = ref [] in
       let note = function Ok () -> () | Error e -> errors := e :: !errors in
@@ -440,42 +539,77 @@ let route file circuit tracks scheme seed effort flow selfcheck (profile_n, prof
         | None, Some path -> Filename.remove_extension (Filename.basename path)
         | None, None -> "run"
       in
+      let base_config () =
+        cli_config
+          (Spr_experiments.Profiles.tool_config ~seed effort ~n)
+          ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep ~selfcheck ~parallel
+          ~exchange ~route_workers ~route_grain ~trace ~report_file ~label
+      in
       let sim () =
+        (* The classic path. A --stage-budget sa=S here is just the run's
+           time budget under another spelling. *)
         let config =
-          cli_config
-            (Spr_experiments.Profiles.tool_config ~seed effort ~n)
-            ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep ~selfcheck
-            ~parallel ~exchange ~route_workers ~route_grain ~trace ~report_file ~label
+          match time_budget, List.assoc_opt "sa" stage_budgets with
+          | None, Some b -> Spr_core.Tool.Config.with_time_budget b (base_config ())
+          | _ -> base_config ()
         in
         note
           (run_sim ~config ~selfcheck ~profile arch nl ~run_dir ~svg ~checkpoint ~ascii ~stats
              ~report_k ~clock)
       in
-      let seq () =
-        match
-          Spr_seq.Flow.run ~config:(Spr_experiments.Profiles.flow_config ~seed effort ~n) arch
-            nl
-        with
-        | Ok r -> report_seq r
-        | Error e -> note (Error ("sequential flow failed: " ^ e))
+      let staged ?(persist = true) preset () =
+        let config =
+          List.fold_left
+            (fun c (stage, b) -> Spr_core.Tool.Config.with_stage_budget stage b c)
+            (Spr_core.Tool.Config.with_flow_preset preset (base_config ()))
+            stage_budgets
+        in
+        let config =
+          if persist then config
+          else
+            (* The run dir and the trace/report files belong to the sa
+               leg that follows. *)
+            Spr_core.Tool.Config.(
+              config
+              |> with_persistence { config.persistence with run_dir = None }
+              |> with_obs
+                   { config.obs with record = false; trace_path = None; report_path = None })
+        in
+        note
+          (run_flow ~flow:preset ~config arch nl ~svg ~checkpoint ~ascii ~stats ~report_k
+             ~clock)
       in
       (match flow with
-      | "sim" -> sim ()
-      | "seq" -> seq ()
+      | "sa" -> sim ()
       | "both" ->
-        seq ();
+        (* Legacy comparison mode: the sequential baseline first (no
+           persistence — the run dir belongs to the sa leg), then the
+           simultaneous anneal. *)
+        staged ~persist:false "seq" ();
         sim ()
-      | other -> note (Error (Printf.sprintf "unknown flow %s (sim|seq|both)" other)));
+      | preset -> staged preset ());
       (match !errors with
       | [] -> `Ok ()
-      | errs -> `Error (false, String.concat "\n" (List.rev errs))))
+      | errs -> `Error (false, String.concat "\n" (List.rev errs)))))
 
 let route_cmd =
   let obs_docs = "OBSERVABILITY OPTIONS" in
   let run_docs = "RUN PERSISTENCE OPTIONS" in
   let pair a b = Term.(const (fun x y -> (x, y)) $ a $ b) in
   let flow =
-    Arg.(value & opt string "sim" & info [ "flow" ] ~docv:"FLOW" ~doc:"sim, seq or both.")
+    Arg.(value & opt string "sa"
+         & info [ "flow" ] ~docv:"FLOW"
+             ~doc:"Flow preset: $(b,sa) (the simultaneous anneal), $(b,ap+sa) (analytical seed \
+                   placement, then the anneal at reduced temperature), $(b,ap+greedy+route), \
+                   $(b,seq) (the sequential baseline), or any +-joined chain of stages \
+                   (ap, sa, greedy, route, sta). $(b,sim) and $(b,both) are deprecated \
+                   spellings of sa and seq-then-sa.")
+  in
+  let stage_budget =
+    Arg.(value & opt_all string []
+         & info [ "stage-budget" ] ~docv:"STAGE=SECONDS"
+             ~doc:"Wall-clock budget for one flow stage (repeatable), e.g. --stage-budget ap=5 \
+                   --stage-budget sa=60.")
   in
   let svg =
     Arg.(value & opt (some string) None
@@ -625,7 +759,7 @@ let route_cmd =
     Term.(
       ret
         (const route $ file_arg $ circuit_arg $ tracks_arg $ scheme_arg $ seed_arg $ effort_arg
-        $ flow $ selfcheck $ pair profile_n profile_o $ svg $ checkpoint $ ascii
+        $ flow $ stage_budget $ selfcheck $ pair profile_n profile_o $ svg $ checkpoint $ ascii
         $ pair stats_n stats_o $ report_arg $ endpoints $ pair clock_n clock_o $ trace
         $ run_dir $ pair resume_n resume_o $ time_budget $ max_moves
         $ pair snap_every_n snap_every_o $ pair snap_keep_n snap_keep_o $ parallel $ exchange
@@ -900,8 +1034,8 @@ let require_socket socket =
       Ok (Filename.concat ".spr-serve" "serve.sock")
     else Error "provide --socket PATH (no ./.spr-serve/serve.sock found)"
 
-let submit file circuit tracks scheme seed effort parallel exchange time_budget max_moves socket
-    quiet =
+let submit file circuit tracks scheme seed effort flow parallel exchange time_budget max_moves
+    socket quiet =
   match require_socket socket with
   | Error e -> `Error (false, e)
   | Ok socket -> (
@@ -931,6 +1065,7 @@ let submit file circuit tracks scheme seed effort parallel exchange time_budget 
           scheme = Spr_arch.Segmentation.scheme_to_string scheme;
           seed;
           effort = Spr_experiments.Profiles.effort_to_string effort;
+          flow;
           replicas = parallel;
           exchange;
           time_budget;
@@ -996,6 +1131,12 @@ let submit_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress streamed progress events.")
   in
+  let flow =
+    Arg.(value & opt string "sa"
+         & info [ "flow" ] ~docv:"FLOW"
+             ~doc:"Flow preset the worker runs: $(b,sa), $(b,ap+sa), $(b,ap+greedy+route), \
+                   $(b,seq), or any +-joined stage chain.")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:"Submit a place-and-route job to a running $(b,spr serve) daemon and stream its \
@@ -1003,7 +1144,7 @@ let submit_cmd =
     Term.(
       ret
         (const submit $ file_arg $ circuit_arg $ tracks_arg $ scheme_arg $ seed_arg $ effort_arg
-        $ parallel $ exchange $ time_budget $ max_moves $ socket_arg $ quiet))
+        $ flow $ parallel $ exchange $ time_budget $ max_moves $ socket_arg $ quiet))
 
 let jobs_cli socket cancel =
   match require_socket socket with
@@ -1031,6 +1172,63 @@ let jobs_cli socket cancel =
               r.Spr_serve.Protocol.row_label r.Spr_serve.Protocol.row_state)
           rows;
         `Ok ()))
+
+(* --- flows: sweep flow presets over circuits and seeds --- *)
+
+let flows_cli flows circuits seeds effort tracks output =
+  let flows =
+    if flows = [] then Spr_experiments.Flows_sweep.default_flows else flows
+  in
+  let circuits =
+    if circuits = [] then Spr_experiments.Flows_sweep.default_circuits else circuits
+  in
+  let seeds = if seeds = [] then [ 1; 2 ] else seeds in
+  match
+    List.filter_map
+      (fun f -> match Spr_flow.stages_of_preset f with Ok _ -> None | Error e -> Some e)
+      flows
+  with
+  | e :: _ -> `Error (false, e)
+  | [] ->
+    let rows = Spr_experiments.Flows_sweep.run ~effort ~tracks ~flows ~circuits ~seeds () in
+    print_string (Spr_experiments.Flows_sweep.render rows);
+    let cmp = Spr_experiments.Flows_sweep.compare_seeded rows in
+    if cmp.Spr_experiments.Flows_sweep.cells > 0 then
+      Printf.printf
+        "ap+sa vs sa over %d circuit-seed cells: %.2fx the annealing moves, quality held on %d\n"
+        cmp.Spr_experiments.Flows_sweep.cells cmp.Spr_experiments.Flows_sweep.move_ratio
+        cmp.Spr_experiments.Flows_sweep.quality_held;
+    Spr_util.Persist.atomic_write output
+      (Spr_obs.Json.to_string ~indent:true
+         (Spr_experiments.Flows_sweep.to_json ~effort rows)
+      ^ "\n");
+    Printf.printf "flow sweep written to %s\n" output;
+    `Ok ()
+
+let flows_cmd =
+  let flows =
+    Arg.(value & opt_all string []
+         & info [ "flow" ] ~docv:"FLOW"
+             ~doc:"Flow preset to sweep (repeatable); default: every registered preset.")
+  in
+  let circuits =
+    Arg.(value & opt_all string []
+         & info [ "circuit" ] ~docv:"NAME"
+             ~doc:"Benchmark circuit to sweep (repeatable); default: s1 and bw.")
+  in
+  let seeds =
+    Arg.(value & opt_all int []
+         & info [ "seed" ] ~docv:"N" ~doc:"Seed to sweep (repeatable); default: 1 and 2.")
+  in
+  let output =
+    Arg.(value & opt string "BENCH_flows.json"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"JSON output path.")
+  in
+  Cmd.v
+    (Cmd.info "flows"
+       ~doc:"Sweep flow presets across circuits and seeds, comparing the analytically seeded \
+             anneal against the cold-start one, and write the table as JSON.")
+    Term.(ret (const flows_cli $ flows $ circuits $ seeds $ effort_arg $ tracks_arg $ output))
 
 let jobs_cmd =
   let cancel =
@@ -1061,4 +1259,5 @@ let () =
             serve_cmd;
             submit_cmd;
             jobs_cmd;
+            flows_cmd;
           ]))

@@ -25,11 +25,16 @@ let () =
   Format.printf "fabric: %a@." Spr_arch.Arch.pp arch;
 
   Printf.printf "\n-- sequential place-then-route (TimberWolf-style baseline) --\n%!";
-  let seq = Spr_seq.Flow.run_exn arch nl in
+  let seq =
+    Spr_flow.run_exn
+      ~config:Spr_core.Tool.Config.(default |> with_flow_preset "seq")
+      arch nl
+  in
   Printf.printf "routed: %b   critical delay: %.2f ns   wirelength: %.0f   cpu: %.1f s\n"
-    seq.Spr_seq.Flow.fully_routed seq.Spr_seq.Flow.critical_delay seq.Spr_seq.Flow.wirelength
-    seq.Spr_seq.Flow.cpu_seconds;
-  pp_path nl seq.Spr_seq.Flow.sta "sequential";
+    seq.Spr_flow.f_fully_routed seq.Spr_flow.f_critical_delay
+    (Spr_seq.Seq_place.wirelength seq.Spr_flow.f_place)
+    (Spr_flow.stage_seconds seq);
+  pp_path nl seq.Spr_flow.f_sta "sequential";
 
   Printf.printf "\n-- simultaneous place and route (this paper) --\n%!";
   let sim = Spr_core.Tool.run_exn arch nl in
@@ -38,11 +43,11 @@ let () =
     sim.Spr_core.Tool.cpu_seconds;
   pp_path nl sim.Spr_core.Tool.sta "simultaneous";
 
-  if seq.Spr_seq.Flow.fully_routed && sim.Spr_core.Tool.fully_routed then
+  if seq.Spr_flow.f_fully_routed && sim.Spr_core.Tool.fully_routed then
     Printf.printf "\nworst-case timing improvement: %.0f%% (paper reports 16-28%%)\n"
       (100.0
-      *. (seq.Spr_seq.Flow.critical_delay -. sim.Spr_core.Tool.critical_delay)
-      /. seq.Spr_seq.Flow.critical_delay)
+      *. (seq.Spr_flow.f_critical_delay -. sim.Spr_core.Tool.critical_delay)
+      /. seq.Spr_flow.f_critical_delay)
   else
     Printf.printf
       "\nnote: a flow failed to route 100%% at %d tracks; rerun with more tracks for a fair \

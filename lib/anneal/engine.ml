@@ -112,7 +112,7 @@ let fresh cfg ~initial_cost =
     batch_start = Spr_util.Clock.now ();
   }
 
-let run ?config ?resume ?(on_temperature = fun _ -> ())
+let run ?config ?resume ?start_temperature ?(on_temperature = fun _ -> ())
     ?(on_checkpoint = fun ~at:_ _ -> ())
     ?(should_stop = fun ~moves:_ ~accepted:_ -> false) ~rng ~cost ~propose ~accept ~reject ~n
     () =
@@ -139,7 +139,18 @@ let run ?config ?resume ?(on_temperature = fun _ -> ())
       }
     | None ->
       let cfg = match config with Some c -> c | None -> default_config ~n in
-      fresh cfg ~initial_cost:(cost ())
+      let l = fresh cfg ~initial_cost:(cost ()) in
+      (* A caller-supplied starting temperature (e.g. derived from a seed
+         placement's cost distribution) skips the warmup walk entirely:
+         cooling starts right away at [t0]. Ignored on resume, where the
+         snapshot already carries the schedule position. *)
+      (match start_temperature with
+      | Some t0 ->
+        l.phase <- Cool;
+        l.temperature <- t0;
+        l.temp_index <- 1
+      | None -> ());
+      l
   in
   let cfg = l.cfg in
   let running = ref true and stopped = ref false in

@@ -102,6 +102,7 @@ type report = {
 val run :
   ?config:config ->
   ?resume:snapshot ->
+  ?start_temperature:float ->
   ?on_temperature:(temp_stats -> unit) ->
   ?on_checkpoint:(at:[ `Boundary | `Stop ] -> snapshot -> unit) ->
   ?should_stop:(moves:int -> accepted:int -> bool) ->
@@ -128,6 +129,12 @@ val run :
     [on_checkpoint ~at:`Boundary] fires after every temperature
     boundary (after [on_temperature] and the schedule transition, except
     the final one) — the natural place to write a periodic checkpoint.
+
+    [?start_temperature] skips the warmup walk: the run starts directly
+    in the cooling phase at the given temperature (index 1). Use it when
+    the caller already knows the uphill scale — e.g. an anneal seeded
+    from an analytical placement probes the seed's cost distribution and
+    starts reduced. Ignored when [?resume] is given.
 
     [?resume] continues from a snapshot: [config] is ignored in favor of
     the snapshot's, already-closed temperatures do not re-fire

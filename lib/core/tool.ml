@@ -58,6 +58,11 @@ module Config = struct
     on_event : (Spr_obs.Trace.event -> unit) option;
   }
 
+  type flow = {
+    preset : string;
+    stage_budgets : (string * float) list;
+  }
+
   type t = {
     seed : int;
     router : Router.config;
@@ -71,6 +76,7 @@ module Config = struct
     validation : validation;
     parallel : parallel;
     obs : obs;
+    flow : flow;
   }
 
   let default =
@@ -96,7 +102,78 @@ module Config = struct
         };
       obs =
         { record = false; trace_path = None; report_path = None; label = None; on_event = None };
+      flow = { preset = "sa"; stage_budgets = [] };
     }
+
+  (* --- flow vocabulary ---
+     The stage names and named presets live here (not in [Spr_flow])
+     so [validated] can reject bad flows without a dependency on the
+     flow engine, which sits above this library. *)
+
+  let flow_stage_names = [ "ap"; "sa"; "greedy"; "route"; "sta" ]
+
+  let flow_presets =
+    [
+      ("sa", [ "sa" ]);
+      ("ap+sa", [ "ap"; "sa" ]);
+      ("ap+greedy+route", [ "ap"; "greedy"; "route" ]);
+      ("seq", [ "greedy"; "route"; "sta" ]);
+    ]
+
+  let flow_preset_names = List.map fst flow_presets
+
+  (* Stage-order sanity shared by named presets and ad-hoc '+' chains:
+     [ap] places from scratch so it can only open a flow; [route] needs
+     a placement to route; [sta] needs routing to time. *)
+  let check_stage_order stages =
+    let rec walk ~placed ~routed ~pos = function
+      | [] -> Ok ()
+      | "ap" :: rest ->
+        if pos > 0 then Error "stage ap must come first (it places from scratch)"
+        else walk ~placed:true ~routed ~pos:(pos + 1) rest
+      | "sa" :: rest -> walk ~placed:true ~routed:true ~pos:(pos + 1) rest
+      | "greedy" :: rest -> walk ~placed:true ~routed ~pos:(pos + 1) rest
+      | "route" :: rest ->
+        if not placed then Error "stage route needs a preceding placement stage (ap|sa|greedy)"
+        else walk ~placed ~routed:true ~pos:(pos + 1) rest
+      | "sta" :: rest ->
+        if not routed then Error "stage sta needs a preceding routing stage (sa|route)"
+        else walk ~placed ~routed ~pos:(pos + 1) rest
+      | s :: _ -> Error (Printf.sprintf "unknown stage %s" s)
+    in
+    walk ~placed:false ~routed:false ~pos:0 stages
+
+  let flow_stages_of_preset name =
+    let valid () =
+      Printf.sprintf "valid presets: %s; or any '+'-joined chain of stages %s"
+        (String.concat ", " flow_preset_names)
+        (String.concat "|" flow_stage_names)
+    in
+    match List.assoc_opt name flow_presets with
+    | Some stages -> Ok stages
+    | None ->
+      let stages = String.split_on_char '+' name in
+      if name = "" || List.exists (fun s -> s = "") stages then
+        Error (Printf.sprintf "empty flow preset %S; %s" name (valid ()))
+      else begin
+        let unknown = List.filter (fun s -> not (List.mem s flow_stage_names)) stages in
+        match unknown with
+        | _ :: _ ->
+          Error
+            (Printf.sprintf "unknown flow stage%s %s in preset %s; %s"
+               (if List.length unknown > 1 then "s" else "")
+               (String.concat ", " unknown) name (valid ()))
+        | [] -> (
+          let dup =
+            List.filter (fun s -> List.length (List.filter (( = ) s) stages) > 1) stages
+          in
+          match dup with
+          | d :: _ -> Error (Printf.sprintf "stage %s repeats in preset %s" d name)
+          | [] -> (
+            match check_stage_order stages with
+            | Error e -> Error (Printf.sprintf "%s (preset %s)" e name)
+            | Ok () -> Ok stages))
+      end
 
   (* The one place configuration sanity lives. Nonsense is rejected
      with a message naming every offending field; the historical
@@ -139,6 +216,25 @@ module Config = struct
     | Portfolio.Independent -> ()
     | Portfolio.Best_exchange n when n >= 1 -> ()
     | Portfolio.Best_exchange n -> reject "exchange period must be >= 1 (got %d)" n);
+    (match flow_stages_of_preset t.flow.preset with
+    | Error e -> reject "%s" e
+    | Ok stages ->
+      List.iter
+        (fun (stage, seconds) ->
+          if not (List.mem stage flow_stage_names) then
+            reject "stage_budget for unknown stage %s (valid stages: %s)" stage
+              (String.concat "|" flow_stage_names)
+          else if not (List.mem stage stages) then
+            reject "stage_budget for stage %s absent from flow %s" stage t.flow.preset;
+          if not (Float.is_finite seconds && seconds > 0.0) then
+            reject "stage_budget for %s must be positive seconds (got %g)" stage seconds)
+        t.flow.stage_budgets;
+      let keys = List.map fst t.flow.stage_budgets in
+      List.iter
+        (fun k ->
+          if List.length (List.filter (( = ) k) keys) > 1 then
+            reject "duplicate stage_budget for stage %s" k)
+        (List.sort_uniq compare keys));
     match !errors with
     | _ :: _ -> Error (String.concat "; " (List.rev !errors))
     | [] ->
@@ -254,6 +350,14 @@ module Config = struct
   let with_run_label label t = { t with obs = { t.obs with label = Some label } }
 
   let with_on_event f t = { t with obs = { t.obs with on_event = Some f } }
+
+  let with_flow flow t = { t with flow }
+
+  let with_flow_preset preset t = { t with flow = { t.flow with preset } }
+
+  let with_stage_budget stage seconds t =
+    let rest = List.filter (fun (s, _) -> s <> stage) t.flow.stage_budgets in
+    { t with flow = { t.flow with stage_budgets = rest @ [ (stage, seconds) ] } }
 end
 
 type config = Config.t
@@ -452,7 +556,7 @@ let adopt_layout ~(config : Config.t) s (r : Portfolio.round_result) =
    [full_update]d); [resume] carries the engine schedule position when
    continuing from a snapshot; [ctx] makes this run one replica of a
    portfolio. *)
-let anneal_session ?resume ?ctx ~(config : Config.t) ~rng ~best s =
+let anneal_session ?resume ?ctx ?start_temperature ~(config : Config.t) ~rng ~best s =
   let nl = P.netlist s.place in
   let n_routable = max 1 (Rs.n_routable s.rs) in
   let profile = Move_pipeline.profile s.pipeline in
@@ -620,7 +724,8 @@ let anneal_session ?resume ?ctx ~(config : Config.t) ~rng ~best s =
   in
   let resume = Option.map (fun (r : resume) -> r.Checkpoint.V2.data.Checkpoint.V2.engine) resume in
   let anneal_report =
-    Spr_anneal.Engine.run ?config:config.anneal ?resume ~on_temperature ~on_checkpoint
+    Spr_anneal.Engine.run ?config:config.anneal ?resume ?start_temperature ~on_temperature
+      ~on_checkpoint
       ~should_stop ~rng
       ~cost:(fun () -> session_cost s)
       ~propose:(fun rng -> Move_pipeline.propose s.pipeline rng)
@@ -646,7 +751,7 @@ let finalize ~(config : Config.t) rs sta =
   Router.route_all ~config:config.router ~passes:3 rs;
   Sta.full_update sta
 
-let run_session ?resume ?ctx ~(config : Config.t) ~rng ~t_start s =
+let run_session ?resume ?ctx ?start_temperature ~(config : Config.t) ~rng ~t_start s =
   let nl = P.netlist s.place in
   let best =
     ref
@@ -657,7 +762,8 @@ let run_session ?resume ?ctx ~(config : Config.t) ~rng ~t_start s =
       | None -> (infinity, None))
   in
   let anneal_report, stop_reason =
-    Spr_obs.Obs.span ~name:"anneal" (fun () -> anneal_session ?resume ?ctx ~config ~rng ~best s)
+    Spr_obs.Obs.span ~name:"anneal" (fun () ->
+        anneal_session ?resume ?ctx ?start_temperature ~config ~rng ~best s)
   in
   let status =
     match stop_reason with None -> Completed | Some reason -> Interrupted reason
@@ -760,9 +866,17 @@ let probe_pool profile = function
   | Some pool ->
     Profile.set_busy_probe profile (fun () -> Parallel.Pool.busy_seconds pool)
 
-let run_fresh ?ctx ~(config : Config.t) arch nl =
+let run_fresh ?ctx ?seed_place ?start_temperature ~(config : Config.t) arch nl =
   let rng = Spr_util.Rng.stream ~seed:config.seed ~index:config.parallel.stream in
-  match P.create arch nl ~rng with
+  (* A seeded run starts from the caller's placement (plain data, so
+     portfolio replicas never share a mutable layout) instead of the
+     random one; the rng simply skips the shuffle draws. *)
+  let initial_place =
+    match seed_place with
+    | None -> P.create arch nl ~rng
+    | Some (slots, pinmaps) -> P.create_from arch nl ~slots ~pinmaps
+  in
+  match initial_place with
   | Error e -> Error (Invalid_design e)
   | Ok place ->
     let t_start = Sys.time () in
@@ -799,7 +913,7 @@ let run_fresh ?ctx ~(config : Config.t) arch nl =
         accepted_since_audit = 0;
       }
     in
-    Ok (run_session ?ctx ~config ~rng ~t_start s)
+    Ok (run_session ?ctx ?start_temperature ~config ~rng ~t_start s)
 
 let run_resumed ?ctx ~(config : Config.t) ~(resume : resume) nl =
   let t_start = Sys.time () in
@@ -926,7 +1040,7 @@ let replica_sink (config : Config.t) =
   | Some f when recording_wanted config -> Spr_obs.Sink.stream f
   | _ -> if recording_wanted config then Spr_obs.Sink.memory () else Spr_obs.Sink.null
 
-let run ?(config = Config.default) ?resume arch nl =
+let run ?(config = Config.default) ?resume ?seed_place ?start_temperature arch nl =
   match Config.validated config with
   | Error msg -> Error (Invalid_config msg)
   | Ok config -> (
@@ -939,7 +1053,7 @@ let run ?(config = Config.default) ?resume arch nl =
           Spr_obs.Obs.with_recording ~sink ~replica:0 (fun () ->
               match resume with
               | Some resume -> run_resumed ~config ~resume nl
-              | None -> run_fresh ~config arch nl)
+              | None -> run_fresh ?seed_place ?start_temperature ~config arch nl)
         with Audit_failure findings -> Error (Audit_failed findings)
       in
       match outcome with
@@ -954,8 +1068,10 @@ let run ?(config = Config.default) ?resume arch nl =
         | None -> ());
         Ok r))
 
-let run_exn ?config ?resume arch nl =
-  match run ?config ?resume arch nl with Ok r -> r | Error e -> raise (Tool_error e)
+let run_exn ?config ?resume ?seed_place ?start_temperature arch nl =
+  match run ?config ?resume ?seed_place ?start_temperature arch nl with
+  | Ok r -> r
+  | Error e -> raise (Tool_error e)
 
 (* --- parallel portfolio --- *)
 
@@ -982,7 +1098,7 @@ let portfolio_trace_events ~config nl (p : portfolio_result) =
     ~g:best.g ~d:best.d ~delay_ns:best.critical_delay ~best_cost:best.best_cost
     ~wall_seconds:p.p_wall_seconds
 
-let run_portfolio ?(config = Config.default) ?resume_dir arch nl =
+let run_portfolio ?(config = Config.default) ?resume_dir ?seed_place ?start_temperature arch nl =
   match Config.validated config with
   | Error msg -> Error (Invalid_config msg)
   | Ok config -> (
@@ -1034,8 +1150,8 @@ let run_portfolio ?(config = Config.default) ?resume_dir arch nl =
                        the lost trajectory exactly, consuming any recorded
                        exchange rounds along the way. *)
                     Log.info (fun m -> m "replica %d: %s; starting fresh" k e);
-                    run_fresh ?ctx ~config arch nl)
-                | None -> run_fresh ?ctx ~config arch nl
+                    run_fresh ?ctx ?seed_place ?start_temperature ~config arch nl)
+                | None -> run_fresh ?ctx ?seed_place ?start_temperature ~config arch nl
               with Audit_failure findings -> Error (Audit_failed findings))
         in
         if replicas = 1 then body ()
@@ -1093,8 +1209,8 @@ let run_portfolio ?(config = Config.default) ?resume_dir arch nl =
         | None -> ());
         Ok p)
 
-let run_portfolio_exn ?config ?resume_dir arch nl =
-  match run_portfolio ?config ?resume_dir arch nl with
+let run_portfolio_exn ?config ?resume_dir ?seed_place ?start_temperature arch nl =
+  match run_portfolio ?config ?resume_dir ?seed_place ?start_temperature arch nl with
   | Ok r -> r
   | Error e -> raise (Tool_error e)
 

@@ -157,6 +157,20 @@ module Config : sig
             run. *)
   }
 
+  type flow = {
+    preset : string;
+        (** Named flow preset ([sa], [ap+sa], [ap+greedy+route], [seq])
+            or any ['+']-joined chain of valid stage names. The tool's
+            own entry points only ever run the [sa] stage; the full
+            multi-stage interpretation lives in [Spr_flow] (which sits
+            above this library) — the vocabulary and validation live
+            here so {!validated} rejects bad flows up front. *)
+    stage_budgets : (string * float) list;
+        (** Per-stage wall-second budgets, keyed by stage name. Every
+            key must be a stage of the chosen preset and every budget a
+            positive finite number of seconds. *)
+  }
+
   type t = {
     seed : int;
     router : Spr_route.Router.config;
@@ -175,6 +189,7 @@ module Config : sig
     validation : validation;
     parallel : parallel;
     obs : obs;
+    flow : flow;
   }
 
   val default : t
@@ -257,6 +272,29 @@ module Config : sig
   val with_run_label : string -> t -> t
 
   val with_on_event : (Spr_obs.Trace.event -> unit) -> t -> t
+
+  (** {2 Flow vocabulary} *)
+
+  val flow_stage_names : string list
+  (** The five stage names: [ap; sa; greedy; route; sta]. *)
+
+  val flow_preset_names : string list
+  (** The registered named presets: [sa; ap+sa; ap+greedy+route; seq]. *)
+
+  val flow_stages_of_preset : string -> (string list, string) Stdlib.result
+  (** Resolve a preset name (or an ad-hoc ['+']-joined stage chain) to
+      its stage list. Rejects unknown stage names, repeats, and
+      impossible orders ([ap] anywhere but first, [route] with nothing
+      placed, [sta] with nothing routed), with a message listing the
+      valid presets. *)
+
+  val with_flow : flow -> t -> t
+
+  val with_flow_preset : string -> t -> t
+
+  val with_stage_budget : string -> float -> t -> t
+  (** [with_stage_budget stage seconds] sets/overwrites one stage's
+      wall-clock budget. *)
 end
 
 type config = Config.t
@@ -334,6 +372,8 @@ type resume = Checkpoint.V2.loaded
 val run :
   ?config:config ->
   ?resume:resume ->
+  ?seed_place:Spr_layout.Placement.slot array * int array ->
+  ?start_temperature:float ->
   Spr_arch.Arch.t ->
   Spr_netlist.Netlist.t ->
   (result, error) Stdlib.result
@@ -341,9 +381,26 @@ val run :
     run continues from the snapshot's exact mid-schedule state ([arch]
     is ignored — the restored layout carries its fabric). [config]
     should match the interrupted run's; the annealing schedule itself
-    always comes from the snapshot. *)
+    always comes from the snapshot.
 
-val run_exn : ?config:config -> ?resume:resume -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> result
+    [?seed_place] starts the anneal from the given placement — per-cell
+    slots and pinmaps, plain data so callers (and portfolio replicas)
+    never share a mutable layout — instead of a random one; it is
+    materialized through {!Spr_layout.Placement.create_from}, so an
+    inconsistent seed is [Error (Invalid_design _)].
+    [?start_temperature] skips the warmup walk and starts cooling at
+    the given temperature (see {!Spr_anneal.Engine.run}) — the flow
+    layer derives it from the seed placement's cost distribution. Both
+    are ignored under [?resume]. *)
+
+val run_exn :
+  ?config:config ->
+  ?resume:resume ->
+  ?seed_place:Spr_layout.Placement.slot array * int array ->
+  ?start_temperature:float ->
+  Spr_arch.Arch.t ->
+  Spr_netlist.Netlist.t ->
+  result
 
 val trace_events : config:config -> Spr_netlist.Netlist.t -> result -> Spr_obs.Trace.event list
 (** The complete serial-run trace: [run_start], the replica's event
@@ -383,6 +440,8 @@ val portfolio_trace_events :
 val run_portfolio :
   ?config:config ->
   ?resume_dir:string ->
+  ?seed_place:Spr_layout.Placement.slot array * int array ->
+  ?start_temperature:float ->
   Spr_arch.Arch.t ->
   Spr_netlist.Netlist.t ->
   (portfolio_result, error) Stdlib.result
@@ -403,7 +462,12 @@ val run_portfolio :
     gracefully and freezes further exchanges. *)
 
 val run_portfolio_exn :
-  ?config:config -> ?resume_dir:string -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t ->
+  ?config:config ->
+  ?resume_dir:string ->
+  ?seed_place:Spr_layout.Placement.slot array * int array ->
+  ?start_temperature:float ->
+  Spr_arch.Arch.t ->
+  Spr_netlist.Netlist.t ->
   portfolio_result
 
 val audit_result : result -> Spr_check.Finding.t list

@@ -31,6 +31,10 @@ let anneal effort ~n =
 let tool_config ?(seed = 1) effort ~n =
   Spr_core.Tool.Config.(default |> with_seed seed |> with_anneal (anneal effort ~n))
 
+let seq_flow_config ?(seed = 1) effort ~n =
+  Spr_core.Tool.Config.(
+    default |> with_seed seed |> with_anneal (anneal effort ~n) |> with_flow_preset "seq")
+
 let flow_config ?(seed = 1) effort ~n =
   {
     Spr_seq.Flow.default_config with

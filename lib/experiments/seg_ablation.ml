@@ -1,6 +1,5 @@
 module Seg = Spr_arch.Segmentation
 module Tool = Spr_core.Tool
-module Flow = Spr_seq.Flow
 
 type row = {
   scheme : Seg.scheme;
@@ -22,16 +21,16 @@ let run ?(effort = Profiles.Quick) ?(seed = 1) ?(circuit = "cse") ?(tracks = 24)
     (fun scheme ->
       let arch = Profiles.arch_for ~tracks ~hscheme:scheme nl in
       let sim = Tool.run_exn ~config:(Profiles.tool_config ~seed effort ~n) arch nl in
-      let seq = Flow.run_exn ~config:(Profiles.flow_config ~seed effort ~n) arch nl in
+      let seq = Spr_flow.run_exn ~config:(Profiles.seq_flow_config ~seed effort ~n) arch nl in
       {
         scheme;
         avg_segment_len = Spr_arch.Arch.avg_hseg_length arch;
         sim_routed = sim.Tool.fully_routed;
         sim_unrouted = sim.Tool.d;
         sim_delay_ns = sim.Tool.critical_delay;
-        seq_routed = seq.Flow.fully_routed;
-        seq_unrouted = seq.Flow.d;
-        seq_delay_ns = seq.Flow.critical_delay;
+        seq_routed = seq.Spr_flow.f_fully_routed;
+        seq_unrouted = seq.Spr_flow.f_d;
+        seq_delay_ns = seq.Spr_flow.f_critical_delay;
       })
     schemes
 

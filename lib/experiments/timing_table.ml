@@ -1,6 +1,5 @@
 module Circuits = Spr_netlist.Circuits
 module Tool = Spr_core.Tool
-module Flow = Spr_seq.Flow
 
 type row = {
   circuit : string;
@@ -21,8 +20,8 @@ type row = {
 let rec find_seq_width nl ~effort ~seed ~tracks ~limit =
   let arch = Profiles.arch_for ~tracks nl in
   let n = Spr_netlist.Netlist.n_cells nl in
-  let seq = Flow.run_exn ~config:(Profiles.flow_config ~seed effort ~n) arch nl in
-  if seq.Flow.fully_routed || tracks + 4 > limit then (tracks, arch, seq)
+  let seq = Spr_flow.run_exn ~config:(Profiles.seq_flow_config ~seed effort ~n) arch nl in
+  if seq.Spr_flow.f_fully_routed || tracks + 4 > limit then (tracks, arch, seq)
   else find_seq_width nl ~effort ~seed ~tracks:(tracks + 4) ~limit
 
 let run_circuit ?(effort = Profiles.Standard) ?(seed = 1) spec =
@@ -31,18 +30,20 @@ let run_circuit ?(effort = Profiles.Standard) ?(seed = 1) spec =
   let tracks, arch, seq = find_seq_width nl ~effort ~seed ~tracks:28 ~limit:48 in
   let sim = Tool.run_exn ~config:(Profiles.tool_config ~seed effort ~n) arch nl in
   let improvement =
-    100.0 *. (seq.Flow.critical_delay -. sim.Tool.critical_delay) /. seq.Flow.critical_delay
+    100.0
+    *. (seq.Spr_flow.f_critical_delay -. sim.Tool.critical_delay)
+    /. seq.Spr_flow.f_critical_delay
   in
   {
     circuit = spec.Circuits.spec_name;
     n_cells = spec.Circuits.spec_cells;
     tracks_used = tracks;
-    seq_delay_ns = seq.Flow.critical_delay;
+    seq_delay_ns = seq.Spr_flow.f_critical_delay;
     sim_delay_ns = sim.Tool.critical_delay;
     improvement_pct = improvement;
-    seq_routed = seq.Flow.fully_routed;
+    seq_routed = seq.Spr_flow.f_fully_routed;
     sim_routed = sim.Tool.fully_routed;
-    seq_cpu_s = seq.Flow.cpu_seconds;
+    seq_cpu_s = Spr_flow.stage_seconds seq;
     sim_cpu_s = sim.Tool.cpu_seconds;
   }
 

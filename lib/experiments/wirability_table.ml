@@ -1,6 +1,5 @@
 module Circuits = Spr_netlist.Circuits
 module Tool = Spr_core.Tool
-module Flow = Spr_seq.Flow
 
 type row = {
   circuit : string;
@@ -32,7 +31,8 @@ let run_circuit ?(effort = Profiles.Quick) ?(seed = 1) ?(start_tracks = 28) spec
   let seq_routes ~alt_seed ~tracks =
     let seed = if alt_seed then seed + 77 else seed in
     let arch = Profiles.arch_for ~tracks nl in
-    (Flow.run_exn ~config:(Profiles.flow_config ~seed effort ~n) arch nl).Flow.fully_routed
+    (Spr_flow.run_exn ~config:(Profiles.seq_flow_config ~seed effort ~n) arch nl)
+      .Spr_flow.f_fully_routed
   in
   let sim_routes ~alt_seed ~tracks =
     let seed = if alt_seed then seed + 77 else seed in

@@ -29,7 +29,20 @@ type result = {
   cpu_seconds : float;
 }
 
+(* Deprecated entry point (kept for source compatibility): the staged
+   flow engine runs the same recipe as preset "seq". One warning per
+   process, on stderr, so batch drivers are not flooded. *)
+let warned = ref false
+
+let warn_deprecated () =
+  if not !warned then begin
+    warned := true;
+    prerr_endline
+      "spr: Spr_seq.Flow.run is deprecated; use Spr_flow.run with the \"seq\" flow preset"
+  end
+
 let run ?(config = default_config) arch nl =
+  warn_deprecated ();
   match Spr_netlist.Levelize.run nl with
   | Error e -> Error e
   | Ok _ -> (

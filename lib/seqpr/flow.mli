@@ -31,5 +31,10 @@ type result = {
 
 val run :
   ?config:config -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> (result, string) Stdlib.result
+(** @deprecated Use [Spr_flow.run] with the ["seq"] flow preset, which
+    runs the same greedy-place / route / sta recipe bit-identically.
+    This wrapper stays for source compatibility and emits one stderr
+    warning per process. *)
 
 val run_exn : ?config:config -> Spr_arch.Arch.t -> Spr_netlist.Netlist.t -> result
+(** @deprecated See {!run}. *)

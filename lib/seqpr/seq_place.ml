@@ -157,14 +157,16 @@ let propose s rng =
             saved);
     true
 
-let run ?(config = default_config) arch nl =
+let run ?(config = default_config) ?(should_stop = fun () -> false) arch nl =
   let rng = Spr_util.Rng.create config.seed in
   match P.create arch nl ~rng with
   | Error e -> Error e
   | Ok place ->
     let s = create config place in
     let report =
-      Spr_anneal.Engine.run ?config:config.anneal ~rng
+      Spr_anneal.Engine.run ?config:config.anneal
+        ~should_stop:(fun ~moves:_ ~accepted:_ -> should_stop ())
+        ~rng
         ~cost:(fun () -> cost s)
         ~propose:(fun rng -> propose s rng)
         ~accept:(fun () -> s.undo <- None)
@@ -178,6 +180,32 @@ let run ?(config = default_config) arch nl =
         ()
     in
     Ok (place, report)
+
+(* Zero-temperature descent over an existing placement: keep proposing
+   swaps, keep only the improving ones. The flow engine's greedy stage
+   rides this when a previous stage already produced a placement. *)
+let refine ?(config = default_config) ?(should_stop = fun () -> false) ~rng ~moves place =
+  let s = create config place in
+  let accepted = ref 0 in
+  let step = ref 0 in
+  while !step < moves && not (should_stop ()) do
+    incr step;
+    let before = cost s in
+    if propose s rng then begin
+      let after = cost s in
+      if after <= before then begin
+        s.undo <- None;
+        if after < before then incr accepted
+      end
+      else
+        match s.undo with
+        | Some f ->
+          f ();
+          s.undo <- None
+        | None -> ()
+    end
+  done;
+  !accepted
 
 let wirelength place =
   let nl = P.netlist place in

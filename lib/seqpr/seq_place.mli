@@ -22,11 +22,27 @@ val default_config : config
 
 val run :
   ?config:config ->
+  ?should_stop:(unit -> bool) ->
   Spr_arch.Arch.t ->
   Spr_netlist.Netlist.t ->
   (Spr_layout.Placement.t * Spr_anneal.Engine.report, string) Stdlib.result
 (** Produces a placement (default pinmaps) optimized for estimated
-    wirelength and congestion only. *)
+    wirelength and congestion only. [?should_stop] is polled between
+    annealing moves (the flow engine's stage budget rides it); the run
+    then returns the placement as annealed so far. *)
+
+val refine :
+  ?config:config ->
+  ?should_stop:(unit -> bool) ->
+  rng:Spr_util.Rng.t ->
+  moves:int ->
+  Spr_layout.Placement.t ->
+  int
+(** Zero-temperature greedy descent over an existing placement: propose
+    up to [moves] swaps, keeping only the improving ones (mutating the
+    placement in place). Returns the number of improvements kept.
+    Deterministic given the rng state; [?should_stop] bounds it by wall
+    clock. *)
 
 val wirelength : Spr_layout.Placement.t -> float
 (** Current weighted half-perimeter total (vertical weight 2.0), for

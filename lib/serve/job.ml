@@ -8,6 +8,7 @@ type spec = {
   scheme : string;
   seed : int;
   effort : string;
+  flow : string;
   replicas : int;
   exchange : string;
   time_budget : float option;
@@ -23,6 +24,7 @@ let default_spec =
     scheme = "actel";
     seed = 1;
     effort = "quick";
+    flow = "sa";
     replicas = 1;
     exchange = "independent";
     time_budget = None;
@@ -54,6 +56,25 @@ let validate_spec s =
   (match s.max_moves with
   | Some m when m < 0 -> reject "max_moves must be >= 0 (got %d)" m
   | _ -> ());
+  (* Admission-time config validation: decode the spec into the same
+     tool config the worker will build and run it through the smart
+     constructor, so a bad flow preset (or any other config-level
+     problem) is a clear protocol error now, not a forked worker dying
+     later. Skipped when field-level checks already failed — the config
+     could not be built meaningfully. *)
+  (if !errors = [] then
+     let effort =
+       match Spr_experiments.Profiles.effort_of_string s.effort with
+       | Some e -> e
+       | None -> Spr_experiments.Profiles.Quick
+     in
+     let config =
+       Spr_experiments.Profiles.tool_config ~seed:s.seed effort ~n:100
+       |> Spr_core.Tool.Config.with_flow_preset s.flow
+     in
+     match Spr_core.Tool.Config.validated config with
+     | Ok _ -> ()
+     | Error e -> reject "%s" e);
   match !errors with
   | [] -> Ok s
   | errs -> Error (String.concat "; " (List.rev errs))
@@ -90,6 +111,7 @@ let spec_to_json s =
       ("scheme", J.String s.scheme);
       ("seed", J.Int s.seed);
       ("effort", J.String s.effort);
+      ("flow", J.String s.flow);
       ("replicas", J.Int s.replicas);
       ("exchange", J.String s.exchange);
       ("time_budget", opt (fun b -> J.Float b) s.time_budget);
@@ -140,6 +162,9 @@ let spec_of_json =
         scheme = dstr j "scheme";
         seed = dint j "seed";
         effort = dstr j "effort";
+        (* Specs written before the flow field existed decode as the
+           plain simultaneous anneal. *)
+        flow = Option.value (dopt j "flow" J.to_str) ~default:"sa";
         replicas = dint j "replicas";
         exchange = dstr j "exchange";
         time_budget = dopt j "time_budget" J.to_float;

@@ -33,6 +33,10 @@ type spec = {
   scheme : string;  (** Segmentation scheme spelling. *)
   seed : int;
   effort : string;  (** quick | standard | thorough. *)
+  flow : string;
+      (** Flow preset the worker runs ([sa], [ap+sa], ... — the
+          {!Spr_core.Tool.Config} flow vocabulary). Specs written
+          before this field existed decode as ["sa"]. *)
   replicas : int;
   exchange : string;  (** Portfolio exchange policy spelling. *)
   time_budget : float option;
@@ -50,8 +54,11 @@ val default_spec : spec
 val validate_spec : spec -> (spec, string) result
 (** Admission-side sanity: exactly one design source, a known effort /
     scheme / exchange spelling, positive tracks/replicas, positive
-    finite budgets. The daemon rejects invalid specs before a job id
-    is ever allocated. *)
+    finite budgets — then the decoded tool config (including the flow
+    preset) is run through {!Spr_core.Tool.Config.validated}, so a
+    spec the worker could not run is a clear protocol error at submit
+    time instead of a forked worker failing later. The daemon rejects
+    invalid specs before a job id is ever allocated. *)
 
 type state =
   | Queued

@@ -94,6 +94,7 @@ let job_config (spec : Job.spec) ~state_dir ~job ~n ~stream =
     | Error _ -> Spr_anneal.Portfolio.Independent
   in
   Spr_experiments.Profiles.tool_config ~seed:spec.Job.seed effort ~n
+  |> with_flow_preset spec.Job.flow
   |> (match spec.Job.time_budget with Some b -> with_time_budget b | None -> Fun.id)
   |> (match spec.Job.max_moves with Some m -> with_max_moves m | None -> Fun.id)
   |> with_run_dir (Job.run_dir ~state_dir job)
@@ -127,23 +128,35 @@ let main ~state_dir ~job ~pipe =
     Spr_util.Persist.ensure_dir run_dir;
     let config = job_config spec ~state_dir ~job ~n ~stream in
     match
-      (* Resume-or-fresh is one call: replicas with snapshots in the
-         run dir pick up where they stopped, replicas without start
-         deterministically from scratch. SIGTERM lands in Tool's
-         handler and stops the run gracefully between moves. *)
+      (* Resume-or-fresh is one call: a multi-stage flow restarts at
+         its last persisted stage boundary, and sa replicas with V2
+         snapshots in the run dir pick up where they stopped; anything
+         without usable state starts deterministically from scratch.
+         SIGTERM lands in Tool's handler and stops the run gracefully
+         between moves. *)
       Spr_core.Tool.with_signal_handlers (fun () ->
-          Spr_core.Tool.run_portfolio ~config ~resume_dir:run_dir arch nl)
+          Spr_flow.run ~config ~resume_dir:run_dir arch nl)
     with
-    | Ok p ->
-      let best = Spr_core.Tool.best_result p in
-      Spr_core.Checkpoint.save best.Spr_core.Tool.route (Job.layout_file ~state_dir job);
-      let status = Spr_core.Outcome.status_to_string best.Spr_core.Tool.status in
-      let report = Spr_obs.Report.to_json p.Spr_core.Tool.p_report in
+    | Ok r ->
+      Spr_core.Checkpoint.save r.Spr_flow.f_route (Job.layout_file ~state_dir job);
+      (* Flows without an sa stage have no Tool run report; their
+         outcome carries the status alone. *)
+      let status, report =
+        match r.Spr_flow.f_portfolio, r.Spr_flow.f_tool with
+        | Some p, _ ->
+          ( Spr_core.Outcome.status_to_string
+              (Spr_core.Tool.best_result p).Spr_core.Tool.status,
+            Some (Spr_obs.Report.to_json p.Spr_core.Tool.p_report) )
+        | None, Some t ->
+          ( Spr_core.Outcome.status_to_string t.Spr_core.Tool.status,
+            Some (Spr_obs.Report.to_json t.Spr_core.Tool.report) )
+        | None, None -> ("completed", None)
+      in
       (* Outcome before result frame: if the daemon dies between the
          two, restart recovery still finds the result on disk. *)
       write_outcome ~state_dir ~job
-        (outcome_to_json ~ok:true ~status:(Some status) ~error:None ~report:(Some report));
-      stream (Protocol.W_result { status; report = Some report });
+        (outcome_to_json ~ok:true ~status:(Some status) ~error:None ~report);
+      stream (Protocol.W_result { status; report });
       exit 0
     | Error e -> finish_error ~state_dir ~job ~stream (Spr_core.Tool.error_to_string e)
     | exception exn ->

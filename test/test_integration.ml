@@ -3,7 +3,7 @@
    BLIF-driven run. *)
 
 module Tool = Spr_core.Tool
-module Flow = Spr_seq.Flow
+module Flow = Spr_flow
 module Rs = Spr_route.Route_state
 module Sta = Spr_timing.Sta
 module Arch = Spr_arch.Arch
@@ -23,22 +23,7 @@ let quick_tool n seed =
            max_temperatures = 45;
          })
 
-let quick_flow n seed =
-  {
-    Flow.default_config with
-    Flow.seed;
-    place =
-      {
-        Spr_seq.Seq_place.default_config with
-        Spr_seq.Seq_place.anneal =
-          Some
-            {
-              (Engine.default_config ~n) with
-              Engine.moves_per_temp = max 300 (4 * n);
-              max_temperatures = 45;
-            };
-      };
-  }
+let quick_flow n seed = Tool.Config.with_flow_preset "seq" (quick_tool n seed)
 
 let test_both_flows_route_and_sim_wins () =
   let nl = Gen.generate (Gen.default ~n_cells:90) ~seed:17 in
@@ -46,15 +31,16 @@ let test_both_flows_route_and_sim_wins () =
   let arch = Arch.size_for ~tracks:28 nl in
   let seq = Flow.run_exn ~config:(quick_flow n 5) arch nl in
   let sim = Tool.run_exn ~config:(quick_tool n 5) arch nl in
-  Alcotest.(check bool) "seq routed" true seq.Flow.fully_routed;
+  Alcotest.(check bool) "seq routed" true seq.Flow.f_fully_routed;
   Alcotest.(check bool) "sim routed" true sim.Tool.fully_routed;
   (* The headline claim in miniature: the simultaneous tool should beat
      (or at worst tie within 5%) the sequential flow on worst-case
      delay. *)
   Alcotest.(check bool)
-    (Printf.sprintf "sim delay %.1f vs seq %.1f" sim.Tool.critical_delay seq.Flow.critical_delay)
+    (Printf.sprintf "sim delay %.1f vs seq %.1f" sim.Tool.critical_delay
+       seq.Flow.f_critical_delay)
     true
-    (sim.Tool.critical_delay <= seq.Flow.critical_delay *. 1.05)
+    (sim.Tool.critical_delay <= seq.Flow.f_critical_delay *. 1.05)
 
 let test_post_layout_sta_agrees_with_internal () =
   (* Paper: the external analyzer agreed within 10% with the tool's
@@ -118,7 +104,7 @@ let test_sim_needs_fewer_tracks () =
     descend 24 27
   in
   let seq_min =
-    min_tracks (fun arch -> (Flow.run_exn ~config:(quick_flow n 9) arch nl).Flow.fully_routed)
+    min_tracks (fun arch -> (Flow.run_exn ~config:(quick_flow n 9) arch nl).Flow.f_fully_routed)
   in
   let sim_min =
     min_tracks (fun arch -> (Tool.run_exn ~config:(quick_tool n 9) arch nl).Tool.fully_routed)
