@@ -206,20 +206,16 @@ let kernels_json_path = "BENCH_kernels.json"
 
 let write_kernels_json ~effort rows =
   let open Spr_obs.Json in
-  let json =
-    Obj
-      [
-        ("schema", String "spr-bench-kernels-1");
-        ("effort", String (E.effort_to_string effort));
-        ("unit", String "ns/run");
-        ( "kernels",
-          Obj
-            (List.map
-               (fun (name, ns) -> (name, Float (Float.round (ns *. 10.) /. 10.)))
-               rows) );
-      ]
-  in
-  Spr_util.Persist.atomic_write kernels_json_path (to_string ~indent:true json ^ "\n");
+  Spr_obs.Bench.write ~path:kernels_json_path ~bench:"kernels"
+    ~effort:(E.effort_to_string effort)
+    [
+      ("unit", String "ns/run");
+      ( "kernels",
+        Obj
+          (List.map
+             (fun (name, ns) -> (name, Float (Float.round (ns *. 10.) /. 10.)))
+             rows) );
+    ];
   Printf.printf "kernel timings written to %s\n%!" kernels_json_path
 
 let kernels () =
@@ -331,19 +327,132 @@ let portfolio () =
         ("exchange_rounds", Int (List.length p.Spr_core.Tool.p_exchanges));
       ]
   in
-  let json =
+  Spr_obs.Bench.write ~path:portfolio_json_path ~bench:"portfolio"
+    ~effort:(E.effort_to_string effort)
+    [
+      ("design", String "big529");
+      ("moves_per_replica", Int budget);
+      ("fleets", List (List.map fleet_json rows));
+    ];
+  Printf.printf "portfolio timings written to %s\n%!" portfolio_json_path
+
+(* --- racing scheduler vs barrier --- *)
+
+let racing_json_path = "BENCH_racing.json"
+
+(* Equal-core-seconds comparison of the two fleet schedulers: every
+   replica gets the same move budget (moves are the deterministic proxy
+   for core-seconds — both schedulers keep all K domains busy for the
+   whole run, racing by reallocating killed replicas' domains to forks
+   of the leader), so the table reads as "what does the scheduler buy
+   at fixed compute". The racing fleets must record at least one kill,
+   or the comparison is vacuous and the bench fails loudly. *)
+let racing () =
+  section "Racing scheduler vs barrier (equal per-replica move budget)";
+  let effort = effort_of_env E.Quick in
+  let budget =
+    match effort with E.Quick -> 20_000 | E.Standard -> 40_000 | E.Thorough -> 80_000
+  in
+  let circuit = "s1" in
+  let margin = 0.5 in
+  let nl = Spr_netlist.Circuits.make_by_name circuit in
+  let n = Spr_netlist.Netlist.n_cells nl in
+  let arch = E.arch_for nl in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "design %s (%d cells), %d moves per replica, %d core(s)\n%!" circuit n budget
+    cores;
+  let fleet k scheduler =
+    let base =
+      Spr_core.Tool.Config.(E.tool_config ~seed:1 effort ~n |> with_max_moves budget)
+    in
+    (* Only the scheduler differs between the two fleets: both run K
+       independent replicas (racing rejects Best_exchange — its kills
+       replace the barrier's exchange), so the delta is attributable to
+       early-kill + domain reallocation alone. *)
+    let config =
+      match scheduler with
+      | `Barrier -> Spr_core.Tool.Config.with_replicas k base
+      | `Racing ->
+        Spr_core.Tool.Config.(
+          base |> with_replicas k |> with_scheduler_kind `Racing |> with_race_margin margin
+          |> with_race_warmup 8 |> with_race_every 3)
+    in
+    let p = Spr_core.Tool.run_portfolio_exn ~config arch nl in
+    let best = Spr_core.Tool.best_result p in
+    let moves =
+      Array.fold_left
+        (fun acc (r : Spr_core.Tool.result) ->
+          acc + r.Spr_core.Tool.anneal_report.Spr_anneal.Engine.n_moves)
+        0 p.Spr_core.Tool.p_results
+    in
+    let kills =
+      List.fold_left
+        (fun acc (r : Spr_anneal.Scheduler.round_record) -> acc + List.length r.sr_kills)
+        0 p.Spr_core.Tool.p_scheds
+    in
+    let name = match scheduler with `Barrier -> "barrier" | `Racing -> "racing" in
+    Printf.printf
+      "K=%d %-14s wall %5.1f s  moves %8d  winner r%d  G+D %3d  critical %7.2f ns  kills %d\n%!"
+      k name p.Spr_core.Tool.p_wall_seconds moves p.Spr_core.Tool.p_best_replica
+      (best.Spr_core.Tool.g + best.Spr_core.Tool.d)
+      best.Spr_core.Tool.critical_delay kills;
+    (name, k, p, best, moves, kills)
+  in
+  let rows =
+    List.concat_map
+      (fun k ->
+        let barrier = fleet k `Barrier in
+        let racing = fleet k `Racing in
+        [ barrier; racing ])
+      [ 2; 4 ]
+  in
+  let racing_kills =
+    List.fold_left
+      (fun acc (name, _, _, _, _, kills) -> if name = "racing" then acc + kills else acc)
+      0 rows
+  in
+  List.iter
+    (fun k ->
+      let cost name' =
+        List.find_map
+          (fun (name, k', _, (best : Spr_core.Tool.result), _, _) ->
+            if name = name' && k' = k then Some best.Spr_core.Tool.best_cost else None)
+          rows
+      in
+      match cost "barrier", cost "racing" with
+      | Some b, Some r ->
+        Printf.printf "K=%d: racing %s barrier at equal core-seconds\n%!" k
+          (if r < b then "beats" else if r = b then "ties" else "trails")
+      | _ -> ())
+    [ 2; 4 ];
+  let open Spr_obs.Json in
+  let row_json (name, k, (p : Spr_core.Tool.portfolio_result), (best : Spr_core.Tool.result), moves, kills) =
     Obj
       [
-        ("schema", String "spr-bench-portfolio-1");
-        ("effort", String (E.effort_to_string effort));
-        ("design", String "big529");
-        ("cores", Int cores);
-        ("moves_per_replica", Int budget);
-        ("fleets", List (List.map fleet_json rows));
+        ("scheduler", String name);
+        ("replicas", Int k);
+        ("wall_s", Float p.Spr_core.Tool.p_wall_seconds);
+        ("moves", Int moves);
+        ("best_replica", Int p.Spr_core.Tool.p_best_replica);
+        ("best_cost", Float best.Spr_core.Tool.best_cost);
+        ("unrouted", Int (best.Spr_core.Tool.g + best.Spr_core.Tool.d));
+        ("critical_delay_ns", Float best.Spr_core.Tool.critical_delay);
+        ("kills", Int kills);
       ]
   in
-  Spr_util.Persist.atomic_write portfolio_json_path (to_string ~indent:true json ^ "\n");
-  Printf.printf "portfolio timings written to %s\n%!" portfolio_json_path
+  Spr_obs.Bench.write ~path:racing_json_path ~bench:"racing"
+    ~effort:(E.effort_to_string effort)
+    [
+      ("design", String circuit);
+      ("moves_per_replica", Int budget);
+      ("race_margin", Float margin);
+      ("fleets", List (List.map row_json rows));
+    ];
+  Printf.printf "racing comparison written to %s\n%!" racing_json_path;
+  if racing_kills = 0 then begin
+    Printf.eprintf "FATAL: racing fleets recorded zero kills; the comparison is vacuous\n";
+    exit 1
+  end
 
 (* --- parallel reroute scaling --- *)
 
@@ -426,18 +535,13 @@ let route_parallel () =
         ("identical_to_serial", Bool (snap = base_snap));
       ]
   in
-  let json =
-    Obj
-      [
-        ("schema", String "spr-bench-route-parallel-1");
-        ("effort", String (E.effort_to_string effort));
-        ("design", String "big529");
-        ("cores", Int cores);
-        ("cycles", Int cycles);
-        ("rows", List (List.map row_json rows));
-      ]
-  in
-  Spr_util.Persist.atomic_write route_parallel_json_path (to_string ~indent:true json ^ "\n");
+  Spr_obs.Bench.write ~path:route_parallel_json_path ~bench:"route-parallel"
+    ~effort:(E.effort_to_string effort)
+    [
+      ("design", String "big529");
+      ("cycles", Int cycles);
+      ("rows", List (List.map row_json rows));
+    ];
   Printf.printf "parallel reroute timings written to %s\n%!" route_parallel_json_path
 
 (* --- job service overhead --- *)
@@ -558,37 +662,33 @@ let serve () =
         config.Spr_serve.Daemon.max_workers conc_wall jobs_per_s;
       let open Spr_obs.Json in
       let round2 x = Float.round (x *. 100.) /. 100. in
-      let json =
-        Obj
-          [
-            ("schema", String "spr-bench-serve-1");
-            ("effort", String (E.effort_to_string effort));
-            ("workers", Int config.Spr_serve.Daemon.max_workers);
-            ("max_moves", Int moves);
-            ( "sequential",
-              Obj
-                [
-                  ("jobs", Int n_seq);
-                  ("accept_ms_mean", Float (round2 accept_mean_ms));
-                  ("accept_ms_max", Float (round2 accept_max_ms));
-                  ("turnaround_s_mean", Float (round2 turnaround_mean_s));
-                ] );
-            ( "concurrent",
-              Obj
-                [
-                  ("jobs", Int n_conc);
-                  ("wall_s", Float (round2 conc_wall));
-                  ("jobs_per_s", Float (round2 jobs_per_s));
-                ] );
-          ]
-      in
-      Spr_util.Persist.atomic_write serve_json_path (to_string ~indent:true json ^ "\n");
+      Spr_obs.Bench.write ~path:serve_json_path ~bench:"serve"
+        ~effort:(E.effort_to_string effort)
+        [
+          ("workers", Int config.Spr_serve.Daemon.max_workers);
+          ("max_moves", Int moves);
+          ( "sequential",
+            Obj
+              [
+                ("jobs", Int n_seq);
+                ("accept_ms_mean", Float (round2 accept_mean_ms));
+                ("accept_ms_max", Float (round2 accept_max_ms));
+                ("turnaround_s_mean", Float (round2 turnaround_mean_s));
+              ] );
+          ( "concurrent",
+            Obj
+              [
+                ("jobs", Int n_conc);
+                ("wall_s", Float (round2 conc_wall));
+                ("jobs_per_s", Float (round2 jobs_per_s));
+              ] );
+        ];
       Printf.printf "service timings written to %s\n%!" serve_json_path)
 
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|fig6|fig7|flows|ablation-seg|ablation-pinmap|ablation-ordering|rice|kernels|portfolio|route-parallel|serve|all]";
+     [table1|table2|fig6|fig7|flows|ablation-seg|ablation-pinmap|ablation-ordering|rice|kernels|portfolio|racing|route-parallel|serve|all]";
   print_endline "env: SPR_BENCH_EFFORT=quick|standard|thorough"
 
 let () =
@@ -607,6 +707,7 @@ let () =
     rice_check ();
     kernels ();
     portfolio ();
+    racing ();
     route_parallel ();
     serve ()
   | [ "table1" ] -> table1 ()
@@ -620,6 +721,7 @@ let () =
   | [ "rice" ] -> rice_check ()
   | [ "kernels" ] -> kernels ()
   | [ "portfolio" ] -> portfolio ()
+  | [ "racing" ] -> racing ()
   | [ "route-parallel" ] -> route_parallel ()
   | [ "serve" ] -> serve ()
   | _ -> usage ());

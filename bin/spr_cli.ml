@@ -15,27 +15,11 @@
 
    The route flag surface is grouped: observability under
    --obs-*/--trace/--report, persistence under --run-*, flow selection
-   under --flow/--stage-budget. The pre-grouping spellings (including
-   --flow sim/both) still parse as hidden deprecated aliases (one-line
-   warning on stderr); [route] below is the single place they merge
-   into a Tool.Config. *)
+   under --flow/--stage-budget, fleet scheduling under
+   --parallel/--exchange/--scheduler/--race-*; [route] below is the
+   single place they merge into a Tool.Config. *)
 
 open Cmdliner
-
-(* --- deprecated-alias plumbing --- *)
-
-let deprecated_docs = "DEPRECATED OPTIONS"
-
-let warn_deprecated ~old_name ~new_name =
-  Printf.eprintf "warning: %s is deprecated; use %s\n%!" old_name new_name
-
-let merge_flag ~old_name ~new_name old_v new_v =
-  if old_v then warn_deprecated ~old_name ~new_name;
-  old_v || new_v
-
-let merge_opt ~old_name ~new_name old_v new_v =
-  (match old_v with Some _ -> warn_deprecated ~old_name ~new_name | None -> ());
-  match new_v with Some v -> Some v | None -> old_v
 
 let load_netlist ~file ~circuit =
   match file, circuit with
@@ -186,7 +170,20 @@ let design_file dir = Filename.concat dir "design.blif"
    identical bytes is deterministic); a built-in circuit is recorded by
    name and rebuilt from its spec, because re-parsing a re-serialization
    can permute net ids. *)
-let write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~parallel ~exchange ~flow ~source nl =
+type run_meta = {
+  m_tracks : int;
+  m_scheme : Spr_arch.Segmentation.scheme;
+  m_seed : int;
+  m_effort : Spr_experiments.Profiles.effort;
+  m_parallel : int;
+  m_exchange : Spr_anneal.Portfolio.exchange;
+  m_scheduler : Spr_core.Tool.Config.scheduler;
+  m_flow : string;
+  m_circuit : string option;
+}
+
+let write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~parallel ~exchange
+    ~(scheduler : Spr_core.Tool.Config.scheduler) ~flow ~source nl =
   Spr_util.Persist.ensure_dir dir;
   (match source with
   | `File path ->
@@ -201,14 +198,16 @@ let write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~parallel ~exchange ~flow ~
   let circuit_line = match source with `Circuit name -> "circuit " ^ name ^ "\n" | `File _ -> "" in
   Spr_util.Persist.atomic_write (meta_file dir)
     (Printf.sprintf
-       "spr-run-meta 1\ntracks %d\nscheme %s\nseed %d\neffort %s\nparallel %d\nexchange %s\nflow %s\n%s"
+       "spr-run-meta 1\ntracks %d\nscheme %s\nseed %d\neffort %s\nparallel %d\nexchange %s\n\
+        scheduler %s\nrace-margin %h\nrace-warmup %d\nrace-every %d\nflow %s\n%s"
        tracks
        (Spr_arch.Segmentation.scheme_to_string scheme)
        seed
        (Spr_experiments.Profiles.effort_to_string effort)
        parallel
        (Spr_anneal.Portfolio.exchange_to_string exchange)
-       flow circuit_line)
+       (Spr_core.Tool.Config.scheduler_to_string scheduler)
+       scheduler.race_margin scheduler.race_warmup scheduler.race_every flow circuit_line)
 
 let read_run_meta dir =
   match Spr_util.Persist.read_file (meta_file dir) with
@@ -246,11 +245,44 @@ let read_run_meta dir =
             | Some x -> Result.to_option (Spr_anneal.Portfolio.exchange_of_string x)
           in
           match parallel, exchange with
-          | Some parallel, Some exchange ->
+          | Some parallel, Some exchange -> (
             (* Run dirs written before the flow engine existed carry no
-               flow line: the plain simultaneous anneal. *)
+               flow line: the plain simultaneous anneal. Ones written
+               before the racing scheduler carry no scheduler lines: the
+               barrier. *)
             let flow = Option.value (find "flow") ~default:"sa" in
-            Ok (tracks, scheme, seed, effort, parallel, exchange, flow, find "circuit")
+            let d = Spr_core.Tool.Config.default.parallel.scheduler in
+            let kind_sync =
+              match find "scheduler" with
+              | None -> Ok (`Barrier, true)
+              | Some s -> Spr_core.Tool.Config.scheduler_of_string s
+            in
+            match kind_sync with
+            | Error e -> fail "%s" e
+            | Ok (kind, race_sync) ->
+              let num key of_string default =
+                match find key with None -> Some default | Some v -> of_string v
+              in
+              (match
+                 ( num "race-margin" float_of_string_opt d.race_margin,
+                   num "race-warmup" int_of_string_opt d.race_warmup,
+                   num "race-every" int_of_string_opt d.race_every )
+               with
+              | Some race_margin, Some race_warmup, Some race_every ->
+                Ok
+                  {
+                    m_tracks = tracks;
+                    m_scheme = scheme;
+                    m_seed = seed;
+                    m_effort = effort;
+                    m_parallel = parallel;
+                    m_exchange = exchange;
+                    m_scheduler =
+                      { d with kind; race_sync; race_margin; race_warmup; race_every };
+                    m_flow = flow;
+                    m_circuit = find "circuit";
+                  }
+              | _ -> fail "malformed race-* field"))
           | _ -> fail "malformed parallel/exchange field")
         | _ -> fail "malformed field value")
       | _ -> fail "missing tracks/scheme/seed/effort field")
@@ -264,10 +296,16 @@ let report_portfolio (p : Spr_core.Tool.portfolio_result) =
         r.Spr_core.Tool.fully_routed r.Spr_core.Tool.g r.Spr_core.Tool.d
         r.Spr_core.Tool.critical_delay r.Spr_core.Tool.cpu_seconds)
     p.Spr_core.Tool.p_results;
-  Printf.printf "portfolio: replica %d wins (%d replicas, %d exchange rounds, %.1f s wall)\n"
+  let kills =
+    List.fold_left
+      (fun n (r : Spr_anneal.Scheduler.round_record) -> n + List.length r.sr_kills)
+      0 p.Spr_core.Tool.p_scheds
+  in
+  Printf.printf "portfolio: replica %d wins (%d replicas, %d exchange rounds%s, %.1f s wall)\n"
     p.Spr_core.Tool.p_best_replica
     (Array.length p.Spr_core.Tool.p_results)
     (List.length p.Spr_core.Tool.p_exchanges)
+    (if kills > 0 then Printf.sprintf ", %d racing kills" kills else "")
     p.Spr_core.Tool.p_wall_seconds
 
 let run_sim ~(config : Spr_core.Tool.config) ?resume ?resume_dir ~selfcheck ~profile arch nl
@@ -349,13 +387,15 @@ let run_flow ~flow ~(config : Spr_core.Tool.config) ?resume_dir arch nl ~svg ~ch
 (* The single flag→Config mapping: every route invocation (fresh or
    resumed) builds its Tool.Config here and nowhere else. *)
 let cli_config config ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep
-    ~selfcheck ~parallel ~exchange ~route_workers ~route_grain ~trace ~report_file ~label =
+    ~selfcheck ~parallel ~exchange ~scheduler ~route_workers ~route_grain ~trace ~report_file
+    ~label =
   let open Spr_core.Tool.Config in
   config
   |> (if selfcheck then with_validate true else Fun.id)
   |> with_budget { time_budget; max_moves; stop_after_accepted = None; poll = None }
   |> with_persistence { run_dir; snapshot_every; snapshot_keep; final_checkpoint = true }
   |> with_replicas ~exchange parallel
+  |> with_scheduler scheduler
   |> with_route_workers route_workers
   |> with_route_grain route_grain
   |> with_obs
@@ -372,7 +412,11 @@ let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~sel
     ~report_file ~stage_budgets =
   match read_run_meta dir with
   | Error e -> `Error (false, "resume failed: " ^ e)
-  | Ok (tracks, scheme, seed, effort, parallel, exchange, flow, circuit) -> (
+  | Ok m -> (
+    let { m_tracks = tracks; m_scheme = scheme; m_seed = seed; m_effort = effort;
+          m_parallel = parallel; m_exchange = exchange; m_scheduler = scheduler;
+          m_flow = flow; m_circuit = circuit } = m
+    in
     match
       match circuit with
       | Some name -> load_netlist ~file:None ~circuit:(Some name)
@@ -388,7 +432,7 @@ let resume_route dir ~time_budget ~max_moves ~snapshot_every ~snapshot_keep ~sel
         cli_config
           (Spr_experiments.Profiles.tool_config ~seed effort ~n)
           ~time_budget ~max_moves ~run_dir:(Some dir) ~snapshot_every ~snapshot_keep ~selfcheck
-          ~parallel ~exchange ~route_workers ~route_grain ~trace ~report_file
+          ~parallel ~exchange ~scheduler ~route_workers ~route_grain ~trace ~report_file
           ~label:(Option.value circuit ~default:"run")
       in
       if flow <> "sa" then begin
@@ -450,49 +494,20 @@ let parse_stage_budgets specs =
   in
   go [] specs
 
-let route file circuit tracks scheme seed effort flow stage_budget_specs selfcheck
-    (profile_n, profile_o) svg checkpoint ascii (stats_n, stats_o) report_val endpoints
-    (clock_n, clock_o) trace run_dir (resume_n, resume_o) time_budget max_moves
-    (snap_every_n, snap_every_o) (snap_keep_n, snap_keep_o) parallel exchange route_workers
-    route_grain =
-  let profile = merge_flag ~old_name:"--profile" ~new_name:"--obs-profile" profile_o profile_n in
-  let stats = merge_flag ~old_name:"--stats" ~new_name:"--obs-stats" stats_o stats_n in
-  let clock = merge_opt ~old_name:"--clock" ~new_name:"--obs-clock" clock_o clock_n in
-  let resume = merge_opt ~old_name:"--resume" ~new_name:"--run-resume" resume_o resume_n in
-  let snapshot_every =
-    Option.value ~default:1
-      (merge_opt ~old_name:"--snapshot-every" ~new_name:"--run-snapshot-every" snap_every_o
-         snap_every_n)
-  in
-  let snapshot_keep =
-    Option.value ~default:3
-      (merge_opt ~old_name:"--snapshot-keep" ~new_name:"--run-snapshot-keep" snap_keep_o
-         snap_keep_n)
-  in
-  (* --report historically meant "print the K worst timing endpoints";
-     it now names the report.json output. A bare integer is sniffed as
-     the old meaning so existing invocations keep working. *)
-  let sniffed_k, report_file =
-    match report_val with
-    | None -> (None, None)
-    | Some v -> (
-      match int_of_string_opt v with
-      | Some k ->
-        warn_deprecated ~old_name:"--report K (timing endpoints)" ~new_name:"--obs-endpoints K";
-        (Some k, None)
-      | None -> (None, Some v))
-  in
-  let report_k = match endpoints with Some k -> Some k | None -> sniffed_k in
-  (* --flow historically named the tool to run (sim | seq | both); it
-     now names a flow preset. The old spellings keep working: sim was
-     the simultaneous anneal (preset sa), seq is a preset of the same
-     name, both runs them in sequence. *)
-  let flow =
-    match flow with
-    | "sim" ->
-      warn_deprecated ~old_name:"--flow sim" ~new_name:"--flow sa";
-      "sa"
-    | f -> f
+let route file circuit tracks scheme seed effort flow stage_budget_specs selfcheck profile svg
+    checkpoint ascii stats report_file endpoints clock trace run_dir resume time_budget
+    max_moves snapshot_every snapshot_keep parallel exchange (sched_kind, sched_sync)
+    race_margin race_warmup race_every route_workers route_grain =
+  let report_k = endpoints in
+  let scheduler =
+    {
+      Spr_core.Tool.Config.kind = sched_kind;
+      race_margin;
+      race_warmup;
+      race_every;
+      race_horizon = Spr_core.Tool.Config.default.parallel.scheduler.race_horizon;
+      race_sync = sched_sync;
+    }
   in
   match parse_stage_budgets stage_budget_specs with
   | Error e -> `Error (false, e)
@@ -525,10 +540,7 @@ let route file circuit tracks scheme seed effort flow stage_budget_specs selfche
           | None, Some name -> `Circuit name
           | None, None -> assert false (* load_netlist succeeded *)
         in
-        (* Under the legacy "both" only the simultaneous leg persists,
-           so that is what a later --run-resume continues. *)
-        write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~parallel ~exchange
-          ~flow:(if flow = "both" then "sa" else flow)
+        write_run_dir ~dir ~tracks ~scheme ~seed ~effort ~parallel ~exchange ~scheduler ~flow
           ~source nl
       | None -> ());
       let errors = ref [] in
@@ -543,9 +555,10 @@ let route file circuit tracks scheme seed effort flow stage_budget_specs selfche
         cli_config
           (Spr_experiments.Profiles.tool_config ~seed effort ~n)
           ~time_budget ~max_moves ~run_dir ~snapshot_every ~snapshot_keep ~selfcheck ~parallel
-          ~exchange ~route_workers ~route_grain ~trace ~report_file ~label
+          ~exchange ~scheduler ~route_workers ~route_grain ~trace ~report_file ~label
       in
-      let sim () =
+      (match flow with
+      | "sa" ->
         (* The classic path. A --stage-budget sa=S here is just the run's
            time budget under another spelling. *)
         let config =
@@ -556,38 +569,16 @@ let route file circuit tracks scheme seed effort flow stage_budget_specs selfche
         note
           (run_sim ~config ~selfcheck ~profile arch nl ~run_dir ~svg ~checkpoint ~ascii ~stats
              ~report_k ~clock)
-      in
-      let staged ?(persist = true) preset () =
+      | preset ->
         let config =
           List.fold_left
             (fun c (stage, b) -> Spr_core.Tool.Config.with_stage_budget stage b c)
             (Spr_core.Tool.Config.with_flow_preset preset (base_config ()))
             stage_budgets
         in
-        let config =
-          if persist then config
-          else
-            (* The run dir and the trace/report files belong to the sa
-               leg that follows. *)
-            Spr_core.Tool.Config.(
-              config
-              |> with_persistence { config.persistence with run_dir = None }
-              |> with_obs
-                   { config.obs with record = false; trace_path = None; report_path = None })
-        in
         note
           (run_flow ~flow:preset ~config arch nl ~svg ~checkpoint ~ascii ~stats ~report_k
-             ~clock)
-      in
-      (match flow with
-      | "sa" -> sim ()
-      | "both" ->
-        (* Legacy comparison mode: the sequential baseline first (no
-           persistence — the run dir belongs to the sa leg), then the
-           simultaneous anneal. *)
-        staged ~persist:false "seq" ();
-        sim ()
-      | preset -> staged preset ());
+             ~clock));
       (match !errors with
       | [] -> `Ok ()
       | errs -> `Error (false, String.concat "\n" (List.rev errs)))))
@@ -595,15 +586,14 @@ let route file circuit tracks scheme seed effort flow stage_budget_specs selfche
 let route_cmd =
   let obs_docs = "OBSERVABILITY OPTIONS" in
   let run_docs = "RUN PERSISTENCE OPTIONS" in
-  let pair a b = Term.(const (fun x y -> (x, y)) $ a $ b) in
+  let sched_docs = "FLEET SCHEDULING OPTIONS" in
   let flow =
     Arg.(value & opt string "sa"
          & info [ "flow" ] ~docv:"FLOW"
              ~doc:"Flow preset: $(b,sa) (the simultaneous anneal), $(b,ap+sa) (analytical seed \
                    placement, then the anneal at reduced temperature), $(b,ap+greedy+route), \
                    $(b,seq) (the sequential baseline), or any +-joined chain of stages \
-                   (ap, sa, greedy, route, sta). $(b,sim) and $(b,both) are deprecated \
-                   spellings of sa and seq-then-sa.")
+                   (ap, sa, greedy, route, sta).")
   in
   let stage_budget =
     Arg.(value & opt_all string []
@@ -622,36 +612,26 @@ let route_cmd =
   let ascii =
     Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII die map and channel utilization.")
   in
-  let stats_n =
+  let stats =
     Arg.(value & flag
          & info [ "obs-stats" ] ~docs:obs_docs
              ~doc:"Print wirelength, antifuse and utilization statistics.")
-  in
-  let stats_o =
-    Arg.(value & flag
-         & info [ "stats" ] ~docs:deprecated_docs ~doc:"Deprecated alias for $(b,--obs-stats).")
   in
   let report_arg =
     Arg.(value & opt (some string) None
          & info [ "report" ] ~docv:"FILE" ~docs:obs_docs
              ~doc:"Write the unified run report (report.json, machine twin of the ASCII \
-                   tables) to $(docv). A bare integer is read as the deprecated \
-                   $(b,--report K) endpoint count; use $(b,--obs-endpoints) for that.")
+                   tables) to $(docv).")
   in
   let endpoints =
     Arg.(value & opt (some int) None
          & info [ "obs-endpoints" ] ~docv:"K" ~docs:obs_docs
              ~doc:"Print the K worst timing endpoints.")
   in
-  let clock_n =
+  let clock =
     Arg.(value & opt (some float) None
          & info [ "obs-clock" ] ~docv:"NS" ~docs:obs_docs
              ~doc:"Clock period for slack in the timing report.")
-  in
-  let clock_o =
-    Arg.(value & opt (some float) None
-         & info [ "clock" ] ~docv:"NS" ~docs:deprecated_docs
-             ~doc:"Deprecated alias for $(b,--obs-clock).")
   in
   let trace =
     Arg.(value & opt (some string) None
@@ -665,16 +645,11 @@ let route_cmd =
              ~doc:"Audit the incremental state against from-scratch recomputation during and \
                    after the run (placement bijection, routing mirrors, STA diff).")
   in
-  let profile_n =
+  let profile =
     Arg.(value & flag
          & info [ "obs-profile" ] ~docs:obs_docs
              ~doc:"Print the per-phase move-pipeline breakdown (propose, rip-up, reroute, \
                    retime, decide) and per-temperature phase times after the run.")
-  in
-  let profile_o =
-    Arg.(value & flag
-         & info [ "profile" ] ~docs:deprecated_docs
-             ~doc:"Deprecated alias for $(b,--obs-profile).")
   in
   let run_dir =
     Arg.(value & opt (some string) None
@@ -682,15 +657,10 @@ let route_cmd =
              ~doc:"Write crash-safe resumable snapshots (and the design) into $(docv) as the \
                    run progresses.")
   in
-  let resume_n =
+  let resume =
     Arg.(value & opt (some dir) None
          & info [ "run-resume" ] ~docv:"DIR" ~docs:run_docs
              ~doc:"Continue an interrupted run from the newest good snapshot in $(docv).")
-  in
-  let resume_o =
-    Arg.(value & opt (some dir) None
-         & info [ "resume" ] ~docv:"DIR" ~docs:deprecated_docs
-             ~doc:"Deprecated alias for $(b,--run-resume).")
   in
   let time_budget =
     Arg.(value & opt (some float) None
@@ -702,25 +672,15 @@ let route_cmd =
          & info [ "max-moves" ] ~docv:"N"
              ~doc:"Stop gracefully after $(docv) annealing moves (cumulative across resumes).")
   in
-  let snap_every_n =
-    Arg.(value & opt (some int) None
+  let snapshot_every =
+    Arg.(value & opt int 1
          & info [ "run-snapshot-every" ] ~docv:"N" ~docs:run_docs
-             ~doc:"With --run-dir, snapshot every $(docv) temperature boundaries (default 1).")
+             ~doc:"With --run-dir, snapshot every $(docv) temperature boundaries.")
   in
-  let snap_every_o =
-    Arg.(value & opt (some int) None
-         & info [ "snapshot-every" ] ~docv:"N" ~docs:deprecated_docs
-             ~doc:"Deprecated alias for $(b,--run-snapshot-every).")
-  in
-  let snap_keep_n =
-    Arg.(value & opt (some int) None
+  let snapshot_keep =
+    Arg.(value & opt int 3
          & info [ "run-snapshot-keep" ] ~docv:"K" ~docs:run_docs
-             ~doc:"With --run-dir, keep the newest $(docv) snapshots (default 3).")
-  in
-  let snap_keep_o =
-    Arg.(value & opt (some int) None
-         & info [ "snapshot-keep" ] ~docv:"K" ~docs:deprecated_docs
-             ~doc:"Deprecated alias for $(b,--run-snapshot-keep).")
+             ~doc:"With --run-dir, keep the newest $(docv) snapshots.")
   in
   let parallel =
     Arg.(value & opt int 1
@@ -750,20 +710,62 @@ let route_cmd =
     Arg.(
       value
       & opt (conv (parse, print)) Spr_anneal.Portfolio.Independent
-      & info [ "exchange" ] ~docv:"POLICY"
+      & info [ "exchange" ] ~docv:"POLICY" ~docs:sched_docs
           ~doc:"Portfolio exchange policy: $(b,independent), or $(b,best:N) to broadcast the \
-                portfolio-best layout to lagging replicas every N temperature boundaries.")
+                portfolio-best layout to lagging replicas every N temperature boundaries \
+                ($(b,barrier) scheduler only).")
+  in
+  let scheduler =
+    let parse s =
+      match Spr_core.Tool.Config.scheduler_of_string s with
+      | Ok v -> Ok v
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf (kind, sync) =
+      Format.pp_print_string ppf
+        (match kind with
+        | `Barrier -> "barrier"
+        | `Racing -> if sync then "racing" else "racing:free")
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) (`Barrier, true)
+      & info [ "scheduler" ] ~docv:"POLICY" ~docs:sched_docs
+          ~doc:"Replica scheduler for $(b,--parallel) fleets: $(b,barrier) (every replica runs \
+                to completion, coordinated only by $(b,--exchange)), $(b,racing) (fit an online \
+                predictor on each replica's annealing dynamics and early-kill replicas whose \
+                predicted final quality trails the fleet leader, reallocating their domains to \
+                perturbed forks of the leader; deterministic and resumable), or \
+                $(b,racing:free) (asynchronous racing — no rendezvous, faster, but not \
+                bit-reproducible).")
+  in
+  let race_margin =
+    Arg.(value & opt float 1.0
+         & info [ "race-margin" ] ~docv:"NETS" ~docs:sched_docs
+             ~doc:"Racing kill threshold, in unrouted-net units: a replica is killed only when \
+                   its predicted final quality trails the leader's by more than $(docv) plus \
+                   both predictions' uncertainties.")
+  in
+  let race_warmup =
+    Arg.(value & opt int 10
+         & info [ "race-warmup" ] ~docv:"N" ~docs:sched_docs
+             ~doc:"Temperature steps before the first racing decision round.")
+  in
+  let race_every =
+    Arg.(value & opt int 5
+         & info [ "race-every" ] ~docv:"N" ~docs:sched_docs
+             ~doc:"Temperature steps between racing decision rounds.")
   in
   Cmd.v
     (Cmd.info "route" ~doc:"Place and route a circuit on a row-based fabric.")
     Term.(
       ret
         (const route $ file_arg $ circuit_arg $ tracks_arg $ scheme_arg $ seed_arg $ effort_arg
-        $ flow $ stage_budget $ selfcheck $ pair profile_n profile_o $ svg $ checkpoint $ ascii
-        $ pair stats_n stats_o $ report_arg $ endpoints $ pair clock_n clock_o $ trace
-        $ run_dir $ pair resume_n resume_o $ time_budget $ max_moves
-        $ pair snap_every_n snap_every_o $ pair snap_keep_n snap_keep_o $ parallel $ exchange
-        $ route_workers $ route_grain))
+        $ flow $ stage_budget $ selfcheck $ profile $ svg $ checkpoint $ ascii
+        $ stats $ report_arg $ endpoints $ clock $ trace
+        $ run_dir $ resume $ time_budget $ max_moves
+        $ snapshot_every $ snapshot_keep $ parallel $ exchange $ scheduler $ race_margin
+        $ race_warmup $ race_every $ route_workers $ route_grain))
 
 (* --- report: re-render a stored trace --- *)
 
@@ -1034,8 +1036,8 @@ let require_socket socket =
       Ok (Filename.concat ".spr-serve" "serve.sock")
     else Error "provide --socket PATH (no ./.spr-serve/serve.sock found)"
 
-let submit file circuit tracks scheme seed effort flow parallel exchange time_budget max_moves
-    socket quiet =
+let submit file circuit tracks scheme seed effort flow parallel exchange scheduler time_budget
+    max_moves socket quiet =
   match require_socket socket with
   | Error e -> `Error (false, e)
   | Ok socket -> (
@@ -1068,6 +1070,7 @@ let submit file circuit tracks scheme seed effort flow parallel exchange time_bu
           flow;
           replicas = parallel;
           exchange;
+          scheduler;
           time_budget;
           max_moves;
         }
@@ -1120,6 +1123,11 @@ let submit_cmd =
          & info [ "exchange" ] ~docv:"POLICY"
              ~doc:"Portfolio exchange policy: $(b,independent) or $(b,best:N).")
   in
+  let scheduler =
+    Arg.(value & opt string "barrier"
+         & info [ "scheduler" ] ~docv:"SCHED"
+             ~doc:"Fleet scheduler: $(b,barrier), $(b,racing), or $(b,racing:free).")
+  in
   let time_budget =
     Arg.(value & opt (some float) None
          & info [ "time-budget" ] ~docv:"SECONDS" ~doc:"Wall-clock budget for the run.")
@@ -1144,7 +1152,7 @@ let submit_cmd =
     Term.(
       ret
         (const submit $ file_arg $ circuit_arg $ tracks_arg $ scheme_arg $ seed_arg $ effort_arg
-        $ flow $ parallel $ exchange $ time_budget $ max_moves $ socket_arg $ quiet))
+        $ flow $ parallel $ exchange $ scheduler $ time_budget $ max_moves $ socket_arg $ quiet))
 
 let jobs_cli socket cancel =
   match require_socket socket with

@@ -1,0 +1,149 @@
+(** Pluggable replica scheduling for the parallel annealing portfolio.
+
+    A scheduler owns the fleet-level control decisions of a portfolio
+    run. Each replica reports a sample of its annealing dynamics at
+    every temperature boundary ({!observe}); the scheduler answers with
+    a {!decision} — keep going, adopt the fleet-best layout, or be
+    killed and restarted as a fork of a more promising replica.
+
+    Two implementations:
+
+    - {!barrier} wraps an untouched {!Portfolio.t}: the classic
+      all-active exchange barrier. Decisions are exactly
+      [Portfolio.sync]'s adoption broadcasts, so a barrier-scheduled
+      run is bit-identical to the historical portfolio behaviour.
+    - {!racing} fits a cheap online predictor ({!Predictor}) on each
+      replica's recent dynamics (weight-independent metric trend plus
+      acceptance trajectory) and early-kills replicas whose predicted
+      terminal quality trails the fleet leader by a confidence margin.
+      A killed replica's domain is immediately reallocated: it adopts
+      the leader's captured layout and continues on a fresh RNG stream
+      (a clone-and-perturb fork). In the default deterministic mode
+      decision rounds rendezvous the active replicas (so the
+      participant set — and therefore every verdict — is a pure
+      function of the replica trajectories) and each deciding round is
+      persisted before any replica acts on it, making racing runs
+      reproducible and kill+resume ≡ uninterrupted; with [sync =
+      false] replicas decide against the latest published fleet state
+      without blocking, trading reproducibility for zero rendezvous.
+
+    {2 Determinism contract (racing, deterministic mode)}
+
+    Samples carry only masked-trace-derivable quantities (temperature
+    index, the weight-independent best metric, acceptance ratio), so a
+    decision round is a deterministic function of the participating
+    replicas' trajectories. Rounds that kill are durably recorded
+    before any waiter is released; on resume, recorded rounds replay
+    their verdicts without a rendezvous, and unrecorded rounds re-trip
+    live with full participation — the same invariant the exchange
+    barrier relies on. *)
+
+(** Online linear predictor over a replica's dynamics series. *)
+module Predictor : sig
+  type fit = {
+    slope : float;  (** metric change per temperature boundary *)
+    intercept : float;
+    sigma : float;  (** residual standard deviation (confidence) *)
+    n : int;  (** points fitted *)
+  }
+
+  val fit : (int * float) list -> fit option
+  (** Ordinary least squares of metric against temperature index.
+      Needs at least three points with distinct indices; returns
+      [None] otherwise. *)
+
+  val predict : fit -> at:int -> float
+  (** Extrapolated metric at temperature boundary [at]. *)
+end
+
+type config = {
+  replicas : int;
+  warmup : int;  (** boundaries before the first decision round *)
+  every : int;  (** decision round period, in temperature boundaries *)
+  margin : float;
+      (** kill margin, in metric units: a replica is killed when its
+          predicted metric trails the leader's by more than
+          [margin + sigma_replica + sigma_leader] *)
+  horizon : int;  (** prediction lookahead, in boundaries *)
+  sync : bool;  (** deterministic rendezvous rounds (see above) *)
+}
+
+type kill = { k_replica : int; k_stream : int }
+(** One early-kill verdict: replica [k_replica] abandons its
+    trajectory and forks the round leader on RNG stream [k_stream]. *)
+
+type round_record = {
+  sr_round : int;  (** 1-based decision round index *)
+  sr_leader : int;  (** predicted-best replica (lowest index on ties) *)
+  sr_metric : float;  (** leader's live metric at the round *)
+  sr_payload : string;  (** leader's captured layout *)
+  sr_kills : kill list;  (** ascending replica order *)
+}
+(** Outcome of one racing decision round, exactly as persisted. *)
+
+type decision =
+  | Continue  (** no intervention; keep annealing *)
+  | Adopt of { round : int; from_replica : int; metric : float; payload : string }
+      (** barrier broadcast: some other replica is strictly better —
+          adopt its layout and continue on the same RNG stream *)
+  | Kill of { round : int; from_replica : int; metric : float; payload : string; stream : int }
+      (** racing early-kill: abandon this trajectory, adopt the round
+          leader's layout and reseed onto fresh RNG [stream] — the
+          domain is reallocated to a clone-and-perturb fork *)
+
+type t
+
+val barrier : Portfolio.t -> t
+(** The historical all-active exchange barrier as a scheduler. Samples
+    are ignored; [observe] delegates to {!Portfolio.sync} verbatim. *)
+
+val racing :
+  config ->
+  ?history:round_record list ->
+  ?persist:(round_record -> unit) ->
+  ?frozen:(unit -> bool) ->
+  unit ->
+  t
+(** [racing cfg ()] builds the predictive scheduler. [history] replays
+    previously recorded decision rounds (resume): a replica arriving
+    at a recorded round is served its verdict immediately, the stream
+    allocator continues past every recorded stream, and each killed
+    replica's predictor series restarts at its recorded kill round.
+    [persist] is called once per freshly decided round that kills,
+    under the scheduler lock, before any waiter is released. [frozen]
+    freezes coordination on interrupt exactly as in {!Portfolio.create}. *)
+
+val observe :
+  t ->
+  replica:int ->
+  temp_index:int ->
+  metric:float ->
+  acceptance:float ->
+  capture:(unit -> string) ->
+  decision
+(** Called by [replica] at every temperature boundary with its
+    weight-independent best [metric] and the batch acceptance ratio.
+    Appends the sample to the replica's series, then — when a decision
+    round is due — blocks until the round trips (deterministic mode)
+    or decides against the latest published fleet state (free mode).
+    [capture] serialises this replica's layout, invoked at most once,
+    outside the scheduler lock. *)
+
+val preload : t -> replica:int -> (int * float * float) list -> unit
+(** [preload t ~replica samples] seeds the replica's dynamics series
+    from restored checkpoint samples ([(temp_index, metric,
+    acceptance)], oldest first) so that a resumed run fits exactly the
+    series the uninterrupted run would have. No-op for {!barrier}. *)
+
+val finished : t -> replica:int -> unit
+(** Deregister a replica that has stopped annealing. Must be called
+    exactly once per replica, as with {!Portfolio.finished}. *)
+
+val rounds : t -> round_record list
+(** Racing decision rounds that killed at least one replica (replayed
+    and fresh), ascending; [[]] for {!barrier}. Rounds with no kills
+    are not reported: they are not persisted, so a resumed run would
+    not see the same set. *)
+
+val exchanges : t -> Portfolio.round_result list
+(** The wrapped barrier's exchange history; [[]] for {!racing}. *)

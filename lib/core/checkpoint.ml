@@ -842,3 +842,124 @@ module Exchange = struct
              else None)
       |> List.sort (fun a b -> compare a.Pf.xr_round b.Pf.xr_round)
 end
+
+(* --- persisted racing decision rounds (scheduler crash safety) ---
+   Same shape and guarantees as [Exchange]: one durable record per
+   deciding round, written under the scheduler lock before any replica
+   acts on the round, so a resumed fleet replays exactly the verdicts
+   the live fleet acted on. Rounds with no kills are never written —
+   they have no observable verdict, so re-tripping them live is
+   equivalent. *)
+
+module Sched = struct
+  module Pe = Spr_util.Persist
+  module Sc = Spr_anneal.Scheduler
+
+  let format_version = 1
+
+  let record_path dir round = Filename.concat dir (Printf.sprintf "sched-%08d.rec" round)
+
+  let encode (r : Sc.round_record) =
+    let b = Buffer.create (String.length r.Sc.sr_payload + 128) in
+    Printf.bprintf b "round %d %d %s\n" r.Sc.sr_round r.Sc.sr_leader
+      (Pe.float_to_hex r.Sc.sr_metric);
+    Printf.bprintf b "kills %d\n" (List.length r.Sc.sr_kills);
+    List.iter
+      (fun (k : Sc.kill) -> Printf.bprintf b "kill %d %d\n" k.Sc.k_replica k.Sc.k_stream)
+      r.Sc.sr_kills;
+    Printf.bprintf b "layout %d\n%s" (String.length r.Sc.sr_payload) r.Sc.sr_payload;
+    let payload = Buffer.contents b in
+    Printf.sprintf "spr-sched %d %s %d\n%s" format_version (Pe.checksum_hex payload)
+      (String.length payload) payload
+
+  let ( let* ) = V2.( let* )
+
+  let decode_payload payload =
+    let cur = { V2.text = payload; pos = 0 } in
+    let* round_line = V2.next_line cur in
+    let* sr_round, sr_leader, sr_metric =
+      V2.expect_tag "round" round_line (function
+        | [ r; l; m ] ->
+          let* r = V2.int_ r in
+          let* l = V2.int_ l in
+          let* m = V2.float_ m in
+          Ok (r, l, m)
+        | _ -> Error "bad round record")
+    in
+    let* kills_line = V2.next_line cur in
+    let* n_kills =
+      V2.expect_tag "kills" kills_line (function [ n ] -> V2.int_ n | _ -> Error "bad kill count")
+    in
+    let rec read_kills k acc =
+      if k = 0 then Ok (List.rev acc)
+      else
+        let* line = V2.next_line cur in
+        let* kill =
+          V2.expect_tag "kill" line (function
+            | [ r; s ] ->
+              let* k_replica = V2.int_ r in
+              let* k_stream = V2.int_ s in
+              Ok { Sc.k_replica; k_stream }
+            | _ -> Error "bad kill record")
+        in
+        read_kills (k - 1) (kill :: acc)
+    in
+    let* sr_kills = read_kills n_kills [] in
+    let* layout_line = V2.next_line cur in
+    let* sr_payload =
+      V2.expect_tag "layout" layout_line (function
+        | [ n ] ->
+          let* n = V2.int_ n in
+          V2.take_bytes cur n
+        | _ -> Error "bad layout record")
+    in
+    Ok { Sc.sr_round; sr_leader; sr_metric; sr_payload; sr_kills }
+
+  let decode text =
+    match String.index_opt text '\n' with
+    | None -> Error "empty or headerless sched record"
+    | Some i -> (
+      let header = String.sub text 0 i in
+      let body = String.sub text (i + 1) (String.length text - i - 1) in
+      match V2.words header with
+      | [ "spr-sched"; version; crc; len ] -> (
+        match (int_of_string_opt version, int_of_string_opt len) with
+        | Some v, _ when v <> format_version ->
+          Error (Printf.sprintf "unsupported sched record version %d" v)
+        | None, _ | _, None -> Error "malformed sched header"
+        | Some _, Some len ->
+          if String.length body < len then Error "truncated sched record"
+          else begin
+            let payload = String.sub body 0 len in
+            if not (String.equal (Pe.checksum_hex payload) crc) then
+              Error "sched record checksum mismatch"
+            else decode_payload payload
+          end)
+      | _ -> Error "not a spr sched record")
+
+  let write ~dir (r : Sc.round_record) =
+    Spr_util.Persist.ensure_dir dir;
+    let path = record_path dir r.Sc.sr_round in
+    (* Durable for the same reason as exchange records: replicas act on
+       the verdicts as soon as this returns. *)
+    Spr_util.Persist.atomic_write ~durable:true path (encode r);
+    path
+
+  let load_all ~dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun name ->
+             if
+               String.length name = 6 + 8 + 4
+               && String.sub name 0 6 = "sched-"
+               && Filename.check_suffix name ".rec"
+             then
+               match Pe.read_file (Filename.concat dir name) with
+               | Error _ -> None
+               | Ok text -> (
+                 match decode text with Ok r -> Some r | Error _ -> None)
+             else None)
+      |> List.sort (fun a b -> compare a.Sc.sr_round b.Sc.sr_round)
+end

@@ -140,3 +140,31 @@ module Exchange : sig
   (** Every loadable record in ascending round order; torn or corrupt
       records are skipped (the round simply re-trips live on resume). *)
 end
+
+(** {1 Persisted racing decision rounds}
+
+    A portfolio run under the racing scheduler records every decision
+    round that killed a replica as an atomic, checksummed
+    [sched-NNNNNNNN.rec] file, written under the scheduler lock before
+    any replica acts on the verdicts — the same crash-safety contract
+    as {!Exchange}. Rounds with no kills are not written: they have no
+    observable verdict, so a resumed fleet re-tripping them live is
+    equivalent to replay. *)
+
+module Sched : sig
+  val record_path : string -> int -> string
+  (** [record_path dir round]. *)
+
+  val encode : Spr_anneal.Scheduler.round_record -> string
+
+  val decode : string -> (Spr_anneal.Scheduler.round_record, string) Stdlib.result
+  (** Never raises: truncation, checksum mismatch and bad records all
+      return [Error]. *)
+
+  val write : dir:string -> Spr_anneal.Scheduler.round_record -> string
+  (** Atomic and durable; returns the path written. *)
+
+  val load_all : dir:string -> Spr_anneal.Scheduler.round_record list
+  (** Every loadable record in ascending round order; torn or corrupt
+      records are skipped (the round re-trips live on resume). *)
+end

@@ -5,7 +5,7 @@
     decide phase. All mutations go through one shared journal, so a
     reject unwinds the entire cascade. Each phase is bracketed by
     {!Profile}, giving per-phase wall clock and counters for
-    [spr route --profile] and the dynamics trace. *)
+    [spr route --obs-profile] and the dynamics trace. *)
 
 type t
 

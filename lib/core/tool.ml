@@ -9,6 +9,7 @@ module Parallel = Spr_route.Parallel
 module Sta = Spr_timing.Sta
 module J = Spr_util.Journal
 module Portfolio = Spr_anneal.Portfolio
+module Scheduler = Spr_anneal.Scheduler
 
 module Config = struct
   type moves = {
@@ -42,9 +43,19 @@ module Config = struct
     validate_every : int;
   }
 
+  type scheduler = {
+    kind : [ `Barrier | `Racing ];
+    race_margin : float;
+    race_warmup : int;
+    race_every : int;
+    race_horizon : int;
+    race_sync : bool;
+  }
+
   type parallel = {
     replicas : int;
     exchange : Portfolio.exchange;
+    scheduler : scheduler;
     stream : int;
     route_workers : int;
     route_grain : int;
@@ -96,6 +107,15 @@ module Config = struct
         {
           replicas = 1;
           exchange = Portfolio.Independent;
+          scheduler =
+            {
+              kind = `Barrier;
+              race_margin = 1.0;
+              race_warmup = 10;
+              race_every = 5;
+              race_horizon = 10;
+              race_sync = true;
+            };
           stream = 0;
           route_workers = 1;
           route_grain = 8;
@@ -175,6 +195,25 @@ module Config = struct
             | Ok () -> Ok stages))
       end
 
+  (* --- scheduler vocabulary ---
+     "barrier" is the historical all-active exchange barrier;
+     "racing" the deterministic predictive scheduler; "racing:free"
+     its asynchronous, non-reproducible variant. *)
+
+  let scheduler_to_string (s : scheduler) =
+    match s.kind with
+    | `Barrier -> "barrier"
+    | `Racing -> if s.race_sync then "racing" else "racing:free"
+
+  let scheduler_of_string name =
+    match name with
+    | "barrier" -> Ok (`Barrier, true)
+    | "racing" -> Ok (`Racing, true)
+    | "racing:free" -> Ok (`Racing, false)
+    | _ ->
+      Error
+        (Printf.sprintf "unknown scheduler %S (want barrier, racing, or racing:free)" name)
+
   (* The one place configuration sanity lives. Nonsense is rejected
      with a message naming every offending field; the historical
      "clamp to >= 1" fields are normalized here instead of at their
@@ -216,6 +255,16 @@ module Config = struct
     | Portfolio.Independent -> ()
     | Portfolio.Best_exchange n when n >= 1 -> ()
     | Portfolio.Best_exchange n -> reject "exchange period must be >= 1 (got %d)" n);
+    (let s = t.parallel.scheduler in
+     if not (Float.is_finite s.race_margin && s.race_margin >= 0.0) then
+       reject "race_margin must be finite and >= 0 (got %g)" s.race_margin;
+     if s.race_warmup < 0 then reject "race_warmup must be >= 0 (got %d)" s.race_warmup;
+     if s.race_every < 1 then reject "race_every must be >= 1 (got %d)" s.race_every;
+     if s.race_horizon < 1 then reject "race_horizon must be >= 1 (got %d)" s.race_horizon;
+     match (s.kind, t.parallel.exchange) with
+     | `Racing, Portfolio.Best_exchange _ ->
+       reject "the racing scheduler replaces the exchange barrier; use exchange independent"
+     | (`Racing | `Barrier), _ -> ());
     (match flow_stages_of_preset t.flow.preset with
     | Error e -> reject "%s" e
     | Ok stages ->
@@ -338,6 +387,23 @@ module Config = struct
   let with_route_workers route_workers t = { t with parallel = { t.parallel with route_workers } }
 
   let with_route_grain route_grain t = { t with parallel = { t.parallel with route_grain } }
+
+  let with_scheduler scheduler t = { t with parallel = { t.parallel with scheduler } }
+
+  let with_scheduler_kind ?sync kind t =
+    let s = t.parallel.scheduler in
+    with_scheduler
+      { s with kind; race_sync = (match sync with Some b -> b | None -> s.race_sync) }
+      t
+
+  let with_race_margin race_margin t =
+    with_scheduler { t.parallel.scheduler with race_margin } t
+
+  let with_race_warmup race_warmup t =
+    with_scheduler { t.parallel.scheduler with race_warmup } t
+
+  let with_race_every race_every t =
+    with_scheduler { t.parallel.scheduler with race_every } t
 
   let with_obs obs t = { t with obs }
 
@@ -515,7 +581,7 @@ let timing_router ~(config : Config.t) ~sta nl =
    runs (and one-replica portfolios, which ARE serial runs). *)
 type replica_ctx = {
   rep_index : int;
-  rep_coord : Portfolio.t;
+  rep_sched : Scheduler.t;
 }
 
 (* Swap the session onto a broadcast layout: decode it, rebuild the
@@ -608,19 +674,46 @@ let anneal_session ?resume ?ctx ?start_temperature ~(config : Config.t) ~rng ~be
       Option.iter
         (fun sample -> Spr_obs.Obs.emit (Spr_obs.Trace.Temp (Dynamics.to_row sample)))
         (Dynamics.last_sample s.dyn);
-    (* Exchange AFTER the batch's own dynamics are flushed, so the
-       trace describes what this replica actually annealed. *)
+    (* Scheduling AFTER the batch's own dynamics are flushed, so the
+       trace describes what this replica actually annealed. The sample
+       handed to the scheduler carries the same values the flushed
+       dynamics row does, so decisions are a function of masked trace
+       content — what makes deterministic racing replayable. *)
     match ctx with
     | None -> ()
     | Some c -> (
       match
-        Portfolio.sync c.rep_coord ~replica:c.rep_index
+        Scheduler.observe c.rep_sched ~replica:c.rep_index
           ~temp_index:ts.Spr_anneal.Engine.temp_index
           ~metric:(best_metric ~rs:s.rs ~sta:s.sta)
+          ~acceptance
           ~capture:(fun () -> Checkpoint.to_string s.rs)
       with
-      | None -> ()
-      | Some r -> adopt_layout ~config s r)
+      | Scheduler.Continue -> ()
+      | Scheduler.Adopt { round; from_replica; metric; payload } ->
+        adopt_layout ~config s
+          {
+            Portfolio.xr_round = round;
+            xr_best_replica = from_replica;
+            xr_best_metric = metric;
+            xr_payload = payload;
+          }
+      | Scheduler.Kill { round; from_replica; metric; payload; stream } ->
+        (* Early-killed: this domain is reallocated to a fork of the
+           round leader. Adopt its layout and continue on a fresh RNG
+           stream — the stream switch IS the perturbation that makes
+           the fork explore differently from its parent. *)
+        adopt_layout ~config s
+          {
+            Portfolio.xr_round = round;
+            xr_best_replica = from_replica;
+            xr_best_metric = metric;
+            xr_payload = payload;
+          };
+        Spr_util.Rng.assign rng ~from:(Spr_util.Rng.stream ~seed:config.seed ~index:stream);
+        Log.info (fun m ->
+            m "replica %d killed at sched round %d; forked from replica %d on stream %d"
+              c.rep_index round from_replica stream))
   in
   (* Budgets and interruption. The engine polls between moves, so the
      in-flight move always completes; the first tripped condition
@@ -958,6 +1051,26 @@ let run_resumed ?ctx ~(config : Config.t) ~(resume : resume) nl =
         accepted_since_audit = data.Checkpoint.V2.accepted_since_audit;
       }
     in
+    (* Seed the scheduler with the restored dynamics series so a resumed
+       replica's predictor fits exactly the series the uninterrupted run
+       would have. The metric is reconstructed bit-identically: the
+       snapshot's percentage fields recover the integer unrouted counts
+       exactly (they are < 0.5 ulp from an integer), and the rebuilt
+       expression matches [best_metric] operation for operation. *)
+    (match ctx with
+    | None -> ()
+    | Some c ->
+      let nr = float_of_int (max 1 (Rs.n_routable rs)) in
+      Scheduler.preload c.rep_sched ~replica:c.rep_index
+        (List.map
+           (fun (d : Dynamics.sample) ->
+             let g =
+               int_of_float (Float.round (d.Dynamics.pct_nets_globally_unrouted /. 100.0 *. nr))
+             in
+             let dd = int_of_float (Float.round (d.Dynamics.pct_nets_unrouted /. 100.0 *. nr)) in
+             let metric = (float_of_int (g + dd) *. 1e9) +. d.Dynamics.critical_delay in
+             (d.Dynamics.dyn_temp_index, metric, d.Dynamics.acceptance))
+           data.Checkpoint.V2.dyn_samples));
     Ok (run_session ~resume ?ctx ~config ~rng ~t_start s)
   end
 
@@ -981,7 +1094,7 @@ let replica_end_event ~replica (r : result) =
         };
   }
 
-let assemble_trace ~(config : Config.t) ~nl ~replicas ~streams ~exchanges ~status ~g ~d
+let assemble_trace ~(config : Config.t) ~nl ~replicas ~streams ~exchanges ~scheds ~status ~g ~d
     ~delay_ns ~best_cost ~wall_seconds =
   let fleet ev = { Spr_obs.Trace.ev_replica = -1; ev } in
   let start =
@@ -1007,15 +1120,43 @@ let assemble_trace ~(config : Config.t) ~nl ~replicas ~streams ~exchanges ~statu
              }))
       exchanges
   in
+  (* Racing decision rounds: a kill row (the verdict) and a clone row
+     (the domain reallocation) per killed replica, in round order. *)
+  let sched_rows =
+    List.concat_map
+      (fun (r : Scheduler.round_record) ->
+        List.concat_map
+          (fun (k : Scheduler.kill) ->
+            [
+              fleet
+                (Spr_obs.Trace.Sched_kill
+                   {
+                     round = r.Scheduler.sr_round;
+                     replica = k.Scheduler.k_replica;
+                     leader = r.Scheduler.sr_leader;
+                     metric = r.Scheduler.sr_metric;
+                   });
+              fleet
+                (Spr_obs.Trace.Sched_clone
+                   {
+                     round = r.Scheduler.sr_round;
+                     replica = k.Scheduler.k_replica;
+                     from_replica = r.Scheduler.sr_leader;
+                     stream = k.Scheduler.k_stream;
+                   });
+            ])
+          r.Scheduler.sr_kills)
+      scheds
+  in
   let stop =
     fleet (Spr_obs.Trace.Run_end { status; g; d; delay_ns; best_cost; wall_seconds })
   in
-  (start :: List.concat streams) @ rounds @ [ stop ]
+  (start :: List.concat streams) @ rounds @ sched_rows @ [ stop ]
 
 let trace_events ~config nl (r : result) =
   assemble_trace ~config ~nl ~replicas:1
     ~streams:[ r.events @ [ replica_end_event ~replica:0 r ] ]
-    ~exchanges:[]
+    ~exchanges:[] ~scheds:[]
     ~status:(Outcome.status_to_string r.status)
     ~g:r.g ~d:r.d ~delay_ns:r.critical_delay ~best_cost:r.best_cost
     ~wall_seconds:r.cpu_seconds
@@ -1080,6 +1221,7 @@ type portfolio_result = {
   p_results : result array;
   p_profile : Profile.t;
   p_exchanges : Portfolio.round_result list;
+  p_scheds : Scheduler.round_record list;
   p_wall_seconds : float;
   p_report : Spr_obs.Report.t;
 }
@@ -1093,7 +1235,7 @@ let portfolio_trace_events ~config nl (p : portfolio_result) =
     ~streams:
       (Array.to_list
          (Array.mapi (fun k r -> r.events @ [ replica_end_event ~replica:k r ]) p.p_results))
-    ~exchanges:p.p_exchanges
+    ~exchanges:p.p_exchanges ~scheds:p.p_scheds
     ~status:(Outcome.status_to_string best.status)
     ~g:best.g ~d:best.d ~delay_ns:best.critical_delay ~best_cost:best.best_cost
     ~wall_seconds:p.p_wall_seconds
@@ -1111,18 +1253,46 @@ let run_portfolio ?(config = Config.default) ?resume_dir ?seed_place ?start_temp
          re-raise it at any time. *)
       reset_interrupt ();
       let wall = Spr_util.Clock.start () in
-      let history =
-        match resume_dir with Some dir -> Checkpoint.Exchange.load_all ~dir | None -> []
-      in
-      let persist =
-        match config.persistence.run_dir with
-        | Some dir when replicas > 1 && config.parallel.exchange <> Portfolio.Independent ->
-          fun r -> ignore (Checkpoint.Exchange.write ~dir r)
-        | _ -> fun _ -> ()
-      in
-      let coord =
-        Portfolio.create ~replicas ~exchange:config.parallel.exchange ~history ~persist
-          ~frozen:interrupt_requested ()
+      let sched =
+        match config.parallel.scheduler.Config.kind with
+        | `Barrier ->
+          let history =
+            match resume_dir with Some dir -> Checkpoint.Exchange.load_all ~dir | None -> []
+          in
+          let persist =
+            match config.persistence.run_dir with
+            | Some dir when replicas > 1 && config.parallel.exchange <> Portfolio.Independent ->
+              fun r -> ignore (Checkpoint.Exchange.write ~dir r)
+            | _ -> fun _ -> ()
+          in
+          Scheduler.barrier
+            (Portfolio.create ~replicas ~exchange:config.parallel.exchange ~history ~persist
+               ~frozen:interrupt_requested ())
+        | `Racing ->
+          let sc = config.parallel.scheduler in
+          let history =
+            match resume_dir with
+            | Some dir when sc.Config.race_sync -> Checkpoint.Sched.load_all ~dir
+            | _ -> []
+          in
+          let persist =
+            match config.persistence.run_dir with
+            | Some dir when replicas > 1 && sc.Config.race_sync ->
+              fun r -> ignore (Checkpoint.Sched.write ~dir r)
+            | _ -> fun _ -> ()
+          in
+          Scheduler.racing
+            {
+              Scheduler.replicas;
+              warmup = sc.Config.race_warmup;
+              every = sc.Config.race_every;
+              (* CLI margin is in unrouted-net units; the metric counts
+                 a net as 1e9 (delay breaks ties below that). *)
+              margin = sc.Config.race_margin *. 1e9;
+              horizon = sc.Config.race_horizon;
+              sync = sc.Config.race_sync;
+            }
+            ~history ~persist ~frozen:interrupt_requested ()
       in
       let sinks = Array.init replicas (fun _ -> replica_sink config) in
       let worker k =
@@ -1135,7 +1305,7 @@ let run_portfolio ?(config = Config.default) ?resume_dir ?seed_place ?start_temp
           if replicas = 1 then config
           else { config with Config.parallel = { config.Config.parallel with Config.stream = k } }
         in
-        let ctx = if replicas = 1 then None else Some { rep_index = k; rep_coord = coord } in
+        let ctx = if replicas = 1 then None else Some { rep_index = k; rep_sched = sched } in
         let body () =
           Spr_obs.Obs.with_recording ~sink:sinks.(k) ~replica:k (fun () ->
               try
@@ -1155,7 +1325,7 @@ let run_portfolio ?(config = Config.default) ?resume_dir ?seed_place ?start_temp
               with Audit_failure findings -> Error (Audit_failed findings))
         in
         if replicas = 1 then body ()
-        else Fun.protect ~finally:(fun () -> Portfolio.finished coord ~replica:k) body
+        else Fun.protect ~finally:(fun () -> Scheduler.finished sched ~replica:k) body
       in
       let outcomes = Portfolio.run_replicas ~replicas worker in
       (* An exception escaping a replica is a bug in this layer, not a
@@ -1175,15 +1345,17 @@ let run_portfolio ?(config = Config.default) ?resume_dir ?seed_place ?start_temp
           results;
         let merged = Profile.create () in
         Array.iter (fun (r : result) -> Profile.absorb merged r.profile) results;
-        let exchanges = Portfolio.history coord in
+        let exchanges = Scheduler.exchanges sched in
+        let scheds = Scheduler.rounds sched in
         let wall_seconds = Spr_util.Clock.elapsed wall in
         (* The fleet report: the winner's layout-facing numbers, the
-           merged pipeline/metrics, fleet-wide clocks. *)
+           merged pipeline/metrics, fleet-wide clocks. Under racing,
+           "rounds" counts deciding (killing) rounds. *)
         let p_report =
           {
             results.(!best).report with
             Spr_obs.Report.r_replicas = replicas;
-            r_exchange_rounds = List.length exchanges;
+            r_exchange_rounds = List.length exchanges + List.length scheds;
             r_cpu_seconds =
               Array.fold_left (fun acc (r : result) -> acc +. r.cpu_seconds) 0.0 results;
             r_wall_seconds = wall_seconds;
@@ -1197,6 +1369,7 @@ let run_portfolio ?(config = Config.default) ?resume_dir ?seed_place ?start_temp
             p_results = results;
             p_profile = merged;
             p_exchanges = exchanges;
+            p_scheds = scheds;
             p_wall_seconds = wall_seconds;
             p_report;
           }

@@ -110,11 +110,49 @@ module Config : sig
             (normalized to >= 1). *)
   }
 
+  type scheduler = {
+    kind : [ `Barrier | `Racing ];
+        (** [`Barrier] is the historical all-active exchange barrier —
+            bit-identical to the pre-scheduler portfolio. [`Racing]
+            fits an online predictor on each replica's annealing
+            dynamics and early-kills replicas whose predicted terminal
+            quality trails the fleet leader, reallocating their domains
+            to clone-and-perturb forks of the leader. *)
+    race_margin : float;
+        (** Kill threshold in unrouted-net units: a replica dies only
+            when its predicted terminal metric trails the leader's by
+            more than this margin plus both fit uncertainties. Must be
+            finite and >= 0 (default 1.0). *)
+    race_warmup : int;
+        (** Temperature steps before the first racing decision round;
+            kills based on too-early dynamics are noise. Must be >= 0
+            (default 10). *)
+    race_every : int;
+        (** Temperature steps between racing decision rounds. Must be
+            >= 1 (default 5). *)
+    race_horizon : int;
+        (** How many temperature steps past the decision round the
+            predictor extrapolates when ranking replicas. Must be >= 1
+            (default 10). *)
+    race_sync : bool;
+        (** [true] (default): decision rounds are synchronous
+            rendezvous on masked trace content — racing is then
+            bit-reproducible and killing rounds persist as
+            [sched-*.rec] records so kill+resume matches the
+            uninterrupted run. [false] ("racing:free"): replicas race
+            asynchronously against the last published predictions —
+            faster, but not reproducible and never persisted. *)
+  }
+
   type parallel = {
     replicas : int;  (** Portfolio width K; must be >= 1. *)
     exchange : Spr_anneal.Portfolio.exchange;
         (** Cross-replica layout exchange policy; only meaningful when
-            [replicas > 1]. *)
+            [replicas > 1], and only under the [`Barrier] scheduler
+            ({!validated} rejects [`Racing] + [Best_exchange]). *)
+    scheduler : scheduler;
+        (** Which replica scheduler coordinates the fleet; only
+            meaningful when [replicas > 1]. *)
     stream : int;
         (** Which derived RNG stream ({!Spr_util.Rng.stream}) a serial
             run draws from; stream 0 is exactly [Rng.create seed].
@@ -198,8 +236,15 @@ module Config : sig
       validation ([validate_every = 50]), no budgets, no checkpointing
       ([snapshot_every = 1], [snapshot_keep = 3],
       [final_checkpoint = true]), serial ([replicas = 1],
-      [Independent], [stream = 0], [route_workers = 1],
-      [route_grain = 8]). *)
+      [Independent], [`Barrier] scheduler, [stream = 0],
+      [route_workers = 1], [route_grain = 8]). *)
+
+  val scheduler_to_string : scheduler -> string
+  (** ["barrier"], ["racing"], or ["racing:free"]. *)
+
+  val scheduler_of_string : string -> ([ `Barrier | `Racing ] * bool, string) Stdlib.result
+  (** Parse a scheduler spelling to its [(kind, race_sync)] pair;
+      rejects unknown names with the valid vocabulary. *)
 
   val validated : t -> (t, string) Stdlib.result
   (** The smart constructor: rejects out-of-range fields (move
@@ -260,6 +305,18 @@ module Config : sig
   val with_route_workers : int -> t -> t
 
   val with_route_grain : int -> t -> t
+
+  val with_scheduler : scheduler -> t -> t
+
+  val with_scheduler_kind : ?sync:bool -> [ `Barrier | `Racing ] -> t -> t
+  (** Switch the scheduler kind, optionally setting [race_sync]; the
+      racing tuning knobs keep their current values. *)
+
+  val with_race_margin : float -> t -> t
+
+  val with_race_warmup : int -> t -> t
+
+  val with_race_every : int -> t -> t
 
   val with_obs : obs -> t -> t
 
@@ -420,6 +477,9 @@ type portfolio_result = {
           available on [p_results]. *)
   p_exchanges : Spr_anneal.Portfolio.round_result list;
       (** Every exchange round tripped or replayed, ascending. *)
+  p_scheds : Spr_anneal.Scheduler.round_record list;
+      (** Every racing decision round that killed a replica (tripped or
+          replayed), ascending; empty under the [`Barrier] scheduler. *)
   p_wall_seconds : float;  (** Whole-fleet wall clock. *)
   p_report : Spr_obs.Report.t;
       (** The fleet report: the winning replica's layout-facing
@@ -433,8 +493,8 @@ val best_result : portfolio_result -> result
 val portfolio_trace_events :
   config:config -> Spr_netlist.Netlist.t -> portfolio_result -> Spr_obs.Trace.event list
 (** The merged fleet trace: [run_start], each replica's stream (closed
-    by its [replica_end]) in replica order, the exchange rounds, then
-    [run_end]. A one-replica portfolio's trace is bit-identical to the
+    by its [replica_end]) in replica order, the exchange rounds, the
+    racing [sched.kill]/[sched.clone] rows, then [run_end]. A one-replica portfolio's trace is bit-identical to the
     serial {!trace_events} once timestamps are masked. *)
 
 val run_portfolio :
@@ -453,11 +513,13 @@ val run_portfolio :
     serial path. With more, replica [k] writes
     [snap-r<k>-NNNNNNNN.ckpt] snapshots into the shared run directory
     and [Best_exchange] rounds are persisted as [exch-*.rec] records
-    before any replica acts on them. [?resume_dir] restores the whole
+    before any replica acts on them; the racing scheduler likewise
+    persists its killing decision rounds as [sched-*.rec] records.
+    [?resume_dir] restores the whole
     fleet: each replica resumes from its newest loadable snapshot
     (restarting from scratch deterministically when it has none) and
-    recorded exchange rounds are replayed, so a killed-and-resumed
-    portfolio matches the uninterrupted one. Interruption (signals,
+    recorded exchange/scheduler rounds are replayed, so a
+    killed-and-resumed portfolio matches the uninterrupted one. Interruption (signals,
     {!request_interrupt}, any replica's budget) stops every replica
     gracefully and freezes further exchanges. *)
 

@@ -116,14 +116,12 @@ let render rows =
         [ Left; Left; Right; Right; Right; Right; Right; Right; Right; Right ]
     ~header body
 
-let schema = "spr-bench-flows-1"
+let schema = Spr_obs.Bench.schema_version
 
 let to_json ~effort rows =
   let cmp = compare_seeded rows in
-  J.Obj
+  Spr_obs.Bench.payload ~bench:"flows" ~effort:(Profiles.effort_to_string effort)
     [
-      ("schema", J.String schema);
-      ("effort", J.String (Profiles.effort_to_string effort));
       ( "rows",
         J.List
           (List.map

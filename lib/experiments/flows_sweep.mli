@@ -45,6 +45,7 @@ val compare_seeded :
 val render : row list -> string
 
 val schema : string
-(** ["spr-bench-flows-1"]. *)
+(** [Spr_obs.Bench.schema_version] — the sweep emits the unified
+    [spr-bench-1] envelope with [bench = "flows"]. *)
 
 val to_json : effort:Profiles.effort -> row list -> Spr_obs.Json.t

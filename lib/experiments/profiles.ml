@@ -35,12 +35,4 @@ let seq_flow_config ?(seed = 1) effort ~n =
   Spr_core.Tool.Config.(
     default |> with_seed seed |> with_anneal (anneal effort ~n) |> with_flow_preset "seq")
 
-let flow_config ?(seed = 1) effort ~n =
-  {
-    Spr_seq.Flow.default_config with
-    Spr_seq.Flow.seed;
-    place =
-      { Spr_seq.Seq_place.default_config with Spr_seq.Seq_place.anneal = Some (anneal effort ~n) };
-  }
-
 let arch_for ?(tracks = 28) ?hscheme nl = Spr_arch.Arch.size_for ~tracks ?hscheme nl

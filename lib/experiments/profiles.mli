@@ -16,11 +16,7 @@ val tool_config : ?seed:int -> effort -> n:int -> Spr_core.Tool.config
 
 val seq_flow_config : ?seed:int -> effort -> n:int -> Spr_core.Tool.config
 (** The sequential baseline as a flow-engine config: the ["seq"] preset
-    with this effort's annealing schedule — what {!flow_config} drove
-    through the deprecated [Spr_seq.Flow.run], bit-identically. *)
-
-val flow_config : ?seed:int -> effort -> n:int -> Spr_seq.Flow.config
-(** @deprecated Use {!seq_flow_config} with [Spr_flow.run]. *)
+    with this effort's annealing schedule, for [Spr_flow.run]. *)
 
 val arch_for :
   ?tracks:int -> ?hscheme:Spr_arch.Segmentation.scheme -> Spr_netlist.Netlist.t -> Spr_arch.Arch.t

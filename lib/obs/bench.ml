@@ -1,0 +1,82 @@
+let schema_version = "spr-bench-1"
+
+let read_file path =
+  match Spr_util.Persist.read_file path with Ok text -> Some text | Error _ -> None
+
+(* Locate the git directory from the working directory (walking a few
+   parents so benches launched from a subdirectory still resolve), and
+   follow a worktree's "gitdir:" indirection file. *)
+let git_dir () =
+  let rec walk dir depth =
+    if depth > 5 then None
+    else
+      let cand = Filename.concat dir ".git" in
+      if Sys.file_exists cand then
+        if Sys.is_directory cand then Some cand
+        else
+          (* a worktree checkout: .git is a one-line pointer file *)
+          match read_file cand with
+          | Some text ->
+            let text = String.trim text in
+            let prefix = "gitdir: " in
+            let plen = String.length prefix in
+            if String.length text > plen && String.sub text 0 plen = prefix then
+              Some (String.sub text plen (String.length text - plen))
+            else None
+          | None -> None
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else walk parent (depth + 1)
+  in
+  walk (Sys.getcwd ()) 0
+
+let is_hex s =
+  String.length s >= 7
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false) s
+
+(* A detached HEAD is the hash itself; a symbolic HEAD names a ref that
+   lives either as a loose file or as a packed-refs line. *)
+let resolve_ref gitdir r =
+  match read_file (Filename.concat gitdir r) with
+  | Some text when is_hex (String.trim text) -> Some (String.trim text)
+  | _ -> (
+    match read_file (Filename.concat gitdir "packed-refs") with
+    | None -> None
+    | Some text ->
+      String.split_on_char '\n' text
+      |> List.find_map (fun line ->
+             match String.index_opt line ' ' with
+             | Some i
+               when String.sub line (i + 1) (String.length line - i - 1) = r
+                    && is_hex (String.sub line 0 i) ->
+               Some (String.sub line 0 i)
+             | _ -> None))
+
+let commit () =
+  match git_dir () with
+  | None -> "unknown"
+  | Some gitdir -> (
+    match read_file (Filename.concat gitdir "HEAD") with
+    | None -> "unknown"
+    | Some head -> (
+      let head = String.trim head in
+      let prefix = "ref: " in
+      let plen = String.length prefix in
+      if String.length head > plen && String.sub head 0 plen = prefix then
+        match resolve_ref gitdir (String.sub head plen (String.length head - plen)) with
+        | Some hash -> hash
+        | None -> "unknown"
+      else if is_hex head then head
+      else "unknown"))
+
+let payload ~bench ~effort fields =
+  Json.Obj
+    (("schema", Json.String schema_version)
+    :: ("bench", Json.String bench)
+    :: ("effort", Json.String effort)
+    :: ("cores", Json.Int (Domain.recommended_domain_count ()))
+    :: ("commit", Json.String (commit ()))
+    :: fields)
+
+let write ~path ~bench ~effort fields =
+  Spr_util.Persist.atomic_write path (Json.to_string ~indent:true (payload ~bench ~effort fields) ^ "\n")

@@ -23,6 +23,13 @@ type payload =
   | Exchange of { round : int; from_replica : int; metric : float }
       (** Portfolio exchange round: the fleet adopted [from_replica]'s
           layout. *)
+  | Sched_kill of { round : int; replica : int; leader : int; metric : float }
+      (** Racing scheduler: [replica] was early-killed at decision
+          round [round]; [leader] was predicted best with live metric
+          [metric]. *)
+  | Sched_clone of { round : int; replica : int; from_replica : int; stream : int }
+      (** Racing scheduler: the killed [replica]'s domain was
+          reallocated to a fork of [from_replica] on RNG [stream]. *)
   | Metrics_dump of (string * Metrics.value) list
       (** The replica's registry snapshot, at the end of its stream. *)
   | Replica_end of {

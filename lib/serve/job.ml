@@ -11,6 +11,7 @@ type spec = {
   flow : string;
   replicas : int;
   exchange : string;
+  scheduler : string;
   time_budget : float option;
   max_moves : int option;
 }
@@ -27,6 +28,7 @@ let default_spec =
     flow = "sa";
     replicas = 1;
     exchange = "independent";
+    scheduler = "barrier";
     time_budget = None;
     max_moves = None;
   }
@@ -49,6 +51,9 @@ let validate_spec s =
   (match Spr_anneal.Portfolio.exchange_of_string s.exchange with
   | Ok _ -> ()
   | Error e -> reject "%s" e);
+  (match Spr_core.Tool.Config.scheduler_of_string s.scheduler with
+  | Ok _ -> ()
+  | Error e -> reject "%s" e);
   (match s.time_budget with
   | Some b when not (Float.is_finite b && b > 0.0) ->
     reject "time_budget must be positive seconds (got %g)" b
@@ -68,9 +73,21 @@ let validate_spec s =
        | Some e -> e
        | None -> Spr_experiments.Profiles.Quick
      in
+     let exchange =
+       match Spr_anneal.Portfolio.exchange_of_string s.exchange with
+       | Ok e -> e
+       | Error _ -> Spr_anneal.Portfolio.Independent
+     in
+     let kind, sync =
+       match Spr_core.Tool.Config.scheduler_of_string s.scheduler with
+       | Ok ks -> ks
+       | Error _ -> (`Barrier, true)
+     in
      let config =
        Spr_experiments.Profiles.tool_config ~seed:s.seed effort ~n:100
        |> Spr_core.Tool.Config.with_flow_preset s.flow
+       |> Spr_core.Tool.Config.with_replicas ~exchange s.replicas
+       |> Spr_core.Tool.Config.with_scheduler_kind ~sync kind
      in
      match Spr_core.Tool.Config.validated config with
      | Ok _ -> ()
@@ -114,6 +131,7 @@ let spec_to_json s =
       ("flow", J.String s.flow);
       ("replicas", J.Int s.replicas);
       ("exchange", J.String s.exchange);
+      ("scheduler", J.String s.scheduler);
       ("time_budget", opt (fun b -> J.Float b) s.time_budget);
       ("max_moves", opt (fun m -> J.Int m) s.max_moves);
     ]
@@ -167,6 +185,9 @@ let spec_of_json =
         flow = Option.value (dopt j "flow" J.to_str) ~default:"sa";
         replicas = dint j "replicas";
         exchange = dstr j "exchange";
+        (* Specs written before the scheduler field existed decode as
+           the all-active exchange barrier — the pre-racing behavior. *)
+        scheduler = Option.value (dopt j "scheduler" J.to_str) ~default:"barrier";
         time_budget = dopt j "time_budget" J.to_float;
         max_moves = dopt j "max_moves" J.to_int;
       })

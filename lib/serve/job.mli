@@ -39,6 +39,11 @@ type spec = {
           before this field existed decode as ["sa"]. *)
   replicas : int;
   exchange : string;  (** Portfolio exchange policy spelling. *)
+  scheduler : string;
+      (** Fleet scheduler spelling ([barrier], [racing], [racing:free]
+          — the {!Spr_core.Tool.Config.scheduler_of_string} vocabulary).
+          Specs written before this field existed decode as ["barrier"],
+          the pre-racing behavior. *)
   time_budget : float option;
       (** Per-invocation wall-clock budget, which is also the job's
           soft timeout: the worker stops itself gracefully through the
@@ -53,9 +58,11 @@ val default_spec : spec
 
 val validate_spec : spec -> (spec, string) result
 (** Admission-side sanity: exactly one design source, a known effort /
-    scheme / exchange spelling, positive tracks/replicas, positive
-    finite budgets — then the decoded tool config (including the flow
-    preset) is run through {!Spr_core.Tool.Config.validated}, so a
+    scheme / exchange / scheduler spelling, positive tracks/replicas,
+    positive finite budgets — then the decoded tool config (including
+    the flow preset, replica fleet and scheduler, so e.g. racing with a
+    [best:N] exchange is refused here) is run through
+    {!Spr_core.Tool.Config.validated}, so a
     spec the worker could not run is a clear protocol error at submit
     time instead of a forked worker failing later. The daemon rejects
     invalid specs before a job id is ever allocated. *)

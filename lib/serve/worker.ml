@@ -93,12 +93,18 @@ let job_config (spec : Job.spec) ~state_dir ~job ~n ~stream =
     | Ok e -> e
     | Error _ -> Spr_anneal.Portfolio.Independent
   in
+  let sched_kind, sched_sync =
+    match scheduler_of_string spec.Job.scheduler with
+    | Ok ks -> ks
+    | Error _ -> (`Barrier, true)
+  in
   Spr_experiments.Profiles.tool_config ~seed:spec.Job.seed effort ~n
   |> with_flow_preset spec.Job.flow
   |> (match spec.Job.time_budget with Some b -> with_time_budget b | None -> Fun.id)
   |> (match spec.Job.max_moves with Some m -> with_max_moves m | None -> Fun.id)
   |> with_run_dir (Job.run_dir ~state_dir job)
   |> with_replicas ~exchange spec.Job.replicas
+  |> with_scheduler_kind ~sync:sched_sync sched_kind
   |> with_run_label spec.Job.label
   |> with_trace_file (Job.trace_file ~state_dir job)
   |> with_report_file (Job.report_file ~state_dir job)

@@ -325,6 +325,192 @@ let test_run_replicas () =
       | _ -> Alcotest.failf "unexpected outcome at %d" k)
     outcomes
 
+(* --- scheduler --- *)
+
+module Scheduler = Spr_anneal.Scheduler
+
+let test_predictor_fit () =
+  (* monotone: an exact line fits with zero residual and extrapolates *)
+  (match Scheduler.Predictor.fit [ (1, 10.0); (2, 8.0); (3, 6.0); (4, 4.0) ] with
+  | None -> Alcotest.fail "monotone series did not fit"
+  | Some f ->
+    Alcotest.(check (float 1e-9)) "slope" (-2.0) f.Scheduler.Predictor.slope;
+    Alcotest.(check (float 1e-9)) "sigma" 0.0 f.Scheduler.Predictor.sigma;
+    Alcotest.(check (float 1e-9)) "extrapolation" (-8.0)
+      (Scheduler.Predictor.predict f ~at:10));
+  (* plateau: zero slope, the prediction stays put arbitrarily far out *)
+  (match Scheduler.Predictor.fit [ (1, 5.0); (2, 5.0); (3, 5.0) ] with
+  | None -> Alcotest.fail "plateau did not fit"
+  | Some f ->
+    Alcotest.(check (float 1e-9)) "flat slope" 0.0 f.Scheduler.Predictor.slope;
+    Alcotest.(check (float 1e-9)) "flat prediction" 5.0
+      (Scheduler.Predictor.predict f ~at:100));
+  (* noise raises sigma but the trend survives *)
+  (match Scheduler.Predictor.fit [ (1, 10.0); (2, 9.2); (3, 8.9); (4, 8.0); (5, 7.6) ] with
+  | None -> Alcotest.fail "noisy series did not fit"
+  | Some f ->
+    Alcotest.(check bool) "downward trend" true (f.Scheduler.Predictor.slope < 0.0);
+    Alcotest.(check bool) "nonzero residual" true (f.Scheduler.Predictor.sigma > 0.0));
+  (* under three points, or three points on one boundary: no fit *)
+  Alcotest.(check bool) "two points" true
+    (Scheduler.Predictor.fit [ (1, 1.0); (2, 2.0) ] = None);
+  Alcotest.(check bool) "degenerate x" true
+    (Scheduler.Predictor.fit [ (3, 1.0); (3, 2.0); (3, 5.0) ] = None)
+
+let racing_cfg =
+  { Scheduler.replicas = 2; warmup = 2; every = 2; margin = 0.5; horizon = 4; sync = true }
+
+(* Replica 0 improves ten times faster than replica 1, and both run
+   cold (acceptance 0.2), so nothing shields the trailing replica from
+   the predictor. *)
+let slow_fast_metric ~replica ~temp_index =
+  if replica = 0 then 100.0 -. (10.0 *. float_of_int temp_index)
+  else 100.0 -. float_of_int temp_index
+
+let run_synthetic_racing ?history ?persist () =
+  let t = Scheduler.racing racing_cfg ?history ?persist () in
+  let decisions = Array.make 2 [] in
+  let worker k =
+    for temp_index = 1 to 8 do
+      match
+        Scheduler.observe t ~replica:k ~temp_index
+          ~metric:(slow_fast_metric ~replica:k ~temp_index)
+          ~acceptance:0.2
+          ~capture:(fun () -> Printf.sprintf "layout-%d-%d" k temp_index)
+      with
+      | Scheduler.Continue -> ()
+      | d -> decisions.(k) <- (temp_index, d) :: decisions.(k)
+    done;
+    Scheduler.finished t ~replica:k
+  in
+  let outcomes = Portfolio.run_replicas ~replicas:2 worker in
+  Array.iter (function Error e -> raise e | Ok () -> ()) outcomes;
+  (Scheduler.rounds t, decisions)
+
+(* The trailing replica is killed at boundary 4 (round 2, the first
+   decision round past warmup with three fitted points) onto the first
+   fresh stream, and — its fork fed the same slow trajectory — again at
+   boundary 8 once the fork re-accumulates a fittable series. Boundary
+   6 trips a round too, but the fork has only two post-kill samples, so
+   it survives: no fit, no verdict. *)
+let test_racing_kills_trailing () =
+  let persisted = ref [] in
+  let rounds, decisions =
+    run_synthetic_racing ~persist:(fun r -> persisted := r :: !persisted) ()
+  in
+  Alcotest.(check int) "leader undisturbed" 0 (List.length decisions.(0));
+  (match List.rev decisions.(1) with
+  | [
+   (4, Scheduler.Kill { round = 2; from_replica = 0; metric = m1; payload = p1; stream = 2 });
+   (8, Scheduler.Kill { round = 4; from_replica = 0; payload = p2; stream = 3; _ });
+  ] ->
+    Alcotest.(check (float 1e-9)) "leader metric at the first kill" 60.0 m1;
+    Alcotest.(check string) "leader layout adopted" "layout-0-4" p1;
+    Alcotest.(check string) "fresh leader layout at the second kill" "layout-0-8" p2
+  | _ -> Alcotest.fail "replica 1 was not killed at boundaries 4 and 8");
+  (* Only killing rounds are reported and persisted, in round order. *)
+  Alcotest.(check (list int)) "killing rounds" [ 2; 4 ]
+    (List.map (fun r -> r.Scheduler.sr_round) rounds);
+  List.iter
+    (fun (r : Scheduler.round_record) ->
+      Alcotest.(check int) "leader recorded" 0 r.sr_leader;
+      match r.sr_kills with
+      | [ { Scheduler.k_replica = 1; k_stream } ] ->
+        Alcotest.(check int) "streams allocated past the fleet" (r.sr_round / 2 + 1) k_stream
+      | _ -> Alcotest.failf "round %d: unexpected kill set" r.sr_round)
+    rounds;
+  Alcotest.(check bool) "persisted exactly the killing rounds" true
+    (List.rev !persisted = rounds);
+  (* Scheduling independence: a second fleet reproduces everything. *)
+  let rounds2, decisions2 = run_synthetic_racing () in
+  Alcotest.(check bool) "rounds reproducible" true (rounds = rounds2);
+  Alcotest.(check bool) "decisions reproducible" true (decisions = decisions2)
+
+(* Resume: recorded rounds serve their verdicts without a rendezvous,
+   unrecorded (no-kill) rounds re-trip live against the shrunken fleet,
+   and the solo survivor never deadlocks. *)
+let test_racing_replay () =
+  let history, _ = run_synthetic_racing () in
+  let t = Scheduler.racing racing_cfg ~history () in
+  Scheduler.finished t ~replica:0;
+  let kills = ref [] in
+  for temp_index = 1 to 8 do
+    match
+      Scheduler.observe t ~replica:1 ~temp_index
+        ~metric:(slow_fast_metric ~replica:1 ~temp_index)
+        ~acceptance:0.2
+        ~capture:(fun () -> "fresh")
+    with
+    | Scheduler.Kill { round; stream; payload; _ } ->
+      kills := (temp_index, round, stream, payload) :: !kills
+    | Scheduler.Continue -> ()
+    | Scheduler.Adopt _ -> Alcotest.fail "racing never adopts"
+  done;
+  Scheduler.finished t ~replica:1;
+  Alcotest.(check bool) "recorded verdicts replayed" true
+    ([ (4, 2, 2, "layout-0-4"); (8, 4, 3, "layout-0-8") ] = List.rev !kills);
+  Alcotest.(check bool) "history preserved" true (Scheduler.rounds t = history)
+
+(* Barrier mode is the untouched portfolio: same adoptions, exchange
+   history exposed, and no racing rounds ever. *)
+let test_scheduler_barrier_wraps_portfolio () =
+  let p = Portfolio.create ~replicas:3 ~exchange:(Portfolio.Best_exchange 2) () in
+  let t = Scheduler.barrier p in
+  let adoptions = Array.make 3 [] in
+  let worker k =
+    for temp_index = 1 to 6 do
+      let round = Option.value (Portfolio.round_of p ~temp_index) ~default:0 in
+      match
+        Scheduler.observe t ~replica:k ~temp_index
+          ~metric:(synthetic_metric ~replica:k ~round)
+          ~acceptance:0.0
+          ~capture:(fun () -> Printf.sprintf "layout-%d-%d" k round)
+      with
+      | Scheduler.Continue -> ()
+      | Scheduler.Adopt { round; from_replica; _ } ->
+        adoptions.(k) <- (round, from_replica) :: adoptions.(k)
+      | Scheduler.Kill _ -> Alcotest.fail "barrier never kills"
+    done;
+    Scheduler.finished t ~replica:k
+  in
+  let outcomes = Portfolio.run_replicas ~replicas:3 worker in
+  Array.iter (function Error e -> raise e | Ok () -> ()) outcomes;
+  let _, direct = run_synthetic_portfolio () in
+  Alcotest.(check bool) "adoptions identical to the bare barrier" true (adoptions = direct);
+  Alcotest.(check int) "exchange history exposed" 3 (List.length (Scheduler.exchanges t));
+  Alcotest.(check bool) "no racing rounds" true (Scheduler.rounds t = [])
+
+(* A resumed replica preloads its checkpointed dynamics series, so the
+   first post-resume decision round fits exactly the series the
+   uninterrupted run would have: the kill still happens at boundary 4
+   even though only the last sample arrives live. *)
+let test_racing_preload () =
+  let t = Scheduler.racing racing_cfg () in
+  for k = 0 to 1 do
+    Scheduler.preload t ~replica:k
+      (List.init 3 (fun i ->
+           let ti = i + 1 in
+           (ti, slow_fast_metric ~replica:k ~temp_index:ti, 0.2)))
+  done;
+  let decisions = Array.make 2 [] in
+  let worker k =
+    (match
+       Scheduler.observe t ~replica:k ~temp_index:4
+         ~metric:(slow_fast_metric ~replica:k ~temp_index:4)
+         ~acceptance:0.2
+         ~capture:(fun () -> Printf.sprintf "layout-%d-4" k)
+     with
+    | Scheduler.Continue -> ()
+    | d -> decisions.(k) <- d :: decisions.(k));
+    Scheduler.finished t ~replica:k
+  in
+  let outcomes = Portfolio.run_replicas ~replicas:2 worker in
+  Array.iter (function Error e -> raise e | Ok () -> ()) outcomes;
+  (match decisions.(1) with
+  | [ Scheduler.Kill { round = 2; from_replica = 0; stream = 2; _ } ] -> ()
+  | _ -> Alcotest.fail "preloaded series did not reproduce the uninterrupted kill");
+  Alcotest.(check int) "leader undisturbed" 0 (List.length decisions.(0))
+
 let () =
   Alcotest.run "spr_anneal"
     [
@@ -353,5 +539,15 @@ let () =
           Alcotest.test_case "finished unblocks" `Quick test_portfolio_finished_unblocks;
           Alcotest.test_case "frozen coordination" `Quick test_portfolio_frozen;
           Alcotest.test_case "run_replicas" `Quick test_run_replicas;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "predictor fit" `Quick test_predictor_fit;
+          Alcotest.test_case "racing kills the trailing replica" `Quick
+            test_racing_kills_trailing;
+          Alcotest.test_case "recorded rounds replay" `Quick test_racing_replay;
+          Alcotest.test_case "barrier wraps the portfolio" `Quick
+            test_scheduler_barrier_wraps_portfolio;
+          Alcotest.test_case "preloaded series resumes the fit" `Quick test_racing_preload;
         ] );
     ]

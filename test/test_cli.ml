@@ -39,7 +39,7 @@ let check_exit_zero label = function
   | Unix.WSIGNALED n -> Alcotest.failf "%s: killed by signal %d" label n
   | Unix.WSTOPPED n -> Alcotest.failf "%s: stopped by signal %d" label n
 
-(* Rebuild the run's netlist the way [spr route --resume] does: from the
+(* Rebuild the run's netlist the way [spr route --run-resume] does: from the
    recorded circuit name when there is one (net ids must match the
    original construction), else from the copied BLIF bytes. *)
 let load_run_dir dir =
@@ -106,13 +106,13 @@ let test_move_budget_then_resume () =
     (Printf.sprintf "reports the interruption (got: %s)" out)
     true
     (has_substring ~sub:"interrupted (move budget)" out);
-  (* the pre-grouping spelling still works, with a deprecation note *)
-  let status, out = run_cli [ "route"; "--resume"; dir ] in
+  (* the pre-grouping spelling is gone: unknown option, nonzero exit *)
+  let status, _ = run_cli [ "route"; "--resume"; dir ] in
+  (match status with
+  | Unix.WEXITED 0 -> Alcotest.fail "removed --resume alias still accepted"
+  | _ -> ());
+  let status, out = run_cli [ "route"; "--run-resume"; dir ] in
   check_exit_zero "resumed run" status;
-  Alcotest.(check bool)
-    (Printf.sprintf "deprecated --resume warns (got: %s)" out)
-    true
-    (has_substring ~sub:"--resume is deprecated" out);
   Alcotest.(check bool)
     (Printf.sprintf "resume announces its snapshot (got: %s)" out)
     true
@@ -125,7 +125,7 @@ let test_move_budget_then_resume () =
 
 (* A two-replica portfolio end to end: per-replica reporting, a winner,
    and per-replica snapshot rotations plus a recorded run meta that
-   lets --resume rebuild the fleet. *)
+   lets --run-resume rebuild the fleet. *)
 let test_parallel_smoke () =
   let dir = "cli-parallel" in
   rmrf dir;
@@ -150,7 +150,7 @@ let test_parallel_smoke () =
     (Spr_core.Checkpoint.V2.snapshot_files ~replica:1 dir <> []);
   Alcotest.(check (list (pair int string))) "no serial snapshots" []
     (Spr_core.Checkpoint.V2.snapshot_files dir);
-  (* the meta records the fleet shape for --resume *)
+  (* the meta records the fleet shape for --run-resume *)
   let meta =
     match Spr_util.Persist.read_file (Filename.concat dir "meta") with
     | Ok text -> text
@@ -158,6 +158,8 @@ let test_parallel_smoke () =
   in
   Alcotest.(check bool) "meta records parallel" true (has_substring ~sub:"parallel 2" meta);
   Alcotest.(check bool) "meta records exchange" true (has_substring ~sub:"exchange best:4" meta);
+  Alcotest.(check bool) "meta records scheduler" true
+    (has_substring ~sub:"scheduler barrier" meta);
   let status, out = run_cli [ "route"; "--run-resume"; dir ] in
   check_exit_zero "fleet resume" status;
   Alcotest.(check bool)

@@ -188,6 +188,25 @@ let test_config_validation () =
   expect_invalid_config "negative stream" (Tool.Config.with_stream (-1) base);
   expect_invalid_config "exchange period 0"
     (Tool.Config.with_replicas ~exchange:(Spr_anneal.Portfolio.Best_exchange 0) 2 base);
+  expect_invalid_config "negative race margin" (Tool.Config.with_race_margin (-1.0) base);
+  expect_invalid_config "race margin nan" (Tool.Config.with_race_margin Float.nan base);
+  expect_invalid_config "race every 0" (Tool.Config.with_race_every 0 base);
+  expect_invalid_config "negative race warmup" (Tool.Config.with_race_warmup (-1) base);
+  expect_invalid_config "racing replaces the exchange barrier"
+    Tool.Config.(
+      base
+      |> with_replicas ~exchange:(Spr_anneal.Portfolio.Best_exchange 2) 2
+      |> with_scheduler_kind `Racing);
+  (* scheduler spelling vocabulary round-trips *)
+  List.iter
+    (fun (s, want) ->
+      match Tool.Config.scheduler_of_string s with
+      | Ok ks when ks = want -> ()
+      | _ -> Alcotest.failf "scheduler spelling %s" s)
+    [ ("barrier", (`Barrier, true)); ("racing", (`Racing, true)); ("racing:free", (`Racing, false)) ];
+  (match Tool.Config.scheduler_of_string "greedy" with
+  | Ok _ -> Alcotest.fail "accepted an unknown scheduler"
+  | Error _ -> ());
   (* every problem is named in one structured message *)
   (match
      Tool.Config.validated
@@ -277,6 +296,76 @@ let test_portfolio_exchange_deterministic () =
       | findings -> Alcotest.failf "audit: %s" (Spr_check.Finding.summarize findings))
     a.Tool.p_results
 
+(* --- racing scheduler --- *)
+
+let rec rmrf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rmrf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* Aggressive racing parameters (zero margin, short warmup) so the
+   quick anneal reliably produces kills to exercise. *)
+let racing_config ?(seed = 1) ~replicas n =
+  Tool.Config.(
+    quick_config ~seed n |> with_replicas replicas |> with_scheduler_kind `Racing
+    |> with_race_margin 0.0 |> with_race_warmup 2 |> with_race_every 2)
+
+(* Racing decisions come from masked-trace quantities at rendezvous
+   rounds, so the whole fleet — winner, kills, every replica's layout —
+   must be a pure function of the seed, like the exchange barrier. *)
+let test_portfolio_racing_deterministic () =
+  let arch, nl = small_case () in
+  let n = Nl.n_cells nl in
+  let config = racing_config ~replicas:3 n in
+  let a = Tool.run_portfolio_exn ~config arch nl in
+  let b = Tool.run_portfolio_exn ~config arch nl in
+  Alcotest.(check bool) "racing killed something" true (a.Tool.p_scheds <> []);
+  Alcotest.(check int) "same winner" a.Tool.p_best_replica b.Tool.p_best_replica;
+  Alcotest.(check bool) "same decision rounds" true (a.Tool.p_scheds = b.Tool.p_scheds);
+  Alcotest.(check bool) "no exchange rounds under racing" true (a.Tool.p_exchanges = []);
+  Array.iteri
+    (fun i (ra : Tool.result) ->
+      check_same_result (Printf.sprintf "replica %d" i) ra b.Tool.p_results.(i))
+    a.Tool.p_results
+
+(* Interrupting a racing fleet mid-run and resuming it must land on the
+   uninterrupted run, bit for bit: snapshots restore each replica's
+   trajectory and [sched-*.rec] records replay the killing rounds. *)
+let test_portfolio_racing_resume_matches () =
+  let arch, nl = small_case () in
+  let n = Nl.n_cells nl in
+  let dir_full = "core-racing-full" and dir_cut = "core-racing-cut" in
+  rmrf dir_full;
+  rmrf dir_cut;
+  let with_dir dir c = Tool.Config.with_run_dir ~snapshot_every:1 dir c in
+  let base = racing_config ~replicas:2 n in
+  let full = Tool.run_portfolio_exn ~config:(with_dir dir_full base) arch nl in
+  Alcotest.(check bool) "baseline killed something" true (full.Tool.p_scheds <> []);
+  let moves0 = full.Tool.p_results.(0).Tool.anneal_report.Engine.n_moves in
+  let cut =
+    Tool.run_portfolio_exn
+      ~config:(with_dir dir_cut (Tool.Config.with_max_moves (moves0 / 2) base))
+      arch nl
+  in
+  Alcotest.(check bool) "budget actually interrupted the fleet" true
+    (Array.exists
+       (fun (r : Tool.result) -> r.Tool.status <> Tool.Completed)
+       cut.Tool.p_results);
+  let resumed =
+    Tool.run_portfolio_exn ~config:(with_dir dir_cut base) ~resume_dir:dir_cut arch nl
+  in
+  Alcotest.(check int) "same winner" full.Tool.p_best_replica resumed.Tool.p_best_replica;
+  Alcotest.(check bool) "same decision rounds" true (full.Tool.p_scheds = resumed.Tool.p_scheds);
+  Array.iteri
+    (fun i (ra : Tool.result) ->
+      check_same_result (Printf.sprintf "replica %d" i) ra resumed.Tool.p_results.(i))
+    full.Tool.p_results;
+  rmrf dir_full;
+  rmrf dir_cut
+
 let test_dynamics_module () =
   let d = Dynamics.create ~n_cells:10 in
   Dynamics.note_accepted_cells d [ 1; 2; 2; 3 ];
@@ -320,6 +409,9 @@ let () =
             test_portfolio_winner_reproducible;
           Alcotest.test_case "best-exchange deterministic" `Slow
             test_portfolio_exchange_deterministic;
+          Alcotest.test_case "racing deterministic" `Slow test_portfolio_racing_deterministic;
+          Alcotest.test_case "racing kill+resume matches uninterrupted" `Slow
+            test_portfolio_racing_resume_matches;
         ] );
       ("dynamics", [ Alcotest.test_case "bookkeeping" `Quick test_dynamics_module ]);
     ]

@@ -109,6 +109,38 @@ let test_metrics_absorb () =
     Alcotest.(check (list int)) "bucket-wise sum" [ 1; 1; 1 ] (Array.to_list counts)
   | _ -> Alcotest.fail "histogram missing from snapshot"
 
+(* A racing fleet merges registries from replicas that died mid-run:
+   the killed replica's dump covers only part of the temperature range
+   and may lack metrics the survivors registered (and vice versa).
+   Bucket-wise histogram addition must hold across such partial dumps,
+   and absorbing an empty registry must be the identity. *)
+let test_metrics_absorb_partial_dump () =
+  let bounds = [| 0.25; 0.5; 0.75 |] in
+  let survivor = Metrics.create () in
+  let hs = Metrics.histogram survivor ~bounds "acceptance" in
+  List.iter (Metrics.observe hs) [ 0.1; 0.3; 0.6; 0.9; 0.95 ];
+  Metrics.add (Metrics.counter survivor "moves") 100;
+  let killed = Metrics.create () in
+  let hk = Metrics.histogram killed ~bounds "acceptance" in
+  (* killed early: observed only the hot tail of the schedule *)
+  List.iter (Metrics.observe hk) [ 0.8; 0.85 ];
+  Metrics.add (Metrics.counter killed "kills") 1;
+  let total = Metrics.create () in
+  Metrics.absorb total survivor;
+  Metrics.absorb total killed;
+  Metrics.absorb total (Metrics.create ());
+  (match List.assoc_opt "acceptance" (Metrics.snapshot total) with
+  | Some (Metrics.Buckets { counts; _ }) ->
+    Alcotest.(check (list int)) "bucket-wise sum across partial dumps" [ 1; 1; 1; 4 ]
+      (Array.to_list counts)
+  | _ -> Alcotest.fail "merged histogram missing");
+  (match List.assoc_opt "moves" (Metrics.snapshot total) with
+  | Some (Metrics.Count n) -> Alcotest.(check int) "survivor counter" 100 n
+  | _ -> Alcotest.fail "survivor counter missing");
+  match List.assoc_opt "kills" (Metrics.snapshot total) with
+  | Some (Metrics.Count n) -> Alcotest.(check int) "killed replica's counter kept" 1 n
+  | _ -> Alcotest.fail "killed replica's counter missing"
+
 (* --- spans --- *)
 
 let test_spans_nest_and_balance () =
@@ -271,6 +303,8 @@ let () =
         [
           Alcotest.test_case "registry get-or-create and snapshot" `Quick test_metrics_registry;
           Alcotest.test_case "absorb merges by name" `Quick test_metrics_absorb;
+          Alcotest.test_case "absorb merges a killed replica's partial dump" `Quick
+            test_metrics_absorb_partial_dump;
         ] );
       ("spans", [ Alcotest.test_case "nesting, tagging, no-op without sink" `Quick test_spans_nest_and_balance ]);
       ( "trace",

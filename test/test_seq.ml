@@ -1,4 +1,3 @@
-module Flow = Spr_seq.Flow
 module Seq_place = Spr_seq.Seq_place
 module Seq_route = Spr_seq.Seq_route
 module Rs = Spr_route.Route_state
@@ -78,27 +77,35 @@ let test_seq_route_beats_plain_route_all () =
     Alcotest.(check bool) "improvement loop helps or ties" true
       (Rs.d_count improved <= Rs.d_count plain)
 
+(* The sequential baseline now lives behind the flow engine's "seq"
+   preset (greedy place, route, sta) — these tests drive it the way
+   every remaining caller does. *)
+let seq_config ~seed n =
+  Spr_core.Tool.Config.(
+    default |> with_seed seed
+    |> with_anneal (Option.get (quick_place n).Seq_place.anneal)
+    |> with_flow_preset "seq")
+
 let test_flow_end_to_end () =
   let arch, nl = small_case ~tracks:26 () in
-  let config =
-    { Flow.default_config with Flow.place = quick_place (Nl.n_cells nl); seed = 3 }
-  in
-  let r = Flow.run_exn ~config arch nl in
-  Alcotest.(check bool) "routed" true r.Flow.fully_routed;
-  Alcotest.(check bool) "delay positive" true (r.Flow.critical_delay > 0.0);
-  Alcotest.(check bool) "wirelength positive" true (r.Flow.wirelength > 0.0);
-  Alcotest.(check int) "g" 0 r.Flow.g;
-  Alcotest.(check int) "d" 0 r.Flow.d
+  let r = Spr_flow.run_exn ~config:(seq_config ~seed:3 (Nl.n_cells nl)) arch nl in
+  Alcotest.(check bool) "routed" true r.Spr_flow.f_fully_routed;
+  Alcotest.(check bool) "delay positive" true (r.Spr_flow.f_critical_delay > 0.0);
+  Alcotest.(check bool) "wirelength positive" true
+    (Seq_place.wirelength r.Spr_flow.f_place > 0.0);
+  Alcotest.(check int) "g" 0 r.Spr_flow.f_g;
+  Alcotest.(check int) "d" 0 r.Spr_flow.f_d
 
 let test_flow_deterministic () =
   let arch, nl = small_case () in
-  let config =
-    { Flow.default_config with Flow.place = quick_place (Nl.n_cells nl); seed = 11 }
-  in
-  let a = Flow.run_exn ~config arch nl in
-  let b = Flow.run_exn ~config arch nl in
-  Alcotest.(check (float 1e-9)) "same delay" a.Flow.critical_delay b.Flow.critical_delay;
-  Alcotest.(check (float 1e-9)) "same wirelength" a.Flow.wirelength b.Flow.wirelength
+  let config = seq_config ~seed:11 (Nl.n_cells nl) in
+  let a = Spr_flow.run_exn ~config arch nl in
+  let b = Spr_flow.run_exn ~config arch nl in
+  Alcotest.(check (float 1e-9)) "same delay" a.Spr_flow.f_critical_delay
+    b.Spr_flow.f_critical_delay;
+  Alcotest.(check (float 1e-9)) "same wirelength"
+    (Seq_place.wirelength a.Spr_flow.f_place)
+    (Seq_place.wirelength b.Spr_flow.f_place)
 
 let test_flow_rejects_cycles () =
   let b = Nl.Builder.create () in
@@ -110,7 +117,11 @@ let test_flow_rejects_cycles () =
   Nl.Builder.add_sink b ~net:nc ~cell:a ~pin:0;
   let nl = Nl.Builder.finish_exn b in
   let arch = Arch.create ~rows:2 ~cols:4 ~tracks:4 () in
-  match Flow.run arch nl with
+  match
+    Spr_flow.run
+      ~config:Spr_core.Tool.Config.(with_flow_preset "seq" default)
+      arch nl
+  with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "combinational cycle accepted"
 
